@@ -1,0 +1,196 @@
+//! Criterion benches regenerating every paper table/figure's data on
+//! reduced inputs. Group names map to the experiment index in
+//! DESIGN.md; each iteration produces exactly the rows/series the
+//! corresponding `swan-report` subcommand prints at full scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use swan_bench::{find, measure_point, REPRESENTATIVES};
+use swan_core::report;
+use swan_core::{capture, simulate_trace, Impl, Scale};
+use swan_simd::Width;
+use swan_uarch::CoreConfig;
+
+const SCALE: Scale = Scale(1.0 / 96.0);
+
+/// Figure 1: instruction-mix histograms (pure trace capture, both
+/// implementations, per representative kernel).
+fn fig1_instruction_mix(c: &mut Criterion) {
+    let kernels = swan_kernels::all_kernels();
+    let mut g = c.benchmark_group("fig1_instruction_mix");
+    g.sample_size(10);
+    for (lib, name) in [("LJ", "rgb_to_ycbcr"), ("WA", "audible"), ("BS", "aes128_ctr")] {
+        let k = find(&kernels, lib, name);
+        g.bench_function(format!("{lib}.{name}"), |b| {
+            b.iter(|| {
+                let (s, _) = capture(k, Impl::Scalar, Width::W128, SCALE, 42);
+                let (v, _) = capture(k, Impl::Neon, Width::W128, SCALE, 42);
+                black_box(s.total() as f64 / v.total() as f64)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 2 (and Figure 3 / Table 5 share the same pipeline): scalar
+/// vs Neon measurement on the Prime core.
+fn fig2_speedup(c: &mut Criterion) {
+    let kernels = swan_kernels::all_kernels();
+    let prime = CoreConfig::prime();
+    let mut g = c.benchmark_group("fig2_speedup");
+    g.sample_size(10);
+    for (lib, name) in REPRESENTATIVES {
+        let k = find(&kernels, lib, name);
+        g.bench_function(format!("{lib}.{name}"), |b| {
+            b.iter(|| {
+                let s = measure_point(k, Impl::Scalar, Width::W128, &prime, SCALE);
+                let v = measure_point(k, Impl::Neon, Width::W128, &prime, SCALE);
+                black_box(s.seconds() / v.seconds())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 3: power computation from a fixed trace (energy model only).
+fn fig3_power(c: &mut Criterion) {
+    let kernels = swan_kernels::all_kernels();
+    let prime = CoreConfig::prime();
+    let k = find(&kernels, "LJ", "rgb_to_ycbcr");
+    let (tr, ops) = capture(k, Impl::Neon, Width::W128, SCALE, 42);
+    c.bench_function("fig3_power/energy_model", |b| {
+        b.iter(|| black_box(simulate_trace(&tr, &prime, 1.0, ops).power_w))
+    });
+}
+
+/// Table 4: the static auto-vectorization census.
+fn tab4_autovec(c: &mut Criterion) {
+    c.bench_function("tab4_autovec/census", |b| {
+        b.iter(|| {
+            let suite = report::SuiteResults { kernels: vec![], scale: SCALE };
+            black_box(report::tab4(&suite).body.len())
+        })
+    });
+}
+
+/// Figure 4: one kernel across the three cores (Silver/Gold/Prime).
+fn fig4_cores(c: &mut Criterion) {
+    let kernels = swan_kernels::all_kernels();
+    let cores = [CoreConfig::silver(), CoreConfig::gold(), CoreConfig::prime()];
+    let k = find(&kernels, "ZL", "adler32");
+    let (str_, ops) = capture(k, Impl::Scalar, Width::W128, SCALE, 42);
+    let (vtr, _) = capture(k, Impl::Neon, Width::W128, SCALE, 42);
+    let mut g = c.benchmark_group("fig4_cores");
+    g.sample_size(10);
+    for cfg in cores {
+        g.bench_function(&cfg.name, |b| {
+            b.iter(|| {
+                let s = simulate_trace(&str_, &cfg, 1.0, ops);
+                let v = simulate_trace(&vtr, &cfg, 1.0, ops);
+                black_box(s.seconds() / v.seconds())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 5(a): width sweep on a streaming representative.
+fn fig5a_width(c: &mut Criterion) {
+    let kernels = swan_kernels::all_kernels();
+    let prime = CoreConfig::prime();
+    let k = find(&kernels, "SK", "convolve_vertical");
+    let mut g = c.benchmark_group("fig5a_width");
+    g.sample_size(10);
+    for w in Width::ALL {
+        g.bench_function(format!("{w}"), |b| {
+            b.iter(|| black_box(measure_point(k, Impl::Neon, w, &prime, SCALE).sim.cycles))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 5(b): ASIMD-unit/decode-way sweep on a high-ILP kernel.
+fn fig5b_units(c: &mut Criterion) {
+    let kernels = swan_kernels::all_kernels();
+    let k = find(&kernels, "XP", "gemm_f32");
+    let (tr, ops) = capture(k, Impl::Neon, Width::W128, SCALE, 42);
+    let mut g = c.benchmark_group("fig5b_units");
+    g.sample_size(10);
+    for cfg in CoreConfig::fig5b_sweep() {
+        g.bench_function(&cfg.name, |b| {
+            b.iter(|| black_box(simulate_trace(&tr, &cfg, 1.0, ops).sim.cycles))
+        });
+    }
+    g.finish();
+}
+
+/// Table 6: strided-access census over the whole suite's Neon traces.
+fn tab6_strides(c: &mut Criterion) {
+    let kernels = swan_kernels::all_kernels();
+    let mut g = c.benchmark_group("tab6_strides");
+    g.sample_size(10);
+    for (lib, name) in [("LJ", "rgb_to_ycbcr"), ("SK", "blit_row_srcover")] {
+        let k = find(&kernels, lib, name);
+        g.bench_function(format!("{lib}.{name}"), |b| {
+            b.iter(|| {
+                let (tr, _) = capture(k, Impl::Neon, Width::W128, SCALE, 42);
+                black_box(
+                    tr.op_count(swan_simd::Op::VLd3)
+                        + tr.op_count(swan_simd::Op::VLd4)
+                        + tr.op_count(swan_simd::Op::VSt2),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Table 7: accelerator launch-overhead comparison.
+fn tab7_offload(c: &mut Criterion) {
+    let kernels = swan_kernels::all_kernels();
+    let prime = CoreConfig::prime();
+    let gpu = swan_accel::GpuModel::default();
+    let k = find(&kernels, "WA", "audible");
+    let (tr, ops) = capture(k, Impl::Neon, Width::W128, SCALE, 42);
+    c.bench_function("tab7_offload/decision", |b| {
+        b.iter(|| {
+            let neon = simulate_trace(&tr, &prime, 1.0, ops).seconds();
+            black_box(swan_accel::decide(neon, gpu.gemm_time(ops)))
+        })
+    });
+}
+
+/// Figure 6: one Neon-vs-GPU sweep point (GEMM).
+fn fig6_gpu(c: &mut Criterion) {
+    use swan_kernels::xp::{GemmF32, Shape};
+    let prime = CoreConfig::prime();
+    let gpu = swan_accel::GpuModel::default();
+    let mut g = c.benchmark_group("fig6_gpu");
+    g.sample_size(10);
+    for (m, k, n) in [(8, 16, 128), (32, 64, 256)] {
+        let kernel = GemmF32::with_shape(Shape { m, k, n });
+        g.bench_function(format!("gemm_{m}x{k}x{n}"), |b| {
+            b.iter(|| {
+                let (tr, macs) = capture(&kernel, Impl::Neon, Width::W128, Scale(1.0), 7);
+                let neon = simulate_trace(&tr, &prime, 1.0, macs).seconds();
+                black_box((neon, gpu.gemm_time(macs)))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    paper,
+    fig1_instruction_mix,
+    fig2_speedup,
+    fig3_power,
+    tab4_autovec,
+    fig4_cores,
+    fig5a_width,
+    fig5b_units,
+    tab6_strides,
+    tab7_offload,
+    fig6_gpu
+);
+criterion_main!(paper);

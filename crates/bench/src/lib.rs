@@ -1,0 +1,79 @@
+//! # swan-bench — benchmark harness helpers
+//!
+//! The Criterion benches under `benches/` regenerate each paper
+//! table/figure's data on reduced inputs (so a full `cargo bench` run
+//! stays tractable) and time the two halves of the pipeline the
+//! reproduction is built from: functional trace capture (the fake-Neon
+//! emulator) and trace-driven timing simulation. The full-size numbers
+//! come from the `swan-report` binary.
+
+use swan_core::{capture, simulate_trace, Impl, Kernel, Measurement, Scale};
+use swan_simd::Width;
+use swan_uarch::CoreConfig;
+
+/// One representative kernel per library, covering every figure's mix.
+pub const REPRESENTATIVES: [(&str, &str); 12] = [
+    ("LJ", "rgb_to_ycbcr"),
+    ("LP", "filter_paeth"),
+    ("LW", "tm_predict"),
+    ("SK", "convolve_vertical"),
+    ("WA", "audible"),
+    ("PF", "fft_forward"),
+    ("ZL", "adler32"),
+    ("BS", "aes128_ctr"),
+    ("OR", "memchr"),
+    ("LO", "pitch_corr"),
+    ("LV", "sad16x16"),
+    ("XP", "gemm_f32"),
+];
+
+/// Look up a kernel by `(library symbol, name)`.
+pub fn find<'a>(
+    kernels: &'a [Box<dyn Kernel>],
+    lib: &str,
+    name: &str,
+) -> &'a dyn Kernel {
+    kernels
+        .iter()
+        .find(|k| k.meta().library.info().symbol == lib && k.meta().name == name)
+        .unwrap_or_else(|| panic!("{lib}.{name} not in suite"))
+        .as_ref()
+}
+
+/// Capture + simulate one configuration end to end (what one data
+/// point of Figures 2-5 costs).
+pub fn measure_point(
+    kernel: &dyn Kernel,
+    imp: Impl,
+    w: Width,
+    cfg: &CoreConfig,
+    scale: Scale,
+) -> Measurement {
+    let (tr, ops) = capture(kernel, imp, w, scale, 42);
+    let wf = if imp == Impl::Neon { w.factor() as f64 } else { 1.0 };
+    simulate_trace(&tr, cfg, wf, ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn representatives_exist_and_cover_all_libraries() {
+        let kernels = swan_kernels::all_kernels();
+        let mut libs = std::collections::HashSet::new();
+        for (lib, name) in REPRESENTATIVES {
+            let k = find(&kernels, lib, name);
+            libs.insert(k.meta().library);
+        }
+        assert_eq!(libs.len(), 12);
+    }
+
+    #[test]
+    fn measure_point_round_trips() {
+        let kernels = swan_kernels::all_kernels();
+        let k = find(&kernels, "ZL", "adler32");
+        let m = measure_point(k, Impl::Neon, Width::W128, &CoreConfig::prime(), Scale::test());
+        assert!(m.sim.cycles > 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! # swan-core — benchmark harness for the Swan suite
+//!
+//! Defines the [`Kernel`] abstraction the 59 Swan kernels implement,
+//! the measurement [`runner`] that traces a kernel and replays it
+//! through the `swan-uarch` timing model, and the [`report`] generators
+//! that regenerate every table and figure of the paper from a kernel
+//! inventory.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod kernel;
+pub mod report;
+pub mod runner;
+pub mod stats;
+
+pub use kernel::{
+    AutoObstacle, AutoOutcome, Impl, Kernel, KernelMeta, Library, Pattern, Runnable,
+    Scale, VsNeon,
+};
+pub use runner::{capture, measure, simulate_trace, verify_kernel, Measurement};

@@ -1,0 +1,136 @@
+//! Measurement runner: trace a kernel invocation, replay it through
+//! the timing model, and attach power/energy.
+
+use crate::kernel::{Impl, Kernel, Scale};
+use swan_simd::trace::{Mode, Session};
+use swan_simd::{TraceData, Width};
+use swan_uarch::{simulate, CoreConfig, EnergyModel, SimResult};
+
+/// One measured (kernel, implementation, width, core) point.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Dynamic instruction histograms.
+    pub trace: TraceData,
+    /// Timing simulation result.
+    pub sim: SimResult,
+    /// Average chip power in watts (includes DRAM), Figure 3.
+    pub power_w: f64,
+    /// Energy in joules for one invocation.
+    pub energy_j: f64,
+    /// Useful arithmetic ops per invocation (Figure 6 axis).
+    pub work_ops: u64,
+}
+
+impl Measurement {
+    /// Execution time in seconds for one invocation.
+    pub fn seconds(&self) -> f64 {
+        self.sim.seconds
+    }
+}
+
+/// Capture the full dynamic trace of one kernel configuration
+/// (functional execution under the tracer). Returns the trace and the
+/// kernel's useful-operation count.
+pub fn capture(
+    kernel: &dyn Kernel,
+    imp: Impl,
+    w: Width,
+    scale: Scale,
+    seed: u64,
+) -> (TraceData, u64) {
+    let mut inst = kernel.instantiate(scale, seed);
+    let sess = Session::begin(Mode::Full);
+    inst.run(imp, w);
+    (sess.finish(), inst.work_ops())
+}
+
+/// Replay a captured trace through the timing model on one core
+/// configuration (with cache warm-up, §4.3) and attach power/energy.
+/// `width_factor` scales vector-op energy for wide registers.
+pub fn simulate_trace(
+    trace: &TraceData,
+    cfg: &CoreConfig,
+    width_factor: f64,
+    work_ops: u64,
+) -> Measurement {
+    let sim = simulate(trace, cfg);
+    let energy = EnergyModel::default().energy(&sim, cfg, width_factor);
+    let power_w = if sim.seconds > 0.0 {
+        energy.total_j() / sim.seconds
+    } else {
+        0.0
+    };
+    let mut histo = TraceData::default();
+    histo.by_op = trace.by_op;
+    histo.by_class = trace.by_class;
+    Measurement {
+        trace: histo,
+        sim,
+        power_w,
+        energy_j: energy.total_j(),
+        work_ops,
+    }
+}
+
+/// Measure one configuration of a kernel.
+///
+/// The instruction trace is captured functionally, then replayed twice
+/// through the core model — once to warm the caches (the paper warms
+/// caches before each measured iteration, §4.3) and once timed.
+pub fn measure(
+    kernel: &dyn Kernel,
+    imp: Impl,
+    w: Width,
+    cfg: &CoreConfig,
+    scale: Scale,
+    seed: u64,
+) -> Measurement {
+    let (trace, ops) = capture(kernel, imp, w, scale, seed);
+    let width_factor = if imp == Impl::Neon { w.factor() as f64 } else { 1.0 };
+    simulate_trace(&trace, cfg, width_factor, ops)
+}
+
+/// Verify a kernel: run the Scalar and Neon implementations (every
+/// width) on the same inputs and compare outputs within the kernel's
+/// tolerance. Returns a description of the first mismatch.
+pub fn verify_kernel(kernel: &dyn Kernel, scale: Scale, seed: u64) -> Result<(), String> {
+    let meta = kernel.meta();
+    let mut reference = kernel.instantiate(scale, seed);
+    reference.run(Impl::Scalar, Width::W128);
+    let expect = reference.output();
+    for w in Width::ALL {
+        let mut inst = kernel.instantiate(scale, seed);
+        inst.run(Impl::Neon, w);
+        compare(&meta.id(), &format!("Neon@{w}"), &expect, &inst.output(), meta.tolerance)?;
+    }
+    let mut auto = kernel.instantiate(scale, seed);
+    auto.run(Impl::Auto, Width::W128);
+    compare(&meta.id(), "Auto", &expect, &auto.output(), meta.tolerance)?;
+    Ok(())
+}
+
+fn compare(
+    id: &str,
+    which: &str,
+    expect: &[f64],
+    got: &[f64],
+    tol: f64,
+) -> Result<(), String> {
+    if expect.len() != got.len() {
+        return Err(format!(
+            "{id} {which}: output length {} != scalar {}",
+            got.len(),
+            expect.len()
+        ));
+    }
+    for (i, (e, g)) in expect.iter().zip(got.iter()).enumerate() {
+        let err = (e - g).abs();
+        let bound = tol * e.abs().max(1.0);
+        if err > bound {
+            return Err(format!(
+                "{id} {which}: output[{i}] = {g}, scalar = {e} (tol {tol})"
+            ));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Small numeric helpers used by the report generators.
+
+/// Geometric mean of positive values (the paper reports per-library
+/// geomeans, §5). Non-positive values are skipped; empty input → 0.
+pub fn geomean(vals: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in vals {
+        if v > 0.0 {
+            log_sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Arithmetic mean; empty input → 0.
+pub fn mean(vals: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in vals {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean([3.0]) - 3.0).abs() < 1e-12);
+        assert_eq!(geomean([]), 0.0);
+        // Zeros are skipped, not fatal.
+        assert!((geomean([0.0, 4.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_is_scale_invariant() {
+        let a = geomean([1.5, 2.5, 9.0]);
+        let b = geomean([15.0, 25.0, 90.0]);
+        assert!((b / a - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert!((mean([1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean([]), 0.0);
+    }
+}

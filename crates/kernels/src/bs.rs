@@ -1,0 +1,766 @@
+//! `BS` — boringssl kernels: AES-128-CTR, ChaCha20, SHA-256 and a
+//! GHASH-style GF(2^128) MAC.
+//!
+//! These kernels exercise the Arm cryptography extension (`AESE/AESMC`,
+//! `SHA256H/SU`, `PMULL`), which is why the paper measures BS (and ZL)
+//! with the largest dynamic-instruction reductions (Figure 1). The
+//! scalar AES uses the classic four-T-table formulation and the scalar
+//! GHASH a 4-bit multiplication table — the look-up-table pattern of
+//! §6.2 that also defeats auto-vectorization.
+
+use crate::util::{gen_u8, gen_u32, rng, runnable, swan_kernel};
+use swan_core::{AutoOutcome, Scale, VsNeon};
+use swan_simd::scalar::{self as sc, counted};
+use swan_simd::vreg::aes_sbox;
+use swan_simd::{Tr, Vreg, Width};
+
+fn data_len(scale: Scale) -> usize {
+    scale.len(128 << 10)
+}
+
+/// GF(2^8) multiply (host helper for table generation).
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+/// AES-128 key expansion (host helper; runs once in `instantiate`).
+fn key_expand(key: [u8; 16]) -> [[u8; 16]; 11] {
+    let sbox = aes_sbox();
+    let mut w = [[0u8; 4]; 44];
+    for i in 0..4 {
+        w[i].copy_from_slice(&key[4 * i..4 * i + 4]);
+    }
+    let mut rcon = 1u8;
+    for i in 4..44 {
+        let mut t = w[i - 1];
+        if i % 4 == 0 {
+            t = [
+                sbox[t[1] as usize] ^ rcon,
+                sbox[t[2] as usize],
+                sbox[t[3] as usize],
+                sbox[t[0] as usize],
+            ];
+            rcon = gmul(rcon, 2);
+        }
+        for j in 0..4 {
+            w[i][j] = w[i - 4][j] ^ t[j];
+        }
+    }
+    std::array::from_fn(|r| {
+        let mut rk = [0u8; 16];
+        for c in 0..4 {
+            rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+        }
+        rk
+    })
+}
+
+// =====================================================================
+// aes128_ctr
+// =====================================================================
+
+/// State for [`Aes128Ctr`].
+#[derive(Debug)]
+pub struct Aes128CtrState {
+    blocks: usize,
+    /// Counter blocks, byte layout (16 per block).
+    ctr: Vec<u8>,
+    /// Counter blocks as big-endian column words (scalar input view).
+    ctr_words: Vec<u32>,
+    data: Vec<u8>,
+    data_words: Vec<u32>,
+    round_keys: [[u8; 16]; 11],
+    /// Round keys as BE column words.
+    rk_words: Vec<u32>,
+    /// T-tables (scalar path).
+    te: [Vec<u32>; 4],
+    sbox32: Vec<u32>,
+    out: Vec<u8>,
+}
+
+fn be_words(bytes: &[u8]) -> Vec<u32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+impl Aes128CtrState {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let len = data_len(scale);
+        let blocks = len / 16;
+        let mut r = rng(seed);
+        let key: [u8; 16] = std::array::from_fn(|_| rand::Rng::gen(&mut r));
+        let data = gen_u8(&mut r, len);
+        let nonce: [u8; 12] = std::array::from_fn(|_| rand::Rng::gen(&mut r));
+        let mut ctr = Vec::with_capacity(len);
+        for b in 0..blocks as u32 {
+            ctr.extend_from_slice(&nonce);
+            ctr.extend_from_slice(&b.to_be_bytes());
+        }
+        let sbox = aes_sbox();
+        // Te0[x] column = (2S, S, S, 3S); Te1..3 shift the coefficient
+        // pattern down one row.
+        let coef = [[2u8, 1, 1, 3], [3, 2, 1, 1], [1, 3, 2, 1], [1, 1, 3, 2]];
+        let te: [Vec<u32>; 4] = std::array::from_fn(|t| {
+            (0..256)
+                .map(|x| {
+                    let s = sbox[x];
+                    u32::from_be_bytes([
+                        gmul(s, coef[t][0]),
+                        gmul(s, coef[t][1]),
+                        gmul(s, coef[t][2]),
+                        gmul(s, coef[t][3]),
+                    ])
+                })
+                .collect()
+        });
+        let round_keys = key_expand(key);
+        let rk_words = round_keys.iter().flat_map(|rk| be_words(rk)).collect();
+        Aes128CtrState {
+            blocks,
+            ctr_words: be_words(&ctr),
+            ctr,
+            data_words: be_words(&data),
+            data,
+            round_keys,
+            rk_words,
+            te,
+            sbox32: sbox.iter().map(|&s| s as u32).collect(),
+            out: vec![0u8; len],
+        }
+    }
+
+    /// Scalar T-table AES round state: four BE column words.
+    fn scalar(&mut self) {
+        let byte = |w: Tr<u32>, sh: u32| (w >> sh) & 0xFFu32;
+        let mut out_words = vec![0u32; self.blocks * 4];
+        for b in counted(0..self.blocks) {
+            let mut s: Vec<Tr<u32>> = (0..4)
+                .map(|c| {
+                    sc::load(&self.ctr_words, 4 * b + c)
+                        ^ sc::load(&self.rk_words, c)
+                })
+                .collect();
+            for round in counted(1..10) {
+                let mut t = Vec::with_capacity(4);
+                for c in 0..4 {
+                    let b0 = byte(s[c], 24);
+                    let b1 = byte(s[(c + 1) % 4], 16);
+                    let b2 = byte(s[(c + 2) % 4], 8);
+                    let b3 = byte(s[(c + 3) % 4], 0);
+                    let v = sc::load_dep(&self.te[0], b0.get() as usize, b0)
+                        ^ sc::load_dep(&self.te[1], b1.get() as usize, b1)
+                        ^ sc::load_dep(&self.te[2], b2.get() as usize, b2)
+                        ^ sc::load_dep(&self.te[3], b3.get() as usize, b3)
+                        ^ sc::load(&self.rk_words, 4 * round + c);
+                    t.push(v);
+                }
+                s = t;
+            }
+            // Final round: SubBytes + ShiftRows only.
+            let mut ks = Vec::with_capacity(4);
+            for c in 0..4 {
+                let b0 = byte(s[c], 24);
+                let b1 = byte(s[(c + 1) % 4], 16);
+                let b2 = byte(s[(c + 2) % 4], 8);
+                let b3 = byte(s[(c + 3) % 4], 0);
+                let v = (sc::load_dep(&self.sbox32, b0.get() as usize, b0) << 24)
+                    ^ (sc::load_dep(&self.sbox32, b1.get() as usize, b1) << 16)
+                    ^ (sc::load_dep(&self.sbox32, b2.get() as usize, b2) << 8)
+                    ^ sc::load_dep(&self.sbox32, b3.get() as usize, b3)
+                    ^ sc::load(&self.rk_words, 40 + c);
+                ks.push(v);
+            }
+            for c in counted(0..4) {
+                let o = ks[c] ^ sc::load(&self.data_words, 4 * b + c);
+                sc::store(&mut out_words, 4 * b + c, o);
+            }
+        }
+        // Canonical byte output (representation conversion, untraced).
+        for (i, w) in out_words.iter().enumerate() {
+            self.out[4 * i..4 * i + 4].copy_from_slice(&w.to_be_bytes());
+        }
+    }
+
+    fn neon(&mut self, w: Width) {
+        // Each 128-bit chunk encrypts one counter block; wider
+        // registers process multiple blocks per instruction (CTR is
+        // embarrassingly parallel, like real interleaved AES code).
+        let n = w.lanes::<u8>();
+        let rks: Vec<Vreg<u8>> = (0..11)
+            .map(|r| {
+                let rep: Vec<u8> =
+                    self.round_keys[r].iter().cycle().take(n).copied().collect();
+                Vreg::<u8>::from_lanes(w, &rep)
+            })
+            .collect();
+        for i in counted((0..self.blocks * 16).step_by(n)) {
+            let mut st = Vreg::<u8>::load(w, &self.ctr, i);
+            for rk in rks.iter().take(9) {
+                st = st.aese(*rk).aesmc();
+            }
+            st = st.aese(rks[9]);
+            st = st.xor(rks[10]);
+            let d = Vreg::<u8>::load(w, &self.data, i);
+            st.xor(d).store(&mut self.out, i);
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.out.iter().map(|&b| b as f64).collect()
+    }
+}
+
+runnable!(Aes128CtrState, auto = scalar);
+
+swan_kernel!(
+    /// AES-128 in counter mode (boringssl `aes_ctr_set_key` path):
+    /// T-table scalar vs `AESE`/`AESMC` crypto-extension vector.
+    Aes128Ctr, Aes128CtrState, {
+        name: "aes128_ctr",
+        library: BS,
+        precision_bits: 8,
+        is_float: false,
+        auto: AutoOutcome::SameAsScalar,
+        obstacles: [IndirectMemoryAccess],
+        patterns: [RandomMemoryAccess],
+        tolerance: 0.0,
+    }
+);
+
+// =====================================================================
+// chacha20
+// =====================================================================
+
+/// State for [`ChaCha20`].
+#[derive(Debug)]
+pub struct ChaCha20State {
+    blocks: usize,
+    /// Initial state words per block (16 words each).
+    init: Vec<u32>,
+    data: Vec<u32>,
+    out: Vec<u32>,
+}
+
+impl ChaCha20State {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let len_words = data_len(scale) / 4;
+        let blocks = len_words / 16;
+        let mut r = rng(seed);
+        let key: [u32; 8] = std::array::from_fn(|_| rand::Rng::gen(&mut r));
+        let nonce: [u32; 3] = std::array::from_fn(|_| rand::Rng::gen(&mut r));
+        let mut init = Vec::with_capacity(blocks * 16);
+        for b in 0..blocks as u32 {
+            init.extend_from_slice(&[0x61707865, 0x3320646e, 0x79622d32, 0x6b206574]);
+            init.extend_from_slice(&key);
+            init.push(b);
+            init.extend_from_slice(&nonce);
+        }
+        ChaCha20State {
+            blocks,
+            init,
+            data: gen_u32(&mut r, len_words),
+            out: vec![0u32; len_words],
+        }
+    }
+
+    fn scalar(&mut self) {
+        for b in counted(0..self.blocks) {
+            let mut x: Vec<Tr<u32>> =
+                (0..16).map(|i| sc::load(&self.init, 16 * b + i)).collect();
+            for _round in counted(0..10) {
+                // Column rounds then diagonal rounds.
+                for (a, bb, c, d) in [
+                    (0, 4, 8, 12),
+                    (1, 5, 9, 13),
+                    (2, 6, 10, 14),
+                    (3, 7, 11, 15),
+                    (0, 5, 10, 15),
+                    (1, 6, 11, 12),
+                    (2, 7, 8, 13),
+                    (3, 4, 9, 14),
+                ] {
+                    x[a] = x[a] + x[bb];
+                    x[d] = (x[d] ^ x[a]).rotl(16);
+                    x[c] = x[c] + x[d];
+                    x[bb] = (x[bb] ^ x[c]).rotl(12);
+                    x[a] = x[a] + x[bb];
+                    x[d] = (x[d] ^ x[a]).rotl(8);
+                    x[c] = x[c] + x[d];
+                    x[bb] = (x[bb] ^ x[c]).rotl(7);
+                }
+            }
+            for i in counted(0..16) {
+                let ks = x[i] + sc::load(&self.init, 16 * b + i);
+                let o = ks ^ sc::load(&self.data, 16 * b + i);
+                sc::store(&mut self.out, 16 * b + i, o);
+            }
+        }
+    }
+
+    fn neon(&mut self, _w: Width) {
+        // The Neon ChaCha works on one block per 128-bit row register
+        // with EXT-based diagonalization; the in-register shuffles pin
+        // it to 128 bits (width-invariant, like real implementations).
+        let w = Width::W128;
+        for b in counted(0..self.blocks) {
+            let rows: Vec<Vreg<u32>> =
+                (0..4).map(|r| Vreg::<u32>::load(w, &self.init, 16 * b + 4 * r)).collect();
+            let (mut va, mut vb, mut vc, mut vd) =
+                (rows[0], rows[1], rows[2], rows[3]);
+            let qr = |a: Vreg<u32>, b: Vreg<u32>, c: Vreg<u32>, d: Vreg<u32>| {
+                let a = a.add(b);
+                let d = d.xor(a).rotl(16);
+                let c = c.add(d);
+                let b = b.xor(c).rotl(12);
+                let a = a.add(b);
+                let d = d.xor(a).rotl(8);
+                let c = c.add(d);
+                let b = b.xor(c).rotl(7);
+                (a, b, c, d)
+            };
+            for _round in counted(0..10) {
+                (va, vb, vc, vd) = qr(va, vb, vc, vd);
+                // Diagonalize.
+                vb = vb.ext(vb, 1);
+                vc = vc.ext(vc, 2);
+                vd = vd.ext(vd, 3);
+                (va, vb, vc, vd) = qr(va, vb, vc, vd);
+                // Un-diagonalize.
+                vb = vb.ext(vb, 3);
+                vc = vc.ext(vc, 2);
+                vd = vd.ext(vd, 1);
+            }
+            for (r, reg) in [va, vb, vc, vd].into_iter().enumerate() {
+                let ks = reg.add(Vreg::<u32>::load(w, &self.init, 16 * b + 4 * r));
+                let d = Vreg::<u32>::load(w, &self.data, 16 * b + 4 * r);
+                ks.xor(d).store(&mut self.out, 16 * b + 4 * r);
+            }
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.out.iter().map(|&v| v as f64).collect()
+    }
+}
+
+runnable!(ChaCha20State, auto = neon);
+
+swan_kernel!(
+    /// ChaCha20 stream cipher (boringssl `ChaCha20_ctr32`).
+    ChaCha20, ChaCha20State, {
+        name: "chacha20",
+        library: BS,
+        precision_bits: 32,
+        is_float: false,
+        auto: AutoOutcome::Vectorized(VsNeon::Worse),
+        obstacles: [],
+        patterns: [],
+        tolerance: 0.0,
+    }
+);
+
+// =====================================================================
+// sha256
+// =====================================================================
+
+/// SHA-256 round constants.
+const K256: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// SHA-256 initial hash values.
+const H256: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c,
+    0x1f83d9ab, 0x5be0cd19,
+];
+
+/// State for [`Sha256`].
+#[derive(Debug)]
+pub struct Sha256State {
+    /// Message as big-endian words, padded to whole 16-word blocks.
+    msg: Vec<u32>,
+    out: [u32; 8],
+}
+
+impl Sha256State {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let len = data_len(scale);
+        let mut r = rng(seed);
+        let mut bytes = gen_u8(&mut r, len);
+        // Standard padding.
+        let bit_len = (len as u64) * 8;
+        bytes.push(0x80);
+        while bytes.len() % 64 != 56 {
+            bytes.push(0);
+        }
+        bytes.extend_from_slice(&bit_len.to_be_bytes());
+        Sha256State { msg: be_words(&bytes), out: [0; 8] }
+    }
+
+    fn scalar(&mut self) {
+        let mut h: Vec<Tr<u32>> = H256.iter().map(|&v| sc::lit(v)).collect();
+        for blk in counted(0..self.msg.len() / 16) {
+            let mut w: Vec<Tr<u32>> =
+                (0..16).map(|t| sc::load(&self.msg, 16 * blk + t)).collect();
+            for t in counted(16..64) {
+                let s0 = w[t - 15].rotr(7) ^ w[t - 15].rotr(18) ^ (w[t - 15] >> 3);
+                let s1 = w[t - 2].rotr(17) ^ w[t - 2].rotr(19) ^ (w[t - 2] >> 10);
+                w.push(w[t - 16] + s0 + w[t - 7] + s1);
+            }
+            let mut v: Vec<Tr<u32>> = h.clone();
+            for t in counted(0..64) {
+                let s1 = v[4].rotr(6) ^ v[4].rotr(11) ^ v[4].rotr(25);
+                let ch = (v[4] & v[5]) ^ ((v[4] ^ 0xFFFF_FFFFu32) & v[6]);
+                let t1 = v[7] + s1 + ch + K256[t] + w[t];
+                let s0 = v[0].rotr(2) ^ v[0].rotr(13) ^ v[0].rotr(22);
+                let maj = (v[0] & v[1]) ^ (v[0] & v[2]) ^ (v[1] & v[2]);
+                let t2 = s0 + maj;
+                v = vec![t1 + t2, v[0], v[1], v[2], v[3] + t1, v[4], v[5], v[6]];
+            }
+            for i in counted(0..8) {
+                h[i] = h[i] + v[i];
+            }
+        }
+        for i in 0..8 {
+            self.out[i] = h[i].get();
+        }
+    }
+
+    fn neon(&mut self, _w: Width) {
+        // SHA-256 intrinsics operate on 128-bit state halves; the
+        // serial compression chain pins the kernel to 128 bits.
+        let w = Width::W128;
+        let mut abcd = Vreg::<u32>::from_lanes(w, &H256[..4]);
+        let mut efgh = Vreg::<u32>::from_lanes(w, &H256[4..]);
+        for blk in counted(0..self.msg.len() / 16) {
+            let mut sched: Vec<Vreg<u32>> = (0..4)
+                .map(|i| Vreg::<u32>::load(w, &self.msg, 16 * blk + 4 * i))
+                .collect();
+            for t in counted(4..16) {
+                let next = sched[t - 4]
+                    .sha256su0(sched[t - 3])
+                    .sha256su1(sched[t - 2], sched[t - 1]);
+                sched.push(next);
+            }
+            let (h0, h1) = (abcd, efgh);
+            for t in counted(0..16) {
+                let k = Vreg::<u32>::from_lanes(w, &K256[4 * t..4 * t + 4]);
+                let wk = sched[t].add(k);
+                let na = abcd.sha256h(efgh, wk);
+                let ne = efgh.sha256h2(abcd, wk);
+                abcd = na;
+                efgh = ne;
+            }
+            abcd = abcd.add(h0);
+            efgh = efgh.add(h1);
+        }
+        for i in 0..4 {
+            self.out[i] = abcd.lane_value(i);
+            self.out[4 + i] = efgh.lane_value(i);
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.out.iter().map(|&v| v as f64).collect()
+    }
+}
+
+runnable!(Sha256State, auto = scalar);
+
+swan_kernel!(
+    /// SHA-256 digest (boringssl `SHA256_Update`): pure scalar chain vs
+    /// the `SHA256H/SU` crypto extension.
+    Sha256, Sha256State, {
+        name: "sha256",
+        library: BS,
+        precision_bits: 32,
+        is_float: false,
+        auto: AutoOutcome::SameAsScalar,
+        obstacles: [OtherLegality],
+        patterns: [SequentialReduction],
+        tolerance: 0.0,
+    }
+);
+
+// =====================================================================
+// ghash_pmull
+// =====================================================================
+
+/// GF(2^128) reduction constant: `x^128 = x^7 + x^2 + x + 1`.
+const GF_POLY: u64 = 0x87;
+
+/// Host carry-less helpers for table generation and the reference.
+fn gf128_xtime(v: (u64, u64)) -> (u64, u64) {
+    let carry = v.1 >> 63;
+    let hi = (v.1 << 1) | (v.0 >> 63);
+    let lo = (v.0 << 1) ^ if carry != 0 { GF_POLY } else { 0 };
+    (lo, hi)
+}
+
+/// Reference GF(2^128) multiply, bit by bit (host helper).
+#[cfg(test)]
+fn gf128_mul_ref(a: (u64, u64), b: (u64, u64)) -> (u64, u64) {
+    let mut acc = (0u64, 0u64);
+    let mut ax = a;
+    for i in 0..128 {
+        let bit = if i < 64 { (b.0 >> i) & 1 } else { (b.1 >> (i - 64)) & 1 };
+        if bit == 1 {
+            acc.0 ^= ax.0;
+            acc.1 ^= ax.1;
+        }
+        ax = gf128_xtime(ax);
+    }
+    acc
+}
+
+/// State for [`GhashPmull`].
+#[derive(Debug)]
+pub struct GhashPmullState {
+    blocks: usize,
+    data: Vec<u64>,
+    h: (u64, u64),
+    /// 4-bit multiple table of `H` (`M[i] = i . H`), lo/hi interleaved.
+    m_lo: Vec<u64>,
+    m_hi: Vec<u64>,
+    /// Top-nibble reduction table: `R[j] = j . 0x87` folded at x^128.
+    red: Vec<u64>,
+    out: (u64, u64),
+}
+
+impl GhashPmullState {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let len = data_len(scale) / 8;
+        let mut r = rng(seed);
+        let data: Vec<u64> = (0..len).map(|_| rand::Rng::gen(&mut r)).collect();
+        let h = (rand::Rng::gen(&mut r), rand::Rng::gen(&mut r));
+        let mut m_lo = vec![0u64; 16];
+        let mut m_hi = vec![0u64; 16];
+        // Powers H, xH, x^2 H, x^3 H; M[i] = xor of set-bit powers.
+        let mut pw = [h; 4];
+        for i in 1..4 {
+            pw[i] = gf128_xtime(pw[i - 1]);
+        }
+        for i in 1..16usize {
+            let mut acc = (0u64, 0u64);
+            for (b, p) in pw.iter().enumerate() {
+                if (i >> b) & 1 == 1 {
+                    acc.0 ^= p.0;
+                    acc.1 ^= p.1;
+                }
+            }
+            m_lo[i] = acc.0;
+            m_hi[i] = acc.1;
+        }
+        let red = (0..16u64)
+            .map(|j| {
+                // (j << 128) mod P = clmul(j, 0x87), j < 16 so exact.
+                let mut v = 0u64;
+                for b in 0..4 {
+                    if (j >> b) & 1 == 1 {
+                        v ^= GF_POLY << b;
+                    }
+                }
+                v
+            })
+            .collect();
+        GhashPmullState {
+            blocks: len / 2,
+            data,
+            h,
+            m_lo,
+            m_hi,
+            red,
+            out: (0, 0),
+        }
+    }
+
+    fn scalar(&mut self) {
+        // 4-bit-table GHASH: per block, 32 nibble steps of
+        // shift + table lookups (§6.2's look-up-table pattern).
+        let mut y_lo = sc::lit(0u64);
+        let mut y_hi = sc::lit(0u64);
+        for b in counted(0..self.blocks) {
+            y_lo = y_lo ^ sc::load(&self.data, 2 * b);
+            y_hi = y_hi ^ sc::load(&self.data, 2 * b + 1);
+            let mut acc_lo = sc::lit(0u64);
+            let mut acc_hi = sc::lit(0u64);
+            for nib in counted(0..32u32) {
+                // acc = acc * x^4 (+ fold) then xor M[next nibble].
+                let top = acc_hi >> 60;
+                acc_hi = (acc_hi << 4) | (acc_lo >> 60);
+                acc_lo = acc_lo << 4;
+                let fold = sc::load_dep(&self.red, top.get() as usize, top);
+                acc_lo = acc_lo ^ fold;
+                let shift = 60 - 4 * (nib % 16);
+                let word = if nib < 16 { y_hi } else { y_lo };
+                let idx = (word >> shift) & 0xFu64;
+                acc_lo = acc_lo ^ sc::load_dep(&self.m_lo, idx.get() as usize, idx);
+                acc_hi = acc_hi ^ sc::load_dep(&self.m_hi, idx.get() as usize, idx);
+            }
+            y_lo = acc_lo;
+            y_hi = acc_hi;
+        }
+        self.out = (y_lo.get(), y_hi.get());
+    }
+
+    fn neon(&mut self, _w: Width) {
+        // PMULL Karatsuba-free 4-multiply product + two-stage fold.
+        let w = Width::W128;
+        let z = Vreg::<u64>::zero(w);
+        let hreg = Vreg::<u64>::from_lanes(w, &[self.h.0, self.h.1]);
+        let hswap = hreg.ext(hreg, 1);
+        let poly = Vreg::<u64>::splat(w, GF_POLY);
+        let mut y = Vreg::<u64>::zero(w);
+        for b in counted(0..self.blocks) {
+            let x = Vreg::<u64>::load(w, &self.data, 2 * b).xor(y);
+            let a = x.pmull_lo(hreg); // lo*lo
+            let c = x.pmull_hi(hreg); // hi*hi -> at x^128
+            let b1 = x.pmull_lo(hswap); // lo*hi -> at x^64
+            let b2 = x.pmull_hi(hswap); // hi*lo -> at x^64
+            let mid = b1.xor(b2);
+            // 256-bit product in two 128-bit halves.
+            let low = a.xor(z.ext(mid, 1)); // + mid_lo << 64
+            let high = c.xor(mid.ext(z, 1)); // + mid_hi
+            // Fold high 128 bits: * 0x87 at x^0 and x^64.
+            let t_lo = high.pmull_lo(poly); // <= 72 bits
+            let t_hi = high.pmull_hi(poly); // contributes at x^64
+            let mut res = low.xor(t_lo).xor(z.ext(t_hi, 1));
+            // Second fold: t_hi's high lane overflowed past x^128.
+            let over = t_hi.ext(z, 1); // [t_hi_hi, 0]
+            res = res.xor(over.pmull_lo(poly));
+            y = res;
+        }
+        self.out = (y.lane_value(0), y.lane_value(1));
+    }
+
+    fn out(&self) -> Vec<f64> {
+        // Split into u32 halves so f64 stays exact.
+        let (lo, hi) = self.out;
+        vec![
+            (lo & 0xFFFF_FFFF) as f64,
+            (lo >> 32) as f64,
+            (hi & 0xFFFF_FFFF) as f64,
+            (hi >> 32) as f64,
+        ]
+    }
+}
+
+runnable!(GhashPmullState, auto = scalar);
+
+swan_kernel!(
+    /// GHASH-style GF(2^128) MAC (boringssl `gcm_ghash`): 4-bit table
+    /// scalar vs `PMULL` vector. Plain (non-reflected) bit order.
+    GhashPmull, GhashPmullState, {
+        name: "ghash_pmull",
+        library: BS,
+        precision_bits: 64,
+        is_float: false,
+        auto: AutoOutcome::SameAsScalar,
+        obstacles: [IndirectMemoryAccess],
+        patterns: [RandomMemoryAccess],
+        tolerance: 0.0,
+    }
+);
+
+/// All four boringssl kernels.
+pub fn kernels() -> Vec<Box<dyn swan_core::Kernel>> {
+    vec![
+        Box::new(Aes128Ctr),
+        Box::new(ChaCha20),
+        Box::new(Sha256),
+        Box::new(GhashPmull),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swan_core::{verify_kernel, Scale};
+
+    #[test]
+    fn all_bs_kernels_verify() {
+        for k in kernels() {
+            verify_kernel(k.as_ref(), Scale::test(), 71).unwrap();
+        }
+    }
+
+    #[test]
+    fn chacha20_rfc8439_block() {
+        // RFC 8439 §2.3.2 test vector: key 00..1f, counter 1,
+        // nonce 00:00:00:09:00:00:00:4a:00:00:00:00.
+        let mut st = ChaCha20State::new(Scale::test(), 1);
+        st.blocks = 1;
+        let key: Vec<u32> = (0..8u32)
+            .map(|i| u32::from_le_bytes(std::array::from_fn(|j| (4 * i as u8) + j as u8)))
+            .collect();
+        st.init.clear();
+        st.init
+            .extend_from_slice(&[0x61707865, 0x3320646e, 0x79622d32, 0x6b206574]);
+        st.init.extend_from_slice(&key);
+        st.init.push(1);
+        st.init.extend_from_slice(&[0x09000000, 0x4a000000, 0x00000000]);
+        st.data = vec![0u32; 16];
+        st.out = vec![0u32; 16];
+        st.scalar();
+        // First words of the expected keystream block.
+        assert_eq!(st.out[0], 0xe4e7f110);
+        assert_eq!(st.out[1], 0x15593bd1);
+        let mut st2 = ChaCha20State::new(Scale::test(), 1);
+        st2.blocks = 1;
+        st2.init = st.init.clone();
+        st2.data = vec![0u32; 16];
+        st2.out = vec![0u32; 16];
+        st2.neon(Width::W128);
+        assert_eq!(st.out, st2.out);
+    }
+
+    #[test]
+    fn sha256_matches_crypto_extension() {
+        let mut a = Sha256State::new(Scale::test(), 5);
+        let mut b = Sha256State::new(Scale::test(), 5);
+        a.scalar();
+        b.neon(Width::W128);
+        assert_eq!(a.out, b.out);
+    }
+
+    #[test]
+    fn ghash_matches_bitwise_reference() {
+        let mut st = GhashPmullState::new(Scale::test(), 6);
+        st.blocks = 2;
+        st.scalar();
+        // Reference: Y = ((D0 . H) ^ D1) . H.
+        let d0 = (st.data[0], st.data[1]);
+        let d1 = (st.data[2], st.data[3]);
+        let y1 = gf128_mul_ref(d0, st.h);
+        let y2 = gf128_mul_ref((y1.0 ^ d1.0, y1.1 ^ d1.1), st.h);
+        assert_eq!(st.out, y2);
+        let mut st2 = GhashPmullState::new(Scale::test(), 6);
+        st2.blocks = 2;
+        st2.neon(Width::W128);
+        assert_eq!(st2.out, y2);
+    }
+}

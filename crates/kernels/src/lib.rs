@@ -1,0 +1,140 @@
+//! # swan-kernels — the 59 Swan data-parallel kernels
+//!
+//! One module per source library (paper Table 2), each providing the
+//! kernels' scalar and (fake-)Neon implementations, input generators,
+//! and metadata. [`all_kernels`] returns the full evaluated inventory
+//! (the §6.2 look-up-table overhead study lives in
+//! `lp::expand_palette`'s Neon path).
+
+#![warn(missing_docs)]
+
+pub mod bs;
+pub mod lj;
+pub mod lo;
+pub mod lp;
+pub mod lv;
+pub mod lw;
+pub mod or;
+pub mod pf;
+pub mod sk;
+pub mod wa;
+pub mod zl;
+pub mod xp;
+pub(crate) mod util;
+
+use swan_core::Kernel;
+
+/// The 59 evaluated kernels, grouped by library in Table 2 order.
+pub fn all_kernels() -> Vec<Box<dyn Kernel>> {
+    let mut v: Vec<Box<dyn Kernel>> = Vec::new();
+    v.extend(lj::kernels());
+    v.extend(lp::kernels());
+    v.extend(lw::kernels());
+    v.extend(sk::kernels());
+    v.extend(wa::kernels());
+    v.extend(pf::kernels());
+    v.extend(zl::kernels());
+    v.extend(bs::kernels());
+    v.extend(or::kernels());
+    v.extend(lo::kernels());
+    v.extend(lv::kernels());
+    v.extend(xp::kernels());
+    v
+}
+
+/// The evaluated kernels plus any eval-excluded case studies (none at
+/// present; reserved for extensions such as a standalone DES kernel).
+pub fn all_kernels_with_extras() -> Vec<Box<dyn Kernel>> {
+    all_kernels()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use swan_core::{AutoObstacle, AutoOutcome, Library, Pattern, VsNeon};
+
+    #[test]
+    fn inventory_has_59_kernels_with_unique_ids() {
+        let ks = all_kernels();
+        assert_eq!(ks.len(), 59, "the paper evaluates 59 kernels");
+        let ids: HashSet<String> = ks.iter().map(|k| k.meta().id()).collect();
+        assert_eq!(ids.len(), 59, "kernel ids must be unique");
+    }
+
+    #[test]
+    fn per_library_kernel_counts() {
+        let ks = all_kernels();
+        let count = |lib: Library| ks.iter().filter(|k| k.meta().library == lib).count();
+        assert_eq!(count(Library::LJ), 6);
+        assert_eq!(count(Library::LP), 5);
+        assert_eq!(count(Library::LW), 6);
+        assert_eq!(count(Library::SK), 5);
+        assert_eq!(count(Library::WA), 6);
+        assert_eq!(count(Library::PF), 3);
+        assert_eq!(count(Library::ZL), 2);
+        assert_eq!(count(Library::BS), 4);
+        assert_eq!(count(Library::OR), 4);
+        assert_eq!(count(Library::LO), 4);
+        assert_eq!(count(Library::LV), 6);
+        assert_eq!(count(Library::XP), 8);
+    }
+
+    #[test]
+    fn table4_outcome_counts_match_paper() {
+        let ks = all_kernels();
+        let mut same = 0;
+        let mut slower = 0;
+        let mut sim = 0;
+        let mut worse = 0;
+        let mut better = 0;
+        for k in &ks {
+            match k.meta().auto {
+                AutoOutcome::SameAsScalar => same += 1,
+                AutoOutcome::SlowerThanScalar => slower += 1,
+                AutoOutcome::Vectorized(VsNeon::Similar) => sim += 1,
+                AutoOutcome::Vectorized(VsNeon::Worse) => worse += 1,
+                AutoOutcome::Vectorized(VsNeon::Better) => better += 1,
+            }
+        }
+        // Paper Table 4: 34 / 2 / 23 and 6 / 12 / 5.
+        assert_eq!(same, 34);
+        assert_eq!(slower, 2);
+        assert_eq!((sim, worse, better), (6, 12, 5));
+    }
+
+    #[test]
+    fn obstacle_census_matches_section_5_2() {
+        let ks = all_kernels();
+        let count = |o: AutoObstacle| {
+            ks.iter().filter(|k| k.meta().obstacles.contains(&o)).count()
+        };
+        // Paper §5.2: 8 uncountable, 8 indirect, 9 PHI, 10 other, 12 cost model.
+        assert_eq!(count(AutoObstacle::UncountableLoop), 8);
+        assert_eq!(count(AutoObstacle::IndirectMemoryAccess), 8);
+        assert_eq!(count(AutoObstacle::LoopDependency), 9);
+        assert_eq!(count(AutoObstacle::OtherLegality), 10);
+        assert_eq!(count(AutoObstacle::CostModel), 12);
+        // Every failed kernel names at least one obstacle.
+        for k in &ks {
+            let m = k.meta();
+            if !matches!(m.auto, AutoOutcome::Vectorized(_)) {
+                assert!(!m.obstacles.is_empty(), "{} lacks an obstacle", m.id());
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_census_matches_section_6() {
+        let ks = all_kernels();
+        let count =
+            |p: Pattern| ks.iter().filter(|k| k.meta().patterns.contains(&p)).count();
+        // §6.1: 7 reduction kernels, 5 sequential reductions;
+        // §6.2: 7 look-up-table kernels; §6.4: 6 transposition kernels.
+        assert_eq!(count(Pattern::Reduction), 7);
+        assert_eq!(count(Pattern::SequentialReduction), 5);
+        assert_eq!(count(Pattern::RandomMemoryAccess), 7);
+        assert_eq!(count(Pattern::MatrixTransposition), 6);
+        assert!(count(Pattern::VectorApi) >= 9, "all WA + PF kernels");
+    }
+}

@@ -1,0 +1,674 @@
+//! `LJ` — libjpeg-turbo image-processing kernels: color-space
+//! conversion and chroma down/upsampling on interleaved 8-bit pixels
+//! of HD-width rows (§3.2).
+//!
+//! Arithmetic follows libjpeg's 16-bit fixed-point scheme; scalar and
+//! vector implementations are bit-exact against each other.
+
+use crate::util::{gen_u8, rng, runnable, swan_kernel};
+use swan_core::{AutoOutcome, Scale, VsNeon};
+use swan_simd::scalar::{self as sc, counted};
+use swan_simd::{Vreg, Width};
+
+/// Image width in pixels (HD width, constant so row-streaming behaviour
+/// matches the paper's inputs while `Scale` trims the row count).
+pub const COLS: usize = 1280;
+
+fn dims(scale: Scale) -> (usize, usize) {
+    (scale.dim(720, 16, 8), COLS)
+}
+
+// Fixed-point coefficients, FIX(x) = round(x * 65536).
+const C_Y_R: u16 = 19595; // 0.29900
+const C_Y_G: u16 = 38470; // 0.58700
+const C_Y_B: u16 = 7471; // 0.11400
+const C_CB_R: u16 = 11059; // 0.16874
+const C_CB_G: u16 = 21709; // 0.33126
+const C_HALF: u16 = 32768; // 0.50000
+const C_CR_G: u16 = 27439; // 0.41869
+const C_CR_B: u16 = 5329; // 0.08131
+const C_R_CR: i32 = 91881; // 1.40200
+const C_G_CB: i32 = 22554; // 0.34414
+const C_G_CR: i32 = 46802; // 0.71414
+const C_B_CB: i32 = 116130; // 1.77200
+/// 2^24 offset keeping chroma sums positive in u32; `(x + 2^24) >> 16`
+/// (logical) equals `(x >> 16) + 256` (arithmetic) for `|x| < 2^24`.
+const CHROMA_BIAS: u32 = 1 << 24;
+
+/// One u16 half-register worth of Y values (all-positive u32 MLA path).
+fn y_half(w: Width, r: Vreg<u16>, g: Vreg<u16>, b: Vreg<u16>) -> Vreg<u16> {
+    let cr = Vreg::<u16>::splat(w, C_Y_R);
+    let cg = Vreg::<u16>::splat(w, C_Y_G);
+    let cb = Vreg::<u16>::splat(w, C_Y_B);
+    let base = Vreg::<u32>::splat(w, 32768);
+    let lo = base
+        .mlal_lo_u16(r, cr)
+        .mlal_lo_u16(g, cg)
+        .mlal_lo_u16(b, cb)
+        .shr(16);
+    let hi = base
+        .mlal_hi_u16(r, cr)
+        .mlal_hi_u16(g, cg)
+        .mlal_hi_u16(b, cb)
+        .shr(16);
+    lo.narrow_u16(hi)
+}
+
+/// One u16 half-register of a chroma channel:
+/// `((plus*P - m1*M1 - m2*M2) >> 16) + 128` via the positive-bias trick.
+fn chroma_half(
+    w: Width,
+    plus: Vreg<u16>,
+    m1: Vreg<u16>,
+    m2: Vreg<u16>,
+    cp: u16,
+    c1: u16,
+    c2: u16,
+) -> Vreg<u16> {
+    let cp = Vreg::<u16>::splat(w, cp);
+    let c1 = Vreg::<u16>::splat(w, c1);
+    let c2 = Vreg::<u16>::splat(w, c2);
+    let base = Vreg::<u32>::splat(w, CHROMA_BIAS);
+    let off = Vreg::<u32>::splat(w, 128);
+    let lo = base
+        .mlal_lo_u16(plus, cp)
+        .mlsl_lo_u16(m1, c1)
+        .mlsl_lo_u16(m2, c2)
+        .shr(16)
+        .sub(off);
+    let hi = base
+        .mlal_hi_u16(plus, cp)
+        .mlsl_hi_u16(m1, c1)
+        .mlsl_hi_u16(m2, c2)
+        .shr(16)
+        .sub(off);
+    lo.narrow_u16(hi)
+}
+
+// =====================================================================
+// rgb_to_ycbcr
+// =====================================================================
+
+/// State for [`RgbToYcbcr`].
+#[derive(Debug)]
+pub struct RgbToYcbcrState {
+    rows: usize,
+    cols: usize,
+    rgb: Vec<u8>,
+    out: Vec<u8>,
+}
+
+impl RgbToYcbcrState {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let (rows, cols) = dims(scale);
+        let mut r = rng(seed);
+        RgbToYcbcrState {
+            rows,
+            cols,
+            rgb: gen_u8(&mut r, rows * cols * 3),
+            out: vec![0u8; rows * cols * 3],
+        }
+    }
+
+    fn scalar(&mut self) {
+        for i in counted(0..self.rows * self.cols) {
+            let r = sc::load(&self.rgb, 3 * i).cast::<i32>();
+            let g = sc::load(&self.rgb, 3 * i + 1).cast::<i32>();
+            let b = sc::load(&self.rgb, 3 * i + 2).cast::<i32>();
+            let y = (r * (C_Y_R as i32) + g * (C_Y_G as i32) + b * (C_Y_B as i32)
+                + 32768)
+                >> 16;
+            let cb = ((b * (C_HALF as i32) - r * (C_CB_R as i32) - g * (C_CB_G as i32))
+                >> 16)
+                + 128;
+            let cr = ((r * (C_HALF as i32) - g * (C_CR_G as i32) - b * (C_CR_B as i32))
+                >> 16)
+                + 128;
+            sc::store(&mut self.out, 3 * i, y.cast::<u8>());
+            sc::store(&mut self.out, 3 * i + 1, cb.cast::<u8>());
+            sc::store(&mut self.out, 3 * i + 2, cr.cast::<u8>());
+        }
+    }
+
+    fn neon(&mut self, w: Width) {
+        let n = w.lanes::<u8>();
+        for i in counted((0..self.rows * self.cols).step_by(n)) {
+            let [r8, g8, b8] = Vreg::<u8>::load3(w, &self.rgb, 3 * i);
+            let (rl, rh) = (r8.widen_lo_u16(), r8.widen_hi_u16());
+            let (gl, gh) = (g8.widen_lo_u16(), g8.widen_hi_u16());
+            let (bl, bh) = (b8.widen_lo_u16(), b8.widen_hi_u16());
+            let y = y_half(w, rl, gl, bl).narrow_u8(y_half(w, rh, gh, bh));
+            let cb = chroma_half(w, bl, rl, gl, C_HALF, C_CB_R, C_CB_G)
+                .narrow_u8(chroma_half(w, bh, rh, gh, C_HALF, C_CB_R, C_CB_G));
+            let cr = chroma_half(w, rl, gl, bl, C_HALF, C_CR_G, C_CR_B)
+                .narrow_u8(chroma_half(w, rh, gh, bh, C_HALF, C_CR_G, C_CR_B));
+            Vreg::store3(&[y, cb, cr], &mut self.out, 3 * i);
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.out.iter().map(|&b| b as f64).collect()
+    }
+}
+
+runnable!(RgbToYcbcrState, auto = neon);
+
+swan_kernel!(
+    /// RGB→YCbCr color conversion (libjpeg `rgb_ycc_convert`).
+    RgbToYcbcr, RgbToYcbcrState, {
+        name: "rgb_to_ycbcr",
+        library: LJ,
+        precision_bits: 8,
+        is_float: false,
+        auto: AutoOutcome::Vectorized(VsNeon::Worse),
+        obstacles: [],
+        patterns: [StridedMemoryAccess],
+        tolerance: 0.0,
+    }
+);
+
+// =====================================================================
+// ycbcr_to_rgb
+// =====================================================================
+
+/// State for [`YcbcrToRgb`].
+#[derive(Debug)]
+pub struct YcbcrToRgbState {
+    rows: usize,
+    cols: usize,
+    ycc: Vec<u8>,
+    out: Vec<u8>,
+}
+
+/// One i32 quarter-register of `y + (c * d) >> 16` clamped to u8 range
+/// later; `d` is a chroma value minus 128.
+fn upscale_q(y: Vreg<i32>, d: Vreg<i32>, c: i32) -> Vreg<i32> {
+    let coef = Vreg::<i32>::splat(y.width(), c);
+    y.add(d.mul(coef).shr(16))
+}
+
+impl YcbcrToRgbState {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let (rows, cols) = dims(scale);
+        let mut r = rng(seed);
+        YcbcrToRgbState {
+            rows,
+            cols,
+            ycc: gen_u8(&mut r, rows * cols * 3),
+            out: vec![0u8; rows * cols * 3],
+        }
+    }
+
+    fn scalar(&mut self) {
+        for i in counted(0..self.rows * self.cols) {
+            let y = sc::load(&self.ycc, 3 * i).cast::<i32>();
+            let cb = sc::load(&self.ycc, 3 * i + 1).cast::<i32>() - 128i32;
+            let cr = sc::load(&self.ycc, 3 * i + 2).cast::<i32>() - 128i32;
+            let r = y + ((cr * C_R_CR) >> 16);
+            let g = y - ((cb * C_G_CB + cr * C_G_CR) >> 16);
+            let b = y + ((cb * C_B_CB) >> 16);
+            let clamp =
+                |v: swan_simd::Tr<i32>| v.max(sc::lit(0)).min(sc::lit(255)).cast::<u8>();
+            sc::store(&mut self.out, 3 * i, clamp(r));
+            sc::store(&mut self.out, 3 * i + 1, clamp(g));
+            sc::store(&mut self.out, 3 * i + 2, clamp(b));
+        }
+    }
+
+    fn neon(&mut self, w: Width) {
+        let n = w.lanes::<u8>();
+        for i in counted((0..self.rows * self.cols).step_by(n)) {
+            let [y8, cb8, cr8] = Vreg::<u8>::load3(w, &self.ycc, 3 * i);
+            let off = Vreg::<u16>::splat(w, 128);
+            // Per u16 half: y stays unsigned; chroma gets centered.
+            let halves: Vec<(Vreg<u16>, Vreg<u16>, Vreg<u16>)> = vec![
+                (y8.widen_lo_u16(), cb8.widen_lo_u16().sub(off), cr8.widen_lo_u16().sub(off)),
+                (y8.widen_hi_u16(), cb8.widen_hi_u16().sub(off), cr8.widen_hi_u16().sub(off)),
+            ];
+            let mut rgb16: Vec<[Vreg<i16>; 3]> = Vec::with_capacity(2);
+            for (y16, cb16, cr16) in halves {
+                // Quarters in i32 (chroma is sign-correct: the u16
+                // subtraction wrapped, so reinterpret as i16 first).
+                let q = |v: Vreg<u16>, lo: bool| {
+                    let s = v.reinterpret_i16();
+                    if lo {
+                        s.widen_lo_i32()
+                    } else {
+                        s.widen_hi_i32()
+                    }
+                };
+                let mut parts: [[Vreg<i32>; 2]; 3] =
+                    [[Vreg::<i32>::zero(w); 2]; 3];
+                for (k, lo) in [(0usize, true), (1usize, false)] {
+                    let yq = q(y16, lo);
+                    let cbq = q(cb16, lo);
+                    let crq = q(cr16, lo);
+                    parts[0][k] = upscale_q(yq, crq, C_R_CR);
+                    let g = yq.sub(
+                        cbq.mul(Vreg::<i32>::splat(w, C_G_CB))
+                            .mla(crq, Vreg::<i32>::splat(w, C_G_CR))
+                            .shr(16),
+                    );
+                    parts[1][k] = g;
+                    parts[2][k] = upscale_q(yq, cbq, C_B_CB);
+                }
+                rgb16.push([
+                    parts[0][0].narrow_sat_i16(parts[0][1]),
+                    parts[1][0].narrow_sat_i16(parts[1][1]),
+                    parts[2][0].narrow_sat_i16(parts[2][1]),
+                ]);
+            }
+            let r = rgb16[0][0].narrow_sat_u8_from_i16(rgb16[1][0]);
+            let g = rgb16[0][1].narrow_sat_u8_from_i16(rgb16[1][1]);
+            let b = rgb16[0][2].narrow_sat_u8_from_i16(rgb16[1][2]);
+            Vreg::store3(&[r, g, b], &mut self.out, 3 * i);
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.out.iter().map(|&b| b as f64).collect()
+    }
+}
+
+runnable!(YcbcrToRgbState, auto = neon);
+
+swan_kernel!(
+    /// YCbCr→RGB color conversion with saturation (libjpeg
+    /// `ycc_rgb_convert`).
+    YcbcrToRgb, YcbcrToRgbState, {
+        name: "ycbcr_to_rgb",
+        library: LJ,
+        precision_bits: 8,
+        is_float: false,
+        auto: AutoOutcome::Vectorized(VsNeon::Worse),
+        obstacles: [],
+        patterns: [StridedMemoryAccess],
+        tolerance: 0.0,
+    }
+);
+
+// =====================================================================
+// downsample h2v1 / h2v2
+// =====================================================================
+
+/// State shared by the two downsampling kernels.
+#[derive(Debug)]
+pub struct DownsampleState<const V2: bool> {
+    rows: usize,
+    cols: usize,
+    img: Vec<u8>,
+    out: Vec<u8>,
+}
+
+impl<const V2: bool> DownsampleState<V2> {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let (rows, cols) = dims(scale);
+        let mut r = rng(seed);
+        DownsampleState {
+            rows,
+            cols,
+            img: gen_u8(&mut r, rows * cols),
+            out: vec![0u8; rows * cols / if V2 { 4 } else { 2 }],
+        }
+    }
+
+    fn scalar(&mut self) {
+        let (rows, cols) = (self.rows, self.cols);
+        let ocols = cols / 2;
+        let orows = if V2 { rows / 2 } else { rows };
+        for r in counted(0..orows) {
+            // libjpeg alternates the rounding bias along the row; the
+            // bias lives in a variable initialized before the loop —
+            // the paper's PHI-node auto-vectorization failure (§5.2).
+            let mut bias = if V2 { 1u32 } else { 0u32 };
+            for c in counted(0..ocols) {
+                let v = if V2 {
+                    let r0 = 2 * r * cols + 2 * c;
+                    let r1 = (2 * r + 1) * cols + 2 * c;
+                    let s = sc::load(&self.img, r0).cast::<u32>()
+                        + sc::load(&self.img, r0 + 1).cast::<u32>()
+                        + sc::load(&self.img, r1).cast::<u32>()
+                        + sc::load(&self.img, r1 + 1).cast::<u32>();
+                    (s + bias) >> 2
+                } else {
+                    let p = r * cols + 2 * c;
+                    let s = sc::load(&self.img, p).cast::<u32>()
+                        + sc::load(&self.img, p + 1).cast::<u32>();
+                    (s + bias) >> 1
+                };
+                sc::store(&mut self.out, r * ocols + c, v.cast::<u8>());
+                bias = if V2 { 3 - bias } else { 1 - bias };
+            }
+        }
+    }
+
+    fn neon(&mut self, w: Width) {
+        let (rows, cols) = (self.rows, self.cols);
+        let ocols = cols / 2;
+        let orows = if V2 { rows / 2 } else { rows };
+        let n8 = w.lanes::<u8>(); // outputs per iteration
+        // Alternating bias as a constant vector (how the Neon kernels
+        // sidestep the PHI dependency). Lane counts are even, so both
+        // u16 halves see the same even/odd pattern.
+        let b0 = if V2 { 1u16 } else { 0 };
+        let b1 = if V2 { 2u16 } else { 1 };
+        let bias_pat: Vec<u16> = (0..w.lanes::<u16>())
+            .map(|i| if i % 2 == 0 { b0 } else { b1 })
+            .collect();
+        let bias = Vreg::<u16>::from_lanes(w, &bias_pat);
+        let shift = if V2 { 2 } else { 1 };
+        for r in counted(0..orows) {
+            for c in counted((0..ocols).step_by(n8)) {
+                let sum = if V2 {
+                    let [e0, o0] =
+                        Vreg::<u8>::load2(w, &self.img, 2 * r * cols + 2 * c);
+                    let [e1, o1] =
+                        Vreg::<u8>::load2(w, &self.img, (2 * r + 1) * cols + 2 * c);
+                    let s0 = e0.widen_lo_u16().add(o0.widen_lo_u16());
+                    let s0h = e0.widen_hi_u16().add(o0.widen_hi_u16());
+                    let s1 = e1.widen_lo_u16().add(o1.widen_lo_u16());
+                    let s1h = e1.widen_hi_u16().add(o1.widen_hi_u16());
+                    [s0.add(s1), s0h.add(s1h)]
+                } else {
+                    let [e, o] = Vreg::<u8>::load2(w, &self.img, r * cols + 2 * c);
+                    [
+                        e.widen_lo_u16().add(o.widen_lo_u16()),
+                        e.widen_hi_u16().add(o.widen_hi_u16()),
+                    ]
+                };
+                let lo = sum[0].add(bias).shr(shift);
+                let hi = sum[1].add(bias).shr(shift);
+                lo.narrow_u8(hi).store(&mut self.out, r * ocols + c);
+            }
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.out.iter().map(|&b| b as f64).collect()
+    }
+}
+
+runnable!(DownsampleState<false>, auto = scalar);
+runnable!(DownsampleState<true>, auto = scalar);
+
+swan_kernel!(
+    /// 2:1 horizontal chroma downsampling (libjpeg `h2v1_downsample`).
+    DownsampleH2v1, DownsampleState<false>, {
+        name: "downsample_h2v1",
+        library: LJ,
+        precision_bits: 8,
+        is_float: false,
+        auto: AutoOutcome::SameAsScalar,
+        obstacles: [LoopDependency],
+        patterns: [StridedMemoryAccess],
+        tolerance: 0.0,
+    }
+);
+
+swan_kernel!(
+    /// 2:2 box chroma downsampling (libjpeg `h2v2_downsample`).
+    DownsampleH2v2, DownsampleState<true>, {
+        name: "downsample_h2v2",
+        library: LJ,
+        precision_bits: 8,
+        is_float: false,
+        auto: AutoOutcome::SameAsScalar,
+        obstacles: [LoopDependency],
+        patterns: [StridedMemoryAccess],
+        tolerance: 0.0,
+    }
+);
+
+// =====================================================================
+// upsample h2v1 / h2v2
+// =====================================================================
+
+/// State shared by the two fancy-upsampling kernels.
+#[derive(Debug)]
+pub struct UpsampleState<const V2: bool> {
+    rows: usize,
+    cols: usize,
+    img: Vec<u8>,
+    out: Vec<u8>,
+}
+
+impl<const V2: bool> UpsampleState<V2> {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let (rows, cols) = dims(scale);
+        let cols = cols / 2; // input is the downsampled chroma plane
+        let mut r = rng(seed);
+        UpsampleState {
+            rows,
+            cols,
+            img: gen_u8(&mut r, rows * cols),
+            out: vec![0u8; rows * cols * 2],
+        }
+    }
+
+    /// Triangular-filter row upsample into `out[row]`, scalar.
+    fn scalar_row(&mut self, row_in: &[u32; 2], r: usize) {
+        // row_in = (base offset of current row, offset of near row);
+        // for h2v1 both are the same row. tmp = 3*cur + near.
+        let cols = self.cols;
+        let ocols = 2 * cols;
+        let (shift, r1, r2) = if V2 { (4u32, 8u32, 7u32) } else { (2, 2, 1) };
+        for c in counted(0..cols) {
+            let cur = sc::load(&self.img, row_in[0] as usize + c).cast::<u32>();
+            let near = sc::load(&self.img, row_in[1] as usize + c).cast::<u32>();
+            let t = if V2 { cur * 3u32 + near } else { cur };
+            let prev_c = c.saturating_sub(1);
+            let next_c = (c + 1).min(cols - 1);
+            let tp = {
+                let cur = sc::load(&self.img, row_in[0] as usize + prev_c).cast::<u32>();
+                let near = sc::load(&self.img, row_in[1] as usize + prev_c).cast::<u32>();
+                if V2 {
+                    cur * 3u32 + near
+                } else {
+                    cur
+                }
+            };
+            let tn = {
+                let cur = sc::load(&self.img, row_in[0] as usize + next_c).cast::<u32>();
+                let near = sc::load(&self.img, row_in[1] as usize + next_c).cast::<u32>();
+                if V2 {
+                    cur * 3u32 + near
+                } else {
+                    cur
+                }
+            };
+            let even = (t * 3u32 + tp + r1) >> shift;
+            let odd = (t * 3u32 + tn + r2) >> shift;
+            sc::store(&mut self.out, r * ocols + 2 * c, even.cast::<u8>());
+            sc::store(&mut self.out, r * ocols + 2 * c + 1, odd.cast::<u8>());
+        }
+    }
+
+    fn scalar(&mut self) {
+        for r in counted(0..self.rows) {
+            let base = (r * self.cols) as u32;
+            let near = if V2 {
+                let nr = if r == 0 { 0 } else { r - 1 };
+                (nr * self.cols) as u32
+            } else {
+                base
+            };
+            self.scalar_row(&[base, near], r);
+        }
+    }
+
+    fn neon(&mut self, w: Width) {
+        let cols = self.cols;
+        let ocols = 2 * cols;
+        let n = w.lanes::<u16>(); // tmp values per iteration (u16 math)
+        let (shift, r1v, r2v) = if V2 { (4u32, 8u16, 7u16) } else { (2, 2, 1) };
+        let rnd1 = Vreg::<u16>::splat(w, r1v);
+        let rnd2 = Vreg::<u16>::splat(w, r2v);
+        let three = Vreg::<u16>::splat(w, 3);
+        for r in counted(0..self.rows) {
+            let base = r * cols;
+            let nearb = if V2 {
+                (if r == 0 { 0 } else { r - 1 }) * cols
+            } else {
+                base
+            };
+            // tmp row in u16: 3*cur + near (or cur for h2v1).
+            let mut tmp = vec![0u16; cols];
+            for c in counted((0..cols).step_by(2 * n)) {
+                let cur = Vreg::<u8>::load(w, &self.img, base + c);
+                let near = Vreg::<u8>::load(w, &self.img, nearb + c);
+                let (lo, hi) = if V2 {
+                    (
+                        near.widen_lo_u16().mla(cur.widen_lo_u16(), three),
+                        near.widen_hi_u16().mla(cur.widen_hi_u16(), three),
+                    )
+                } else {
+                    (cur.widen_lo_u16(), cur.widen_hi_u16())
+                };
+                lo.store(&mut tmp, c);
+                hi.store(&mut tmp, c + n);
+            }
+            // Horizontal pass on tmp with shifted neighbours.
+            for c in counted((0..cols).step_by(n)) {
+                let t = Vreg::<u16>::load(w, &tmp, c);
+                let t3 = t.mul(three);
+                let tp = if c == 0 {
+                    // Edge rule: the first column's left neighbour is
+                    // itself.
+                    t.dup_lane(0).ext(t, n - 1)
+                } else {
+                    Vreg::<u16>::load(w, &tmp, c - n).ext(t, n - 1)
+                };
+                let tn = if c + n >= cols {
+                    t.ext(t.dup_lane(n - 1), 1)
+                } else {
+                    t.ext(Vreg::<u16>::load(w, &tmp, c + n), 1)
+                };
+                let even = t3.add(tp).add(rnd1).shr(shift);
+                let odd = t3.add(tn).add(rnd2).shr(shift);
+                // Interleave even/odd u16 results, then narrow the two
+                // interleaved halves into one full u8 register.
+                let zl = even.zip_lo(odd);
+                let zh = even.zip_hi(odd);
+                zl.narrow_u8(zh).store(&mut self.out, r * ocols + 2 * c);
+            }
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.out.iter().map(|&b| b as f64).collect()
+    }
+}
+
+runnable!(UpsampleState<false>, auto = neon);
+runnable!(UpsampleState<true>, auto = scalar);
+
+swan_kernel!(
+    /// Fancy 1:2 horizontal chroma upsampling (libjpeg
+    /// `h2v1_fancy_upsample`).
+    UpsampleH2v1, UpsampleState<false>, {
+        name: "upsample_h2v1",
+        library: LJ,
+        precision_bits: 8,
+        is_float: false,
+        auto: AutoOutcome::Vectorized(VsNeon::Similar),
+        obstacles: [],
+        patterns: [StridedMemoryAccess],
+        tolerance: 0.0,
+    }
+);
+
+swan_kernel!(
+    /// Fancy 2:2 chroma upsampling (libjpeg `h2v2_fancy_upsample`).
+    UpsampleH2v2, UpsampleState<true>, {
+        name: "upsample_h2v2",
+        library: LJ,
+        precision_bits: 8,
+        is_float: false,
+        auto: AutoOutcome::SameAsScalar,
+        obstacles: [OtherLegality, CostModel],
+        patterns: [StridedMemoryAccess],
+        tolerance: 0.0,
+    }
+);
+
+/// All six libjpeg-turbo kernels.
+pub fn kernels() -> Vec<Box<dyn swan_core::Kernel>> {
+    vec![
+        Box::new(RgbToYcbcr),
+        Box::new(YcbcrToRgb),
+        Box::new(DownsampleH2v1),
+        Box::new(DownsampleH2v2),
+        Box::new(UpsampleH2v1),
+        Box::new(UpsampleH2v2),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swan_core::{verify_kernel, Kernel, Scale};
+
+    #[test]
+    fn all_lj_kernels_verify() {
+        for k in kernels() {
+            verify_kernel(k.as_ref(), Scale::test(), 7).unwrap();
+        }
+    }
+
+    #[test]
+    fn y_matches_float_reference() {
+        let mut st = RgbToYcbcrState::new(Scale::test(), 1);
+        st.scalar();
+        for i in 0..64 {
+            let (r, g, b) = (
+                st.rgb[3 * i] as f64,
+                st.rgb[3 * i + 1] as f64,
+                st.rgb[3 * i + 2] as f64,
+            );
+            let y_ref = 0.299 * r + 0.587 * g + 0.114 * b;
+            assert!(
+                (st.out[3 * i] as f64 - y_ref).abs() <= 1.0,
+                "pixel {i}: {} vs {y_ref}",
+                st.out[3 * i]
+            );
+        }
+    }
+
+    #[test]
+    fn color_round_trip_is_close() {
+        // RGB -> YCbCr -> RGB must be within a couple of codes.
+        let fwd = RgbToYcbcr.instantiate(Scale::test(), 3);
+        let mut f = RgbToYcbcrState::new(Scale::test(), 3);
+        f.scalar();
+        let mut back = YcbcrToRgbState::new(Scale::test(), 3);
+        back.ycc.copy_from_slice(&f.out);
+        back.scalar();
+        let mut worst = 0i32;
+        for i in 0..f.rgb.len() {
+            worst = worst.max((f.rgb[i] as i32 - back.out[i] as i32).abs());
+        }
+        assert!(worst <= 3, "round-trip error {worst}");
+        drop(fwd);
+    }
+
+    #[test]
+    fn downsample_h2v1_averages() {
+        let mut st = DownsampleState::<false>::new(Scale::test(), 2);
+        st.scalar();
+        let a = st.img[0] as u32;
+        let b = st.img[1] as u32;
+        assert_eq!(st.out[0] as u32, (a + b) >> 1);
+    }
+
+    #[test]
+    fn upsample_doubles_width() {
+        let mut st = UpsampleState::<false>::new(Scale::test(), 2);
+        let px = st.img.len();
+        st.scalar();
+        assert_eq!(st.out.len(), 2 * px);
+        // Interior even output: (3*cur + prev + 2) >> 2.
+        let c = 10;
+        let expect = (3 * st.img[c] as u32 + st.img[c - 1] as u32 + 2) >> 2;
+        assert_eq!(st.out[2 * c] as u32, expect);
+    }
+}

@@ -1,0 +1,423 @@
+//! `LO` — libopus kernels: SILK fixed-point LPC synthesis and ARMA
+//! shaping filters, plus the CELT pitch and frequency autocorrelations.
+//!
+//! The filters carry a true recurrence (each output feeds the next
+//! 16 samples), so their vector form parallelizes across the *taps*
+//! (an inner product per sample), not across samples — the paper's
+//! explanation for LO's modest 2.2x speedup and heavy use of vector
+//! register-manipulation instructions (Figure 1).
+
+use crate::util::{gen_f32, gen_i16, rng, runnable, swan_kernel, tree_reduce_add};
+use swan_core::{AutoOutcome, Scale};
+use swan_simd::scalar::{self as sc, counted};
+use swan_simd::{Vreg, Width};
+
+fn sample_count(scale: Scale) -> usize {
+    scale.dim(44100, 2048, 512)
+}
+
+// =====================================================================
+// lpc_filter
+// =====================================================================
+
+/// LPC order (SILK uses 10-16; 16 aligns with vector registers).
+pub const LPC_ORDER: usize = 16;
+
+/// State for [`LpcFilter`].
+#[derive(Debug)]
+pub struct LpcFilterState {
+    n: usize,
+    input: Vec<i16>,
+    coefs: Vec<i16>, // Q12
+    /// Output with `LPC_ORDER` zero-history samples in front.
+    out: Vec<i16>,
+}
+
+impl LpcFilterState {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let n = sample_count(scale);
+        let mut r = rng(seed);
+        // Keep the filter stable-ish: small coefficients.
+        LpcFilterState {
+            n,
+            input: gen_i16(&mut r, n, 8192),
+            coefs: gen_i16(&mut r, LPC_ORDER, 400),
+            out: vec![0i16; n + LPC_ORDER],
+        }
+    }
+
+    fn scalar(&mut self) {
+        let mut out = std::mem::take(&mut self.out);
+        for i in counted(0..self.n) {
+            let mut acc = sc::lit(0i32);
+            for k in counted(0..LPC_ORDER) {
+                let h = sc::load(&out, LPC_ORDER + i - 1 - k).cast::<i32>();
+                let c = sc::load(&self.coefs, k).cast::<i32>();
+                acc = h.mul_add(c, acc);
+            }
+            let v = (sc::load(&self.input, i).cast::<i32>() + (acc >> 12))
+                .max(sc::lit(-32768))
+                .min(sc::lit(32767));
+            sc::store(&mut out, LPC_ORDER + i, v.cast::<i16>());
+        }
+        self.out = out;
+    }
+
+    fn neon(&mut self, w: Width) {
+        // Vectorize across the 16 taps: one inner product per sample.
+        // 16 i16 taps fill one 256-bit register; wider widths gain
+        // nothing (the recurrence is serial) — width-capped like the
+        // real SILK NEON code.
+        let w = w.min(Width::W256);
+        let lanes = w.lanes::<i16>();
+        let chunks = LPC_ORDER / lanes;
+        // Reversed coefficients so history loads are contiguous:
+        // out[i-1-k]*c[k] = rev_c[j]*hist[j] with j = ORDER-1-k.
+        let rev: Vec<i16> = (0..LPC_ORDER)
+            .map(|j| self.coefs[LPC_ORDER - 1 - j])
+            .collect();
+        let crevs: Vec<Vreg<i16>> = (0..chunks)
+            .map(|c| Vreg::<i16>::from_lanes(w, &rev[c * lanes..(c + 1) * lanes]))
+            .collect();
+        let mut out = std::mem::take(&mut self.out);
+        for i in counted(0..self.n) {
+            let mut acc = Vreg::<i32>::zero(w);
+            for (c, crev) in crevs.iter().enumerate() {
+                let h = Vreg::<i16>::load(w, &out, i + c * lanes);
+                acc = acc.mlal_lo_i16(h, *crev).mlal_hi_i16(h, *crev);
+            }
+            let sum = tree_reduce_add(acc);
+            let v = (sc::load(&self.input, i).cast::<i32>() + (sum >> 12))
+                .max(sc::lit(-32768))
+                .min(sc::lit(32767));
+            sc::store(&mut out, LPC_ORDER + i, v.cast::<i16>());
+        }
+        self.out = out;
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.out.iter().map(|&v| v as f64).collect()
+    }
+}
+
+runnable!(LpcFilterState, auto = scalar);
+
+swan_kernel!(
+    /// SILK LPC synthesis filter (libopus `silk_LPC_synthesis_filter`).
+    LpcFilter, LpcFilterState, {
+        name: "lpc_filter",
+        library: LO,
+        precision_bits: 16,
+        is_float: false,
+        auto: AutoOutcome::SameAsScalar,
+        obstacles: [LoopDependency, UncountableLoop],
+        patterns: [SequentialReduction],
+        tolerance: 0.0,
+    }
+);
+
+// =====================================================================
+// arma_filter
+// =====================================================================
+
+/// ARMA order per side.
+pub const ARMA_ORDER: usize = 8;
+
+/// State for [`ArmaFilter`].
+#[derive(Debug)]
+pub struct ArmaFilterState {
+    n: usize,
+    input: Vec<f32>,
+    b: Vec<f32>,
+    a: Vec<f32>,
+    out: Vec<f32>,
+}
+
+impl ArmaFilterState {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let n = sample_count(scale);
+        let mut r = rng(seed);
+        ArmaFilterState {
+            n,
+            input: gen_f32(&mut r, n + ARMA_ORDER, 1.0),
+            b: gen_f32(&mut r, ARMA_ORDER, 0.3),
+            a: gen_f32(&mut r, ARMA_ORDER, 0.04),
+            out: vec![0.0f32; n + ARMA_ORDER],
+        }
+    }
+
+    fn scalar(&mut self) {
+        let mut out = std::mem::take(&mut self.out);
+        for i in counted(0..self.n) {
+            let mut acc = sc::load(&self.input, i + ARMA_ORDER);
+            for k in counted(0..ARMA_ORDER) {
+                let x = sc::load(&self.input, i + ARMA_ORDER - 1 - k);
+                acc = x.mul_add(sc::load(&self.b, k), acc);
+            }
+            for k in counted(0..ARMA_ORDER) {
+                let y = sc::load(&out, i + ARMA_ORDER - 1 - k);
+                acc = (-y).mul_add(sc::load(&self.a, k), acc);
+            }
+            sc::store(&mut out, i + ARMA_ORDER, acc);
+        }
+        self.out = out;
+    }
+
+    fn neon(&mut self, w: Width) {
+        // Taps fit a 256-bit register (8 f32); the recurrence caps the
+        // usable width as with the LPC filter.
+        let w = w.min(Width::W256);
+        let lanes = w.lanes::<f32>();
+        let chunks = ARMA_ORDER / lanes;
+        let rev =
+            |c: &[f32]| -> Vec<f32> { (0..ARMA_ORDER).map(|j| c[ARMA_ORDER - 1 - j]).collect() };
+        let (brev, arev) = (rev(&self.b), rev(&self.a));
+        let bregs: Vec<Vreg<f32>> = (0..chunks)
+            .map(|c| Vreg::<f32>::from_lanes(w, &brev[c * lanes..(c + 1) * lanes]))
+            .collect();
+        let aregs: Vec<Vreg<f32>> = (0..chunks)
+            .map(|c| Vreg::<f32>::from_lanes(w, &arev[c * lanes..(c + 1) * lanes]))
+            .collect();
+        let mut out = std::mem::take(&mut self.out);
+        for i in counted(0..self.n) {
+            let mut acc = Vreg::<f32>::zero(w);
+            for c in 0..chunks {
+                let x = Vreg::<f32>::load(w, &self.input, i + c * lanes);
+                acc = acc.mla(x, bregs[c]);
+                let y = Vreg::<f32>::load(w, &out, i + c * lanes);
+                acc = acc.mls(y, aregs[c]);
+            }
+            // Scalar epilogue: reduce + add the direct path. The
+            // reduction order differs from scalar, hence the tolerance.
+            let sum = tree_reduce_add(acc);
+            let v = sc::load(&self.input, i + ARMA_ORDER) + sum;
+            sc::store(&mut out, i + ARMA_ORDER, v);
+        }
+        self.out = out;
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.out.iter().map(|&v| v as f64).collect()
+    }
+}
+
+runnable!(ArmaFilterState, auto = scalar);
+
+swan_kernel!(
+    /// Biquad-cascade style ARMA shaping filter (libopus
+    /// `silk_biquad_alt` family, float build).
+    ArmaFilter, ArmaFilterState, {
+        name: "arma_filter",
+        library: LO,
+        precision_bits: 32,
+        is_float: true,
+        auto: AutoOutcome::SameAsScalar,
+        obstacles: [LoopDependency],
+        patterns: [SequentialReduction],
+        tolerance: 2e-2,
+    }
+);
+
+// =====================================================================
+// pitch_corr
+// =====================================================================
+
+/// Number of correlation lags.
+pub const PITCH_LAGS: usize = 24;
+
+/// State for [`PitchCorr`].
+#[derive(Debug)]
+pub struct PitchCorrState {
+    n: usize,
+    x: Vec<i16>,
+    y: Vec<i16>,
+    out: Vec<i32>,
+}
+
+impl PitchCorrState {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let n = sample_count(scale);
+        let mut r = rng(seed);
+        PitchCorrState {
+            n,
+            x: gen_i16(&mut r, n, 90),
+            y: gen_i16(&mut r, n + PITCH_LAGS, 90),
+            out: vec![0i32; PITCH_LAGS],
+        }
+    }
+
+    fn scalar(&mut self) {
+        for lag in counted(0..PITCH_LAGS) {
+            let mut acc = sc::lit(0i32);
+            for i in counted(0..self.n) {
+                let a = sc::load(&self.x, i).cast::<i32>();
+                let b = sc::load(&self.y, i + lag).cast::<i32>();
+                acc = a.mul_add(b, acc);
+            }
+            sc::store(&mut self.out, lag, acc);
+        }
+    }
+
+    fn neon(&mut self, w: Width) {
+        let lanes = w.lanes::<i16>();
+        for lag in counted(0..PITCH_LAGS) {
+            // Intra-reduction parallelism with widening MACs; this is
+            // the Figure 5(a) LO representative.
+            let mut acc = Vreg::<i32>::zero(w);
+            for i in counted((0..self.n).step_by(lanes)) {
+                let a = Vreg::<i16>::load(w, &self.x, i);
+                let b = Vreg::<i16>::load(w, &self.y, i + lag);
+                acc = acc.mlal_lo_i16(a, b).mlal_hi_i16(a, b);
+            }
+            sc::store(&mut self.out, lag, tree_reduce_add(acc));
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.out.iter().map(|&v| v as f64).collect()
+    }
+}
+
+runnable!(PitchCorrState, auto = scalar);
+
+swan_kernel!(
+    /// Pitch cross-correlation (libopus `celt_pitch_xcorr`), the
+    /// Figure 5(a) LO representative.
+    PitchCorr, PitchCorrState, {
+        name: "pitch_corr",
+        library: LO,
+        precision_bits: 16,
+        is_float: false,
+        auto: AutoOutcome::SameAsScalar,
+        obstacles: [CostModel],
+        patterns: [Reduction],
+        tolerance: 0.0,
+    }
+);
+
+// =====================================================================
+// freq_autocorr
+// =====================================================================
+
+/// Autocorrelation lags.
+pub const AUTO_LAGS: usize = 17;
+
+/// State for [`FreqAutocorr`].
+#[derive(Debug)]
+pub struct FreqAutocorrState {
+    n: usize,
+    x: Vec<f32>,
+    out: Vec<f32>,
+}
+
+impl FreqAutocorrState {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let n = sample_count(scale);
+        let mut r = rng(seed);
+        FreqAutocorrState {
+            n,
+            x: gen_f32(&mut r, n + AUTO_LAGS, 1.0),
+            out: vec![0.0f32; AUTO_LAGS],
+        }
+    }
+
+    fn scalar(&mut self) {
+        for lag in counted(0..AUTO_LAGS) {
+            let mut acc = sc::lit(0.0f32);
+            for i in counted(0..self.n) {
+                let a = sc::load(&self.x, i);
+                let b = sc::load(&self.x, i + lag);
+                acc = a.mul_add(b, acc);
+            }
+            sc::store(&mut self.out, lag, acc);
+        }
+    }
+
+    fn neon(&mut self, w: Width) {
+        let lanes = w.lanes::<f32>();
+        for lag in counted(0..AUTO_LAGS) {
+            let mut acc = Vreg::<f32>::zero(w);
+            for i in counted((0..self.n).step_by(lanes)) {
+                let a = Vreg::<f32>::load(w, &self.x, i);
+                let b = Vreg::<f32>::load(w, &self.x, i + lag);
+                acc = acc.mla(a, b);
+            }
+            sc::store(&mut self.out, lag, tree_reduce_add(acc));
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.out.iter().map(|&v| v as f64).collect()
+    }
+}
+
+runnable!(FreqAutocorrState, auto = scalar);
+
+swan_kernel!(
+    /// Windowed autocorrelation for noise shaping (libopus
+    /// `silk_autocorr`, float build).
+    FreqAutocorr, FreqAutocorrState, {
+        name: "freq_autocorr",
+        library: LO,
+        precision_bits: 32,
+        is_float: true,
+        auto: AutoOutcome::SameAsScalar,
+        obstacles: [OtherLegality],
+        patterns: [Reduction],
+        tolerance: 1e-3,
+    }
+);
+
+/// All four libopus kernels.
+pub fn kernels() -> Vec<Box<dyn swan_core::Kernel>> {
+    vec![
+        Box::new(LpcFilter),
+        Box::new(ArmaFilter),
+        Box::new(PitchCorr),
+        Box::new(FreqAutocorr),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swan_core::{verify_kernel, Scale};
+
+    #[test]
+    fn all_lo_kernels_verify() {
+        for k in kernels() {
+            verify_kernel(k.as_ref(), Scale::test(), 91).unwrap();
+        }
+    }
+
+    #[test]
+    fn pitch_corr_lag_zero_is_energy() {
+        let mut st = PitchCorrState::new(Scale::test(), 2);
+        st.scalar();
+        let expect: i64 = (0..st.n)
+            .map(|i| st.x[i] as i64 * st.y[i] as i64)
+            .sum();
+        assert_eq!(st.out[0] as i64, expect);
+    }
+
+    #[test]
+    fn lpc_zero_coefs_pass_through() {
+        let mut st = LpcFilterState::new(Scale::test(), 3);
+        st.coefs.fill(0);
+        st.scalar();
+        for i in 0..64 {
+            assert_eq!(st.out[LPC_ORDER + i], st.input[i]);
+        }
+    }
+
+    #[test]
+    fn arma_identity_when_all_zero() {
+        let mut st = ArmaFilterState::new(Scale::test(), 4);
+        st.a.fill(0.0);
+        st.b.fill(0.0);
+        st.scalar();
+        for i in 0..64 {
+            assert_eq!(st.out[ARMA_ORDER + i], st.input[ARMA_ORDER + i]);
+        }
+    }
+}

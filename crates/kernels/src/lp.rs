@@ -1,0 +1,496 @@
+//! `LP` — libpng kernels: indexed-color palette expansion and the four
+//! PNG row defilters (Sub, Up, Avg, Paeth) on RGBA rows.
+//!
+//! The defilters carry the serial pixel-to-pixel dependency of the PNG
+//! format; their vector implementations use the same in-register
+//! techniques as libpng's Neon code (prefix-sum shifts for Sub,
+//! pixel-stepped halving adds for Avg, if-converted predictor selection
+//! for Paeth), so the limited vector speedup the paper reports for LP
+//! emerges from real dependence chains.
+
+use crate::util::{gen_u8, rng, runnable, swan_kernel};
+use swan_core::{AutoOutcome, Scale, VsNeon};
+use swan_simd::scalar::{self as sc, counted};
+use swan_simd::{Vreg, Width};
+
+/// Bytes per pixel (RGBA).
+pub const BPP: usize = 4;
+/// Row width in pixels (HD width).
+pub const COLS: usize = 1280;
+
+fn dims(scale: Scale) -> (usize, usize) {
+    (scale.dim(720, 16, 8), COLS)
+}
+
+// =====================================================================
+// expand_palette
+// =====================================================================
+
+/// State for [`ExpandPalette`].
+#[derive(Debug)]
+pub struct ExpandPaletteState {
+    rows: usize,
+    cols: usize,
+    idx: Vec<u8>,
+    /// Raw palette bytes (kept for inspection/tests).
+    #[allow(dead_code)]
+    palette: Vec<u8>,
+    palette32: Vec<u32>,
+    out: Vec<u32>,
+}
+
+impl ExpandPaletteState {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let (rows, cols) = dims(scale);
+        let mut r = rng(seed);
+        let palette = gen_u8(&mut r, 256 * BPP);
+        let palette32 = palette
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        ExpandPaletteState {
+            rows,
+            cols,
+            idx: gen_u8(&mut r, rows * cols),
+            palette,
+            palette32,
+            out: vec![0u32; rows * cols],
+        }
+    }
+
+    fn scalar(&mut self) {
+        // The classic `A[B[i]]` look-up-table loop (§6.2): one indexed
+        // word load per pixel.
+        for i in counted(0..self.rows * self.cols) {
+            let k = sc::load(&self.idx, i);
+            // Indexed load: the address depends on the key (gather).
+            let px = sc::load(&self.palette32, k.get() as usize);
+            sc::store(&mut self.out, i, px);
+        }
+    }
+
+    fn neon(&mut self, w: Width) {
+        // Arm Neon has no gather: export each key to a scalar
+        // register, do the table load, and re-insert (§6.2's costly
+        // pattern). The kernel keeps the wide stores.
+        let n = w.lanes::<u8>();
+        let n32 = w.lanes::<u32>();
+        for i in counted((0..self.rows * self.cols).step_by(n)) {
+            let keys = Vreg::<u8>::load(w, &self.idx, i);
+            for chunk in 0..n / n32 {
+                let mut px = Vreg::<u32>::zero(w);
+                for lane in 0..n32 {
+                    let k = keys.get_lane(chunk * n32 + lane);
+                    let v = sc::load(&self.palette32, k.get() as usize);
+                    px = px.set_lane(lane, v);
+                }
+                px.store(&mut self.out, i + chunk * n32);
+            }
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.out.iter().map(|&b| b as f64).collect()
+    }
+}
+
+runnable!(ExpandPaletteState, auto = scalar);
+
+swan_kernel!(
+    /// Indexed-color to RGBA palette expansion (libpng
+    /// `png_do_expand_palette`).
+    ExpandPalette, ExpandPaletteState, {
+        name: "expand_palette",
+        library: LP,
+        precision_bits: 8,
+        is_float: false,
+        auto: AutoOutcome::SameAsScalar,
+        obstacles: [IndirectMemoryAccess],
+        patterns: [RandomMemoryAccess],
+        tolerance: 0.0,
+    }
+);
+
+// =====================================================================
+// Row filters
+// =====================================================================
+
+/// Which PNG filter a state implements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Filter {
+    /// `Recon(x) = Raw(x) + Recon(a)`.
+    Sub,
+    /// `Recon(x) = Raw(x) + Recon(b)`.
+    Up,
+    /// `Recon(x) = Raw(x) + floor((Recon(a) + Recon(b)) / 2)`.
+    Avg,
+    /// `Recon(x) = Raw(x) + Paeth(Recon(a), Recon(b), Recon(c))`.
+    Paeth,
+}
+
+/// Scalar Paeth predictor with the format's tie-breaking order,
+/// written branch-free-hostile (nested data-dependent branches), as
+/// libpng's C code is.
+fn paeth_scalar(
+    a: swan_simd::Tr<i32>,
+    b: swan_simd::Tr<i32>,
+    c: swan_simd::Tr<i32>,
+) -> swan_simd::Tr<i32> {
+    let p = a + b - c;
+    let pa = p.abd(a);
+    let pb = p.abd(b);
+    let pc = p.abd(c);
+    if pa.le_branch(pb) && pa.le_branch(pc) {
+        a
+    } else if pb.le_branch(pc) {
+        b
+    } else {
+        c
+    }
+}
+
+/// State for the four filter kernels.
+#[derive(Debug)]
+pub struct FilterState<const F: u8> {
+    rows: usize,
+    rowbytes: usize,
+    raw: Vec<u8>,
+    out: Vec<u8>,
+}
+
+impl<const F: u8> FilterState<F> {
+    const FILTER: Filter = match F {
+        0 => Filter::Sub,
+        1 => Filter::Up,
+        2 => Filter::Avg,
+        _ => Filter::Paeth,
+    };
+
+    fn new(scale: Scale, seed: u64) -> Self {
+        let (rows, cols) = dims(scale);
+        let rowbytes = cols * BPP;
+        let mut r = rng(seed);
+        FilterState {
+            rows,
+            rowbytes,
+            raw: gen_u8(&mut r, rows * rowbytes),
+            out: vec![0u8; rows * rowbytes],
+        }
+    }
+
+    fn scalar(&mut self) {
+        let rb = self.rowbytes;
+        let mut out = std::mem::take(&mut self.out);
+        for r in counted(0..self.rows) {
+            for i in counted(0..rb) {
+                let x = sc::load(&self.raw, r * rb + i).cast::<i32>();
+                let a = if i >= BPP {
+                    sc::load(&out, r * rb + i - BPP).cast::<i32>()
+                } else {
+                    sc::lit(0)
+                };
+                let b = if r > 0 {
+                    sc::load(&out, (r - 1) * rb + i).cast::<i32>()
+                } else {
+                    sc::lit(0)
+                };
+                let v = match Self::FILTER {
+                    Filter::Sub => x + a,
+                    Filter::Up => x + b,
+                    Filter::Avg => x + ((a + b) >> 1),
+                    Filter::Paeth => {
+                        let c = if r > 0 && i >= BPP {
+                            sc::load(&out, (r - 1) * rb + i - BPP).cast::<i32>()
+                        } else {
+                            sc::lit(0)
+                        };
+                        x + paeth_scalar(a, b, c)
+                    }
+                };
+                sc::store(&mut out, r * rb + i, (v & 0xff).cast::<u8>());
+            }
+        }
+        self.out = out;
+    }
+
+    fn neon(&mut self, w: Width) {
+        match Self::FILTER {
+            Filter::Sub => self.neon_sub(w),
+            Filter::Up => self.neon_up(w),
+            Filter::Avg => self.neon_avg(w),
+            Filter::Paeth => self.neon_paeth(w),
+        }
+    }
+
+    /// Sub: in-register prefix sum at pixel granularity plus a carried
+    /// broadcast of the previous chunk's last pixel.
+    fn neon_sub(&mut self, w: Width) {
+        let rb = self.rowbytes;
+        let n = w.lanes::<u8>();
+        let n32 = w.lanes::<u32>();
+        let mut out = std::mem::take(&mut self.out);
+        for r in counted(0..self.rows) {
+            let mut carry = Vreg::<u8>::zero(w);
+            for c in counted((0..rb).step_by(n)) {
+                let x = Vreg::<u8>::load(w, &self.raw, r * rb + c);
+                let z = Vreg::<u8>::zero(w);
+                let mut v = x;
+                let mut sh = BPP;
+                while sh < n {
+                    v = v.add(z.ext(v, n - sh));
+                    sh *= 2;
+                }
+                v = v.add(carry);
+                v.store(&mut out, r * rb + c);
+                // Broadcast the last pixel for the next chunk.
+                carry = v.bitcast_u32().dup_lane(n32 - 1).bitcast_u8();
+            }
+        }
+        self.out = out;
+    }
+
+    /// Up: embarrassingly parallel row addition.
+    fn neon_up(&mut self, w: Width) {
+        let rb = self.rowbytes;
+        let n = w.lanes::<u8>();
+        let mut out = std::mem::take(&mut self.out);
+        for r in counted(0..self.rows) {
+            for c in counted((0..rb).step_by(n)) {
+                let x = Vreg::<u8>::load(w, &self.raw, r * rb + c);
+                let v = if r > 0 {
+                    x.add(Vreg::<u8>::load(w, &out, (r - 1) * rb + c))
+                } else {
+                    x
+                };
+                v.store(&mut out, r * rb + c);
+            }
+        }
+        self.out = out;
+    }
+
+    /// Avg: pixel-stepped within each chunk (the serial dependency is
+    /// fundamental), using halving adds and per-pixel selects.
+    fn neon_avg(&mut self, w: Width) {
+        let rb = self.rowbytes;
+        let n = w.lanes::<u8>();
+        let n32 = w.lanes::<u32>();
+        let px_per_chunk = n / BPP;
+        let masks = pixel_masks(w);
+        let mut out = std::mem::take(&mut self.out);
+        for r in counted(0..self.rows) {
+            let mut left = Vreg::<u8>::zero(w);
+            for c in counted((0..rb).step_by(n)) {
+                let x = Vreg::<u8>::load(w, &self.raw, r * rb + c);
+                let prior = if r > 0 {
+                    Vreg::<u8>::load(w, &out, (r - 1) * rb + c)
+                } else {
+                    Vreg::<u8>::zero(w)
+                };
+                let mut rec = Vreg::<u8>::zero(w);
+                for j in 0..px_per_chunk {
+                    let avg = left.hadd(prior);
+                    let sum = x.add(avg);
+                    rec = masks[j].bsl(sum, rec);
+                    left = rec.bitcast_u32().dup_lane(j).bitcast_u8();
+                }
+                let _ = n32;
+                rec.store(&mut out, r * rb + c);
+            }
+        }
+        self.out = out;
+    }
+
+    /// Paeth: pixel-stepped with the if-converted predictor (abs-diff
+    /// compares + bitwise selects), as in libpng's Neon filter.
+    fn neon_paeth(&mut self, w: Width) {
+        let rb = self.rowbytes;
+        let n = w.lanes::<u8>();
+        let n32 = w.lanes::<u32>();
+        let px_per_chunk = n / BPP;
+        let masks = pixel_masks(w);
+        let mut out = std::mem::take(&mut self.out);
+        for r in counted(0..self.rows) {
+            let mut left = Vreg::<u8>::zero(w);
+            let mut upleft = Vreg::<u8>::zero(w);
+            for c in counted((0..rb).step_by(n)) {
+                let x = Vreg::<u8>::load(w, &self.raw, r * rb + c);
+                let prior = if r > 0 {
+                    Vreg::<u8>::load(w, &out, (r - 1) * rb + c)
+                } else {
+                    Vreg::<u8>::zero(w)
+                };
+                let mut rec = Vreg::<u8>::zero(w);
+                for j in 0..px_per_chunk {
+                    let pred = paeth_vector(left, prior, upleft);
+                    let sum = x.add(pred);
+                    rec = masks[j].bsl(sum, rec);
+                    left = rec.bitcast_u32().dup_lane(j).bitcast_u8();
+                    // The next pixel's above-left is this pixel's above.
+                    upleft = prior.bitcast_u32().dup_lane(j).bitcast_u8();
+                }
+                let _ = n32;
+                rec.store(&mut out, r * rb + c);
+            }
+        }
+        self.out = out;
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.out.iter().map(|&b| b as f64).collect()
+    }
+}
+
+/// One all-ones mask per pixel position within a chunk (constant
+/// tables, loaded once per kernel invocation).
+fn pixel_masks(w: Width) -> Vec<Vreg<u8>> {
+    let n = w.lanes::<u8>();
+    (0..n / BPP)
+        .map(|j| {
+            let lanes: Vec<u8> = (0..n)
+                .map(|i| if i / BPP == j { 0xff } else { 0 })
+                .collect();
+            Vreg::<u8>::from_lanes(w, &lanes)
+        })
+        .collect()
+}
+
+/// If-converted Paeth predictor on whole registers (only the lanes of
+/// the current pixel are ultimately used), entirely in the u8 domain
+/// as libpng's Neon filter does: `pa = |b-c|`, `pb = |a-c|`, and
+/// `pc = |(b-c)+(a-c)|` rebuilt from the distances' signs, so no
+/// widening is needed. Matches the scalar tie-breaking order: prefer
+/// `a`, then `b`, then `c`. Saturating `pa+pb` is safe: a clipped `pc`
+/// can never win or lose a comparison it would not have anyway.
+fn paeth_vector(a: Vreg<u8>, b: Vreg<u8>, c: Vreg<u8>) -> Vreg<u8> {
+    let pa = b.abd(c);
+    let pb = a.abd(c);
+    // (b-c) and (a-c) have equal signs iff (b>=c) == (a>=c).
+    let same_sign = b.ge_mask(c).xor(a.ge_mask(c)).not();
+    let pc = same_sign.bsl(pa.sat_add(pb), pa.abd(pb));
+    let a_best = pa.gt_mask(pb).or(pa.gt_mask(pc)).not();
+    let b_or_c = pc.lt_mask(pb).bsl(c, b);
+    a_best.bsl(a, b_or_c)
+}
+
+runnable!(FilterState<0>, auto = scalar);
+runnable!(FilterState<1>, auto = neon);
+runnable!(FilterState<2>, auto = scalar);
+runnable!(FilterState<3>, auto = scalar);
+
+swan_kernel!(
+    /// PNG Sub defilter, 4 bpp (libpng `png_read_filter_row_sub4`).
+    FilterSub, FilterState<0>, {
+        name: "filter_sub",
+        library: LP,
+        precision_bits: 8,
+        is_float: false,
+        auto: AutoOutcome::SameAsScalar,
+        obstacles: [LoopDependency],
+        patterns: [],
+        tolerance: 0.0,
+    }
+);
+
+swan_kernel!(
+    /// PNG Up defilter (libpng `png_read_filter_row_up`).
+    FilterUp, FilterState<1>, {
+        name: "filter_up",
+        library: LP,
+        precision_bits: 8,
+        is_float: false,
+        auto: AutoOutcome::Vectorized(VsNeon::Better),
+        obstacles: [],
+        patterns: [],
+        tolerance: 0.0,
+    }
+);
+
+swan_kernel!(
+    /// PNG Average defilter (libpng `png_read_filter_row_avg4`).
+    FilterAvg, FilterState<2>, {
+        name: "filter_avg",
+        library: LP,
+        precision_bits: 8,
+        is_float: false,
+        auto: AutoOutcome::SameAsScalar,
+        obstacles: [LoopDependency, CostModel],
+        patterns: [],
+        tolerance: 0.0,
+    }
+);
+
+swan_kernel!(
+    /// PNG Paeth defilter (libpng `png_read_filter_row_paeth4`).
+    FilterPaeth, FilterState<3>, {
+        name: "filter_paeth",
+        library: LP,
+        precision_bits: 8,
+        is_float: false,
+        auto: AutoOutcome::SameAsScalar,
+        obstacles: [LoopDependency, OtherLegality],
+        patterns: [],
+        tolerance: 0.0,
+    }
+);
+
+/// All five libpng kernels.
+pub fn kernels() -> Vec<Box<dyn swan_core::Kernel>> {
+    vec![
+        Box::new(ExpandPalette),
+        Box::new(FilterSub),
+        Box::new(FilterUp),
+        Box::new(FilterAvg),
+        Box::new(FilterPaeth),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swan_core::{verify_kernel, Scale};
+
+    #[test]
+    fn all_lp_kernels_verify() {
+        for k in kernels() {
+            verify_kernel(k.as_ref(), Scale::test(), 11).unwrap();
+        }
+    }
+
+    #[test]
+    fn sub_filter_reference() {
+        let mut st = FilterState::<0>::new(Scale::test(), 5);
+        st.scalar();
+        let rb = st.rowbytes;
+        // Reference: plain wrapping prefix per channel.
+        for i in 0..rb {
+            let expect = if i >= BPP {
+                st.raw[i].wrapping_add(st.out[i - BPP])
+            } else {
+                st.raw[i]
+            };
+            assert_eq!(st.out[i], expect, "byte {i}");
+        }
+    }
+
+    #[test]
+    fn paeth_predictor_cases() {
+        use swan_simd::scalar::lit;
+        // Known Paeth behaviour: ties prefer a, then b.
+        let p = paeth_scalar(lit(10), lit(10), lit(10));
+        assert_eq!(p.get(), 10);
+        let p = paeth_scalar(lit(1), lit(200), lit(100));
+        // p = 1+200-100 = 101; pa=100, pb=99, pc=1 -> c.
+        assert_eq!(p.get(), 100);
+    }
+
+    #[test]
+    fn palette_lookup_matches() {
+        let mut st = ExpandPaletteState::new(Scale::test(), 9);
+        st.scalar();
+        for i in 0..64 {
+            let k = st.idx[i] as usize;
+            assert_eq!(st.out[i], st.palette32[k]);
+            assert_eq!(st.out[i].to_le_bytes()[0], st.palette[4 * k]);
+        }
+    }
+}

@@ -1,0 +1,637 @@
+//! `LV` — libvpx video-codec kernels: forward/inverse 8x8 DCT (with the
+//! paper's §6.4 in-register matrix transposition), sum-of-absolute-
+//! differences, coefficient quantization, residual computation and
+//! bidirectional prediction averaging.
+//!
+//! SAD is one of the Figure 5(a) representatives: it reads 16-pixel
+//! rows of a two-dimensional block, so wider registers need per-row
+//! packing and barely profit (§7.1).
+
+use crate::util::{gen_i16, gen_u8, rng, runnable, swan_kernel};
+use swan_core::{AutoOutcome, Scale, VsNeon};
+use swan_simd::scalar::{self as sc, counted};
+use swan_simd::{Tr, Vreg, Width};
+
+/// DCT block edge.
+pub const DCT: usize = 8;
+/// SAD block edge.
+pub const SAD_BLK: usize = 16;
+
+fn block_count(scale: Scale) -> usize {
+    scale.dim(3600, 16, 8)
+}
+
+/// Q13 DCT-II basis matrix `C[u][x]` (orthonormal scaling).
+fn dct_matrix() -> [[i16; DCT]; DCT] {
+    let mut c = [[0i16; DCT]; DCT];
+    for (u, row) in c.iter_mut().enumerate() {
+        let cu = if u == 0 {
+            (1.0f64 / 2.0f64.sqrt()) * 0.5
+        } else {
+            0.5
+        };
+        for (x, v) in row.iter_mut().enumerate() {
+            let ang = (2 * x + 1) as f64 * u as f64 * std::f64::consts::PI / 16.0;
+            *v = (cu * ang.cos() * 8192.0).round() as i16;
+        }
+    }
+    c
+}
+
+/// In-register 8x8 i16 transpose: three rounds of TRN at 16/32/64-bit
+/// granularity (24 permute instructions, §6.4).
+fn transpose8x8(r: [Vreg<i16>; 8]) -> [Vreg<i16>; 8] {
+    // 16-bit pairs.
+    let mut t = [r[0]; 8];
+    for i in 0..4 {
+        t[2 * i] = r[2 * i].trn1(r[2 * i + 1]);
+        t[2 * i + 1] = r[2 * i].trn2(r[2 * i + 1]);
+    }
+    // 32-bit pairs (free bitcasts around 32-bit TRN).
+    let mut s = [t[0]; 8];
+    let t32: Vec<_> = t.iter().map(|v| v.reinterpret_u16().bitcast_u32()).collect();
+    let pair32 = |a: usize, b: usize| {
+        (
+            t32[a].trn1(t32[b]).bitcast_u16().reinterpret_i16(),
+            t32[a].trn2(t32[b]).bitcast_u16().reinterpret_i16(),
+        )
+    };
+    (s[0], s[2]) = pair32(0, 2);
+    (s[1], s[3]) = pair32(1, 3);
+    (s[4], s[6]) = pair32(4, 6);
+    (s[5], s[7]) = pair32(5, 7);
+    // 64-bit pairs.
+    let s64: Vec<_> = s.iter().map(|v| v.reinterpret_u16().bitcast_u64()).collect();
+    let pair64 = |a: usize, b: usize| {
+        (
+            s64[a].trn1(s64[b]).bitcast_u16().reinterpret_i16(),
+            s64[a].trn2(s64[b]).bitcast_u16().reinterpret_i16(),
+        )
+    };
+    let mut o = [s[0]; 8];
+    (o[0], o[4]) = pair64(0, 4);
+    (o[1], o[5]) = pair64(1, 5);
+    (o[2], o[6]) = pair64(2, 6);
+    (o[3], o[7]) = pair64(3, 7);
+    o
+}
+
+/// One vectorized column-DCT pass: `out[u][x] = (Σ_r in[r][x]·C[u][r]
+/// + 4096) >> 13`, lanewise over x.
+fn col_pass(rows: &[Vreg<i16>; 8], mat: &[[i16; DCT]; DCT], w: Width) -> [Vreg<i16>; 8] {
+    std::array::from_fn(|u| {
+        let mut lo = Vreg::<i32>::splat(w, 4096);
+        let mut hi = Vreg::<i32>::splat(w, 4096);
+        for (r, row) in rows.iter().enumerate() {
+            let c = Vreg::<i16>::splat(w, mat[u][r]);
+            lo = lo.mlal_lo_i16(*row, c);
+            hi = hi.mlal_hi_i16(*row, c);
+        }
+        lo.shr(13).narrow_sat_i16(hi.shr(13))
+    })
+}
+
+/// Shared state for the two DCT kernels (`INV` selects the transpose
+/// of the basis, i.e. the inverse transform).
+#[derive(Debug)]
+pub struct DctState<const INV: bool> {
+    blocks: usize,
+    input: Vec<i16>,
+    mat: [[i16; DCT]; DCT],
+    out: Vec<i16>,
+}
+
+impl<const INV: bool> DctState<INV> {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let blocks = block_count(scale);
+        let mut r = rng(seed);
+        let fwd = dct_matrix();
+        let mat = if INV {
+            let mut t = [[0i16; DCT]; DCT];
+            for u in 0..DCT {
+                for x in 0..DCT {
+                    t[u][x] = fwd[x][u];
+                }
+            }
+            t
+        } else {
+            fwd
+        };
+        DctState {
+            blocks,
+            input: gen_i16(&mut r, blocks * DCT * DCT, if INV { 2040 } else { 255 }),
+            mat,
+            out: vec![0i16; blocks * DCT * DCT],
+        }
+    }
+
+    /// Scalar column pass with identical arithmetic to the vector one.
+    fn scalar_pass(&self, inp: &[Tr<i32>; 64]) -> [Tr<i32>; 64] {
+        let mut out = [sc::lit(0i32); 64];
+        for x in counted(0..DCT) {
+            for u in counted(0..DCT) {
+                let mut acc = sc::lit(4096i32);
+                for r in 0..DCT {
+                    acc = inp[r * DCT + x].mul_add(sc::lit(self.mat[u][r] as i32), acc);
+                }
+                // Match the vector narrow's saturation.
+                out[u * DCT + x] =
+                    (acc >> 13).max(sc::lit(-32768)).min(sc::lit(32767));
+            }
+        }
+        out
+    }
+
+    fn scalar(&mut self) {
+        for b in counted(0..self.blocks) {
+            let base = b * DCT * DCT;
+            let mut v: [Tr<i32>; 64] = [sc::lit(0i32); 64];
+            for i in counted(0..64) {
+                v[i] = sc::load(&self.input, base + i).cast::<i32>();
+            }
+            let p1 = self.scalar_pass(&v);
+            // Transpose (index permutation; no instructions).
+            let t1: [Tr<i32>; 64] =
+                std::array::from_fn(|i| p1[(i % DCT) * DCT + i / DCT]);
+            let p2 = self.scalar_pass(&t1);
+            for i in counted(0..64) {
+                let t = p2[(i % DCT) * DCT + i / DCT];
+                sc::store(&mut self.out, base + i, t.cast::<i16>());
+            }
+        }
+    }
+
+    fn neon(&mut self, _w: Width) {
+        // The 8x8 tiles pin the kernel to 128-bit rows (8 x i16).
+        let w = Width::W128;
+        for b in counted(0..self.blocks) {
+            let base = b * DCT * DCT;
+            let rows: [Vreg<i16>; 8] =
+                std::array::from_fn(|r| Vreg::<i16>::load(w, &self.input, base + r * DCT));
+            let p1 = col_pass(&rows, &self.mat, w);
+            let t1 = transpose8x8(p1);
+            let p2 = col_pass(&t1, &self.mat, w);
+            let t2 = transpose8x8(p2);
+            for (r, reg) in t2.iter().enumerate() {
+                reg.store(&mut self.out, base + r * DCT);
+            }
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.out.iter().map(|&v| v as f64).collect()
+    }
+}
+
+runnable!(DctState<false>, auto = scalar);
+runnable!(DctState<true>, auto = scalar);
+
+swan_kernel!(
+    /// Forward 8x8 DCT (libvpx `vpx_fdct8x8`).
+    Fdct8x8, DctState<false>, {
+        name: "fdct8x8",
+        library: LV,
+        precision_bits: 16,
+        is_float: false,
+        auto: AutoOutcome::SameAsScalar,
+        obstacles: [CostModel],
+        patterns: [MatrixTransposition],
+        tolerance: 0.0,
+    }
+);
+
+swan_kernel!(
+    /// Inverse 8x8 DCT (libvpx `vpx_idct8x8`).
+    Idct8x8, DctState<true>, {
+        name: "idct8x8",
+        library: LV,
+        precision_bits: 16,
+        is_float: false,
+        auto: AutoOutcome::SameAsScalar,
+        obstacles: [CostModel],
+        patterns: [MatrixTransposition],
+        tolerance: 0.0,
+    }
+);
+
+// =====================================================================
+// sad16x16
+// =====================================================================
+
+/// State for [`Sad16x16`].
+#[derive(Debug)]
+pub struct SadState {
+    blocks: usize,
+    src: Vec<u8>,
+    reference: Vec<u8>,
+    out: Vec<u32>,
+}
+
+impl SadState {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let blocks = block_count(scale);
+        let mut r = rng(seed);
+        SadState {
+            blocks,
+            src: gen_u8(&mut r, blocks * SAD_BLK * SAD_BLK),
+            reference: gen_u8(&mut r, blocks * SAD_BLK * SAD_BLK),
+            out: vec![0u32; blocks],
+        }
+    }
+
+    fn scalar(&mut self) {
+        for b in counted(0..self.blocks) {
+            let base = b * SAD_BLK * SAD_BLK;
+            let mut acc = sc::lit(0u32);
+            for i in counted(0..SAD_BLK * SAD_BLK) {
+                let s = sc::load(&self.src, base + i).cast::<u32>();
+                let r = sc::load(&self.reference, base + i).cast::<u32>();
+                acc = acc + s.abd(r);
+            }
+            sc::store(&mut self.out, b, acc);
+        }
+    }
+
+    fn neon(&mut self, w: Width) {
+        // Rows are 16 bytes: at 128 bits one load per row; wider
+        // registers must gather multiple rows (here: contiguous block
+        // layout keeps it loadable, but the accumulate tree deepens).
+        let n = w.lanes::<u8>();
+        for b in counted(0..self.blocks) {
+            let base = b * SAD_BLK * SAD_BLK;
+            let mut acc16 = Vreg::<u16>::zero(w);
+            for i in counted((0..SAD_BLK * SAD_BLK).step_by(n)) {
+                let s = Vreg::<u8>::load(w, &self.src, base + i);
+                let r = Vreg::<u8>::load(w, &self.reference, base + i);
+                acc16 = acc16.padal_u8(s.abd(r));
+            }
+            let total = acc16.addlv_u32();
+            sc::store(&mut self.out, b, total);
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.out.iter().map(|&v| v as f64).collect()
+    }
+}
+
+runnable!(SadState, auto = neon);
+
+swan_kernel!(
+    /// 16x16 sum of absolute differences (libvpx `vpx_sad16x16`), the
+    /// Figure 5(a) LV representative.
+    Sad16x16, SadState, {
+        name: "sad16x16",
+        library: LV,
+        precision_bits: 8,
+        is_float: false,
+        auto: AutoOutcome::Vectorized(VsNeon::Worse),
+        obstacles: [],
+        patterns: [Reduction],
+        tolerance: 0.0,
+    }
+);
+
+// =====================================================================
+// quantize
+// =====================================================================
+
+/// State for [`Quantize`].
+#[derive(Debug)]
+pub struct QuantizeState {
+    n: usize,
+    coeffs: Vec<i16>,
+    zbin: i16,
+    round: i16,
+    quant: u16, // Q16 multiplier
+    out: Vec<i16>,
+}
+
+impl QuantizeState {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let n = block_count(scale) * DCT * DCT;
+        let mut r = rng(seed);
+        QuantizeState {
+            n,
+            coeffs: gen_i16(&mut r, n, 2040),
+            zbin: 48,
+            round: 32,
+            quant: 0x9000,
+            out: vec![0i16; n],
+        }
+    }
+
+    fn scalar(&mut self) {
+        let zbin = sc::lit(self.zbin as i32);
+        for i in counted(0..self.n) {
+            let x = sc::load(&self.coeffs, i).cast::<i32>();
+            let absx = x.abd(sc::lit(0));
+            // Branchy dead-zone test, as in the C code.
+            let q = if absx.lt_branch(zbin) {
+                sc::lit(0i32)
+            } else {
+                let scaled = ((absx + self.round as i32) * (self.quant as i32)) >> 16;
+                if x.lt_branch(sc::lit(0)) {
+                    -scaled
+                } else {
+                    scaled
+                }
+            };
+            sc::store(&mut self.out, i, q.cast::<i16>());
+        }
+    }
+
+    fn neon(&mut self, w: Width) {
+        let lanes = w.lanes::<i16>();
+        let zbin = Vreg::<i16>::splat(w, self.zbin);
+        let round = Vreg::<u16>::splat(w, self.round as u16);
+        let quant = Vreg::<u16>::splat(w, self.quant);
+        let zero = Vreg::<i16>::zero(w);
+        for i in counted((0..self.n).step_by(lanes)) {
+            let x = Vreg::<i16>::load(w, &self.coeffs, i);
+            let absx = x.abs();
+            let keep = absx.ge_mask(zbin);
+            let au = absx.reinterpret_u16().add(round);
+            let lo = au.mull_lo_u32(quant).shr(16);
+            let hi = au.mull_hi_u32(quant).shr(16);
+            let scaled = lo.narrow_u16(hi).reinterpret_i16();
+            // Reapply sign: (q ^ sign) - sign, with sign = x >> 15.
+            let sign = x.shr(15);
+            let signed = scaled.xor(sign).sub(sign);
+            keep.bsl(signed, zero).store(&mut self.out, i);
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.out.iter().map(|&v| v as f64).collect()
+    }
+}
+
+runnable!(QuantizeState, auto = custom);
+
+impl QuantizeState {
+    /// The cost model vectorizes the dead-zone loop with lane
+    /// export/import for the sign handling — slower than scalar (the
+    /// second `Auto < Scalar` kernel).
+    fn auto(&mut self) {
+        let w = Width::W128;
+        let lanes = w.lanes::<i16>();
+        let zbin = Vreg::<i16>::splat(w, self.zbin);
+        let round = Vreg::<u16>::splat(w, self.round as u16);
+        let quant = Vreg::<u16>::splat(w, self.quant);
+        let zero = Vreg::<i16>::zero(w);
+        for i in counted((0..self.n).step_by(lanes)) {
+            let x = Vreg::<i16>::load(w, &self.coeffs, i);
+            let absx = x.abs();
+            let keep = absx.ge_mask(zbin);
+            let au = absx.reinterpret_u16().add(round);
+            let lo = au.mull_lo_u32(quant).shr(16);
+            let hi = au.mull_hi_u32(quant).shr(16);
+            let mut scaled = lo.narrow_u16(hi).reinterpret_i16();
+            // Per-lane sign fixup through scalar registers.
+            for lane in 0..lanes {
+                let xv = x.get_lane(lane);
+                let qv = scaled.get_lane(lane);
+                let signed = xv
+                    .cast::<i32>()
+                    .select_le(sc::lit(-1), (-qv).cast::<i32>(), qv.cast::<i32>());
+                scaled = scaled.set_lane(lane, signed.cast::<i16>());
+            }
+            keep.bsl(scaled, zero).store(&mut self.out, i);
+        }
+    }
+}
+
+swan_kernel!(
+    /// Dead-zone coefficient quantization (libvpx `vpx_quantize_b`).
+    Quantize, QuantizeState, {
+        name: "quantize",
+        library: LV,
+        precision_bits: 16,
+        is_float: false,
+        auto: AutoOutcome::SlowerThanScalar,
+        obstacles: [CostModel],
+        patterns: [],
+        tolerance: 0.0,
+    }
+);
+
+// =====================================================================
+// subtract_block / avg_pred
+// =====================================================================
+
+/// State for [`SubtractBlock`].
+#[derive(Debug)]
+pub struct SubtractState {
+    n: usize,
+    src: Vec<u8>,
+    pred: Vec<u8>,
+    out: Vec<i16>,
+}
+
+impl SubtractState {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let n = block_count(scale) * SAD_BLK * SAD_BLK;
+        let mut r = rng(seed);
+        SubtractState {
+            n,
+            src: gen_u8(&mut r, n),
+            pred: gen_u8(&mut r, n),
+            out: vec![0i16; n],
+        }
+    }
+
+    fn scalar(&mut self) {
+        for i in counted(0..self.n) {
+            let s = sc::load(&self.src, i).cast::<i32>();
+            let p = sc::load(&self.pred, i).cast::<i32>();
+            sc::store(&mut self.out, i, (s - p).cast::<i16>());
+        }
+    }
+
+    fn neon(&mut self, w: Width) {
+        let n8 = w.lanes::<u8>();
+        for i in counted((0..self.n).step_by(n8)) {
+            let s = Vreg::<u8>::load(w, &self.src, i);
+            let p = Vreg::<u8>::load(w, &self.pred, i);
+            let lo = s.widen_lo_i16().sub(p.widen_lo_i16());
+            let hi = s.widen_hi_i16().sub(p.widen_hi_i16());
+            lo.store(&mut self.out, i);
+            hi.store(&mut self.out, i + n8 / 2);
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.out.iter().map(|&v| v as f64).collect()
+    }
+}
+
+runnable!(SubtractState, auto = neon);
+
+swan_kernel!(
+    /// Residual computation (libvpx `vpx_subtract_block`).
+    SubtractBlock, SubtractState, {
+        name: "subtract_block",
+        library: LV,
+        precision_bits: 8,
+        is_float: false,
+        auto: AutoOutcome::Vectorized(VsNeon::Better),
+        obstacles: [],
+        patterns: [],
+        tolerance: 0.0,
+    }
+);
+
+/// State for [`AvgPred`].
+#[derive(Debug)]
+pub struct AvgPredState {
+    n: usize,
+    a: Vec<u8>,
+    b: Vec<u8>,
+    out: Vec<u8>,
+}
+
+impl AvgPredState {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let n = block_count(scale) * SAD_BLK * SAD_BLK;
+        let mut r = rng(seed);
+        AvgPredState {
+            n,
+            a: gen_u8(&mut r, n),
+            b: gen_u8(&mut r, n),
+            out: vec![0u8; n],
+        }
+    }
+
+    fn scalar(&mut self) {
+        for i in counted(0..self.n) {
+            let a = sc::load(&self.a, i).cast::<u32>();
+            let b = sc::load(&self.b, i).cast::<u32>();
+            sc::store(&mut self.out, i, ((a + b + 1u32) >> 1).cast::<u8>());
+        }
+    }
+
+    fn neon(&mut self, w: Width) {
+        let n8 = w.lanes::<u8>();
+        for i in counted((0..self.n).step_by(n8)) {
+            Vreg::<u8>::load(w, &self.a, i)
+                .rhadd(Vreg::<u8>::load(w, &self.b, i))
+                .store(&mut self.out, i);
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.out.iter().map(|&v| v as f64).collect()
+    }
+}
+
+runnable!(AvgPredState, auto = neon);
+
+swan_kernel!(
+    /// Compound prediction averaging (libvpx `vpx_comp_avg_pred`).
+    AvgPred, AvgPredState, {
+        name: "avg_pred",
+        library: LV,
+        precision_bits: 8,
+        is_float: false,
+        auto: AutoOutcome::Vectorized(VsNeon::Similar),
+        obstacles: [],
+        patterns: [],
+        tolerance: 0.0,
+    }
+);
+
+/// All six libvpx kernels.
+pub fn kernels() -> Vec<Box<dyn swan_core::Kernel>> {
+    vec![
+        Box::new(Fdct8x8),
+        Box::new(Idct8x8),
+        Box::new(Sad16x16),
+        Box::new(Quantize),
+        Box::new(SubtractBlock),
+        Box::new(AvgPred),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swan_core::{verify_kernel, Scale};
+    use swan_simd::Width;
+
+    #[test]
+    fn all_lv_kernels_verify() {
+        for k in kernels() {
+            verify_kernel(k.as_ref(), Scale::test(), 101).unwrap();
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let w = Width::W128;
+        let rows: [Vreg<i16>; 8] = std::array::from_fn(|r| {
+            let vals: Vec<i16> = (0..8).map(|c| (8 * r + c) as i16).collect();
+            Vreg::from_lanes(w, &vals)
+        });
+        let t = transpose8x8(rows);
+        // t[r][c] == rows[c][r].
+        for r in 0..8 {
+            for c in 0..8 {
+                assert_eq!(t[r].lane_value(c), (8 * c + r) as i16, "({r},{c})");
+            }
+        }
+        let back = transpose8x8(t);
+        for r in 0..8 {
+            for c in 0..8 {
+                assert_eq!(back[r].lane_value(c), (8 * r + c) as i16);
+            }
+        }
+    }
+
+    #[test]
+    fn dct_of_constant_block_is_dc_only() {
+        let mut st = DctState::<false>::new(Scale::test(), 2);
+        for v in st.input[..64].iter_mut() {
+            *v = 100;
+        }
+        st.scalar();
+        // DC coefficient nonzero, all others near zero.
+        assert!(st.out[0].abs() > 300, "dc = {}", st.out[0]);
+        for i in 1..64 {
+            assert!(st.out[i].abs() <= 1, "coef {i} = {}", st.out[i]);
+        }
+    }
+
+    #[test]
+    fn idct_round_trips_fdct() {
+        let mut f = DctState::<false>::new(Scale::test(), 3);
+        f.scalar();
+        let mut inv = DctState::<true>::new(Scale::test(), 3);
+        inv.input[..64].copy_from_slice(&f.out[..64]);
+        inv.scalar();
+        for i in 0..64 {
+            let err = (inv.out[i] as i32 - f.input[i] as i32).abs();
+            assert!(err <= 2, "pixel {i}: {} vs {}", inv.out[i], f.input[i]);
+        }
+    }
+
+    #[test]
+    fn sad_zero_for_identical_blocks() {
+        let mut st = SadState::new(Scale::test(), 4);
+        st.reference.copy_from_slice(&st.src);
+        st.scalar();
+        assert!(st.out.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn quantize_dead_zone() {
+        let mut st = QuantizeState::new(Scale::test(), 5);
+        st.coeffs[0] = 20; // |x| < zbin=48
+        st.coeffs[1] = -2000;
+        st.coeffs[2] = 2000;
+        st.scalar();
+        assert_eq!(st.out[0], 0);
+        assert_eq!(st.out[1], -st.out[2]);
+        assert!(st.out[2] > 0);
+    }
+}

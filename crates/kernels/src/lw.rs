@@ -1,0 +1,564 @@
+//! `LW` — libwebp kernels: the four 16x16 intra predictors (TrueMotion,
+//! DC, Vertical, Horizontal) used by WEBP (de)compression, and the
+//! Sharp-YUV filter pair used for high-quality RGB→YUV conversion.
+//!
+//! The predictors work on per-block `top` / `left` / `top-left` context
+//! arrays; TrueMotion is one of the paper's Figure 5(a) representative
+//! kernels, where wider registers must pack multiple 16-pixel rows and
+//! pay vector-manipulation overhead (§7.1).
+
+use crate::util::{gen_u8, rng, runnable, swan_kernel};
+use swan_core::{AutoOutcome, Scale, VsNeon};
+use swan_simd::scalar::{self as sc, counted};
+use swan_simd::{Vreg, Width};
+
+/// Predictor block edge length.
+pub const BLK: usize = 16;
+
+fn block_count(scale: Scale) -> usize {
+    // HD frame = (1280/16) * (720/16) = 3600 blocks.
+    scale.dim(3600, 16, 8)
+}
+
+/// Shared input context for the predictor kernels.
+#[derive(Debug)]
+struct PredictCtx {
+    blocks: usize,
+    top: Vec<u8>,
+    left: Vec<u8>,
+    topleft: Vec<u8>,
+    out: Vec<u8>,
+}
+
+impl PredictCtx {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let blocks = block_count(scale);
+        let mut r = rng(seed);
+        PredictCtx {
+            blocks,
+            top: gen_u8(&mut r, blocks * BLK),
+            left: gen_u8(&mut r, blocks * BLK),
+            topleft: gen_u8(&mut r, blocks),
+            out: vec![0u8; blocks * BLK * BLK],
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.out.iter().map(|&b| b as f64).collect()
+    }
+}
+
+// =====================================================================
+// tm_predict
+// =====================================================================
+
+/// State for [`TmPredict`].
+#[derive(Debug)]
+pub struct TmPredictState(PredictCtx);
+
+impl TmPredictState {
+    fn new(scale: Scale, seed: u64) -> Self {
+        TmPredictState(PredictCtx::new(scale, seed))
+    }
+
+    fn scalar(&mut self) {
+        let ctx = &mut self.0;
+        for b in counted(0..ctx.blocks) {
+            let tl = sc::load(&ctx.topleft, b).cast::<i32>();
+            for y in counted(0..BLK) {
+                let l = sc::load(&ctx.left, b * BLK + y).cast::<i32>();
+                let d = l - tl;
+                for x in counted(0..BLK) {
+                    let t = sc::load(&ctx.top, b * BLK + x).cast::<i32>();
+                    let v = (t + d).max(sc::lit(0)).min(sc::lit(255));
+                    sc::store(&mut ctx.out, (b * BLK + y) * BLK + x, v.cast::<u8>());
+                }
+            }
+        }
+    }
+
+    fn neon(&mut self, w: Width) {
+        let ctx = &mut self.0;
+        let rows_per_iter = w.bytes() / BLK; // 16 u8 lanes per block row
+        for b in counted(0..ctx.blocks) {
+            // Replicate the 16-byte top row across the register: one
+            // load at 128 bits, an EXT-chain build-up beyond (the
+            // paper's multi-dimensional packing overhead).
+            let t128 = Vreg::<u8>::load(Width::W128, &ctx.top, b * BLK);
+            let top = replicate_row(t128, w);
+            let tl16 = Vreg::<u16>::splat_tr(w, sc::load(&ctx.topleft, b).cast::<u16>());
+            let (t_lo, t_hi) = (top.widen_lo_u16(), top.widen_hi_u16());
+            for y0 in counted((0..BLK).step_by(rows_per_iter)) {
+                // Left values differ per packed row: build the group
+                // broadcast with an EXT chain.
+                let left = group_broadcast(&ctx.left, b * BLK + y0, rows_per_iter, w);
+                let (l_lo, l_hi) = (left.widen_lo_u16(), left.widen_hi_u16());
+                let lo = t_lo
+                    .reinterpret_i16()
+                    .add(l_lo.reinterpret_i16())
+                    .sub(tl16.reinterpret_i16());
+                let hi = t_hi
+                    .reinterpret_i16()
+                    .add(l_hi.reinterpret_i16())
+                    .sub(tl16.reinterpret_i16());
+                lo.narrow_sat_u8_from_i16(hi)
+                    .store(&mut ctx.out, (b * BLK + y0) * BLK);
+            }
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.0.out()
+    }
+}
+
+/// Replicate the first 16 lanes of `t` across the full register width
+/// (no-op at 128 bits; `factor` EXT ops beyond).
+fn replicate_row(t: Vreg<u8>, w: Width) -> Vreg<u8> {
+    if w == Width::W128 {
+        return t;
+    }
+    let n = w.lanes::<u8>();
+    // Widen the 128-bit row into a w-wide register (one widening move
+    // modelled as a dup+ext chain).
+    let mut wide = Vreg::<u8>::zero(w);
+    // Place the 16 bytes repeatedly: each EXT shifts the accumulator
+    // left 16 lanes and appends the row.
+    let row_in_w = {
+        let mut lanes = vec![0u8; n];
+        lanes[..BLK].copy_from_slice(t.lanes());
+        Vreg::<u8>::from_lanes(w, &lanes)
+    };
+    for _ in 0..n / BLK {
+        wide = wide.ext(row_in_w, BLK);
+    }
+    wide
+}
+
+/// Build `[v(off)x16, v(off+1)x16, ...]` over `groups` group values via
+/// scalar loads, dup and an EXT chain.
+fn group_broadcast(src: &[u8], off: usize, groups: usize, w: Width) -> Vreg<u8> {
+    if groups == 1 {
+        return Vreg::<u8>::splat_tr(w, sc::load(src, off));
+    }
+    let mut acc = Vreg::<u8>::zero(w);
+    for g in 0..groups {
+        let s = Vreg::<u8>::splat_tr(w, sc::load(src, off + g));
+        acc = acc.ext(s, BLK);
+    }
+    acc
+}
+
+runnable!(TmPredictState, auto = scalar);
+
+swan_kernel!(
+    /// TrueMotion 16x16 intra predictor (libwebp `TM16`).
+    TmPredict, TmPredictState, {
+        name: "tm_predict",
+        library: LW,
+        precision_bits: 8,
+        is_float: false,
+        auto: AutoOutcome::SameAsScalar,
+        obstacles: [CostModel],
+        patterns: [],
+        tolerance: 0.0,
+    }
+);
+
+// =====================================================================
+// dc_predict
+// =====================================================================
+
+/// State for [`DcPredict`].
+#[derive(Debug)]
+pub struct DcPredictState(PredictCtx);
+
+impl DcPredictState {
+    fn new(scale: Scale, seed: u64) -> Self {
+        DcPredictState(PredictCtx::new(scale, seed))
+    }
+
+    fn scalar(&mut self) {
+        let ctx = &mut self.0;
+        for b in counted(0..ctx.blocks) {
+            let mut sum = sc::lit(16u32);
+            for x in counted(0..BLK) {
+                sum = sum + sc::load(&ctx.top, b * BLK + x).cast::<u32>();
+                sum = sum + sc::load(&ctx.left, b * BLK + x).cast::<u32>();
+            }
+            let dc = (sum >> 5).cast::<u8>();
+            for i in counted(0..BLK * BLK) {
+                sc::store(&mut ctx.out, b * BLK * BLK + i, dc);
+            }
+        }
+    }
+
+    fn neon(&mut self, w: Width) {
+        let ctx = &mut self.0;
+        for b in counted(0..ctx.blocks) {
+            // Intra-reduction parallelism (§6.1): sum 16 top + 16 left
+            // values with widening reductions.
+            let t = Vreg::<u8>::load(Width::W128, &ctx.top, b * BLK);
+            let l = Vreg::<u8>::load(Width::W128, &ctx.left, b * BLK);
+            let sum = t.addlv_u32() + l.addlv_u32() + 16u32;
+            let dc = (sum >> 5).cast::<u8>();
+            let fill = Vreg::<u8>::splat_tr(w, dc);
+            let n = w.lanes::<u8>();
+            for i in counted((0..BLK * BLK).step_by(n)) {
+                fill.store(&mut ctx.out, b * BLK * BLK + i);
+            }
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.0.out()
+    }
+}
+
+runnable!(DcPredictState, auto = neon);
+
+swan_kernel!(
+    /// DC 16x16 intra predictor (libwebp `DC16`).
+    DcPredict, DcPredictState, {
+        name: "dc_predict",
+        library: LW,
+        precision_bits: 8,
+        is_float: false,
+        auto: AutoOutcome::Vectorized(VsNeon::Similar),
+        obstacles: [],
+        patterns: [Reduction],
+        tolerance: 0.0,
+    }
+);
+
+// =====================================================================
+// vertical / horizontal predict
+// =====================================================================
+
+/// State for [`VerticalPredict`] (`V2 = false`) and
+/// [`HorizontalPredict`] (`V2 = true`).
+#[derive(Debug)]
+pub struct CopyPredictState<const HORIZ: bool>(PredictCtx);
+
+impl<const HORIZ: bool> CopyPredictState<HORIZ> {
+    fn new(scale: Scale, seed: u64) -> Self {
+        CopyPredictState(PredictCtx::new(scale, seed))
+    }
+
+    fn scalar(&mut self) {
+        let ctx = &mut self.0;
+        for b in counted(0..ctx.blocks) {
+            for y in counted(0..BLK) {
+                let l = sc::load(&ctx.left, b * BLK + y);
+                for x in counted(0..BLK) {
+                    let v = if HORIZ {
+                        l
+                    } else {
+                        sc::load(&ctx.top, b * BLK + x)
+                    };
+                    sc::store(&mut ctx.out, (b * BLK + y) * BLK + x, v);
+                }
+            }
+        }
+    }
+
+    fn neon(&mut self, w: Width) {
+        let ctx = &mut self.0;
+        let rows_per_iter = w.bytes() / BLK;
+        for b in counted(0..ctx.blocks) {
+            if HORIZ {
+                for y0 in counted((0..BLK).step_by(rows_per_iter)) {
+                    let fill =
+                        group_broadcast(&ctx.left, b * BLK + y0, rows_per_iter, w);
+                    fill.store(&mut ctx.out, (b * BLK + y0) * BLK);
+                }
+            } else {
+                let t128 = Vreg::<u8>::load(Width::W128, &ctx.top, b * BLK);
+                let top = replicate_row(t128, w);
+                for y0 in counted((0..BLK).step_by(rows_per_iter)) {
+                    top.store(&mut ctx.out, (b * BLK + y0) * BLK);
+                }
+            }
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.0.out()
+    }
+}
+
+runnable!(CopyPredictState<false>, auto = neon);
+runnable!(CopyPredictState<true>, auto = scalar);
+
+swan_kernel!(
+    /// Vertical 16x16 intra predictor (libwebp `VE16`).
+    VerticalPredict, CopyPredictState<false>, {
+        name: "vertical_predict",
+        library: LW,
+        precision_bits: 8,
+        is_float: false,
+        auto: AutoOutcome::Vectorized(VsNeon::Better),
+        obstacles: [],
+        patterns: [],
+        tolerance: 0.0,
+    }
+);
+
+swan_kernel!(
+    /// Horizontal 16x16 intra predictor (libwebp `HE16`).
+    HorizontalPredict, CopyPredictState<true>, {
+        name: "horizontal_predict",
+        library: LW,
+        precision_bits: 8,
+        is_float: false,
+        auto: AutoOutcome::SameAsScalar,
+        obstacles: [CostModel],
+        patterns: [],
+        tolerance: 0.0,
+    }
+);
+
+// =====================================================================
+// sharp_yuv_row
+// =====================================================================
+
+/// Maximum 10-bit sample value used by Sharp YUV.
+const YUV_MAX: u16 = 1023;
+
+/// State for [`SharpYuvRow`].
+#[derive(Debug)]
+pub struct SharpYuvRowState {
+    rows: usize,
+    cols: usize,
+    /// `rows` rows of `cols + 1` samples (last column replicated).
+    data: Vec<u16>,
+    out: Vec<u16>,
+}
+
+impl SharpYuvRowState {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let rows = scale.dim(720, 16, 2);
+        let cols = 1280 / 2;
+        let mut r = rng(seed);
+        let mut data = Vec::with_capacity(rows * (cols + 1));
+        for _ in 0..rows {
+            let row: Vec<u16> = (0..cols)
+                .map(|_| rand::Rng::gen_range(&mut r, 0..=YUV_MAX))
+                .collect();
+            data.extend_from_slice(&row);
+            data.push(row[cols - 1]); // replicate edge
+        }
+        SharpYuvRowState { rows, cols, data, out: vec![0u16; rows / 2 * cols * 2] }
+    }
+
+    fn row(&self, r: usize) -> usize {
+        r * (self.cols + 1)
+    }
+
+    fn scalar(&mut self) {
+        let cols = self.cols;
+        for p in counted(0..self.rows / 2) {
+            let (ra, rb) = (self.row(2 * p), self.row(2 * p + 1));
+            for i in counted(0..cols) {
+                let a0 = sc::load(&self.data, ra + i).cast::<u32>();
+                let a1 = sc::load(&self.data, ra + i + 1).cast::<u32>();
+                let b0 = sc::load(&self.data, rb + i).cast::<u32>();
+                let b1 = sc::load(&self.data, rb + i + 1).cast::<u32>();
+                let even =
+                    ((a0 * 9u32 + a1 * 3u32 + b0 * 3u32 + b1 + 8u32) >> 4).min(sc::lit(YUV_MAX as u32));
+                let odd =
+                    ((a0 * 3u32 + a1 * 9u32 + b0 + b1 * 3u32 + 8u32) >> 4).min(sc::lit(YUV_MAX as u32));
+                sc::store(&mut self.out, p * 2 * cols + 2 * i, even.cast::<u16>());
+                sc::store(&mut self.out, p * 2 * cols + 2 * i + 1, odd.cast::<u16>());
+            }
+        }
+    }
+
+    fn neon(&mut self, w: Width) {
+        let cols = self.cols;
+        let n = w.lanes::<u16>();
+        let three = Vreg::<u16>::splat(w, 3);
+        let nine = Vreg::<u16>::splat(w, 9);
+        let eight = Vreg::<u16>::splat(w, 8);
+        let maxv = Vreg::<u16>::splat(w, YUV_MAX);
+        for p in counted(0..self.rows / 2) {
+            let (ra, rb) = (self.row(2 * p), self.row(2 * p + 1));
+            for i in counted((0..cols).step_by(n)) {
+                let a0 = Vreg::<u16>::load(w, &self.data, ra + i);
+                let a1 = Vreg::<u16>::load(w, &self.data, ra + i + 1);
+                let b0 = Vreg::<u16>::load(w, &self.data, rb + i);
+                let b1 = Vreg::<u16>::load(w, &self.data, rb + i + 1);
+                let even = eight
+                    .mla(a0, nine)
+                    .mla(a1, three)
+                    .mla(b0, three)
+                    .add(b1)
+                    .shr(4)
+                    .min(maxv);
+                let odd = eight
+                    .mla(a0, three)
+                    .mla(a1, nine)
+                    .add(b0)
+                    .mla(b1, three)
+                    .shr(4)
+                    .min(maxv);
+                even.zip_lo(odd).store(&mut self.out, p * 2 * cols + 2 * i);
+                even.zip_hi(odd)
+                    .store(&mut self.out, p * 2 * cols + 2 * i + n);
+            }
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.out.iter().map(|&b| b as f64).collect()
+    }
+}
+
+runnable!(SharpYuvRowState, auto = scalar);
+
+swan_kernel!(
+    /// Sharp-YUV 2x upsampling filter row (libwebp `SharpYuvFilterRow`).
+    SharpYuvRow, SharpYuvRowState, {
+        name: "sharp_yuv_row",
+        library: LW,
+        precision_bits: 16,
+        is_float: false,
+        auto: AutoOutcome::SameAsScalar,
+        obstacles: [LoopDependency, CostModel],
+        patterns: [StridedMemoryAccess],
+        tolerance: 0.0,
+    }
+);
+
+// =====================================================================
+// sharp_yuv_update
+// =====================================================================
+
+/// State for [`SharpYuvUpdate`].
+#[derive(Debug)]
+pub struct SharpYuvUpdateState {
+    len: usize,
+    reference: Vec<u16>,
+    src: Vec<u16>,
+    dst: Vec<u16>,
+    out: Vec<u16>,
+}
+
+impl SharpYuvUpdateState {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let len = scale.dim(720 * 640, 2048, 128);
+        let mut r = rng(seed);
+        let gen = |r: &mut rand::rngs::StdRng, n: usize| -> Vec<u16> {
+            (0..n).map(|_| rand::Rng::gen_range(r, 0..=YUV_MAX)).collect()
+        };
+        SharpYuvUpdateState {
+            len,
+            reference: gen(&mut r, len),
+            src: gen(&mut r, len),
+            dst: gen(&mut r, len),
+            out: vec![0u16; len],
+        }
+    }
+
+    fn scalar(&mut self) {
+        for i in counted(0..self.len) {
+            let diff = sc::load(&self.src, i).cast::<i32>()
+                - sc::load(&self.dst, i).cast::<i32>();
+            let v = (sc::load(&self.reference, i).cast::<i32>() + diff)
+                .max(sc::lit(0))
+                .min(sc::lit(YUV_MAX as i32));
+            sc::store(&mut self.out, i, v.cast::<u16>());
+        }
+    }
+
+    fn neon(&mut self, w: Width) {
+        let n = w.lanes::<u16>();
+        let zero = Vreg::<i16>::zero(w);
+        let maxv = Vreg::<i16>::splat(w, YUV_MAX as i16);
+        for i in counted((0..self.len).step_by(n)) {
+            let s = Vreg::<u16>::load(w, &self.src, i).reinterpret_i16();
+            let d = Vreg::<u16>::load(w, &self.dst, i).reinterpret_i16();
+            let r = Vreg::<u16>::load(w, &self.reference, i).reinterpret_i16();
+            let v = r.add(s.sub(d)).max(zero).min(maxv);
+            v.reinterpret_u16().store(&mut self.out, i);
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.out.iter().map(|&b| b as f64).collect()
+    }
+}
+
+runnable!(SharpYuvUpdateState, auto = neon);
+
+swan_kernel!(
+    /// Sharp-YUV luma refinement pass (libwebp `SharpYuvUpdateY`).
+    SharpYuvUpdate, SharpYuvUpdateState, {
+        name: "sharp_yuv_update",
+        library: LW,
+        precision_bits: 16,
+        is_float: false,
+        auto: AutoOutcome::Vectorized(VsNeon::Worse),
+        obstacles: [],
+        patterns: [],
+        tolerance: 0.0,
+    }
+);
+
+/// All six libwebp kernels.
+pub fn kernels() -> Vec<Box<dyn swan_core::Kernel>> {
+    vec![
+        Box::new(TmPredict),
+        Box::new(DcPredict),
+        Box::new(VerticalPredict),
+        Box::new(HorizontalPredict),
+        Box::new(SharpYuvRow),
+        Box::new(SharpYuvUpdate),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swan_core::{verify_kernel, Scale};
+
+    #[test]
+    fn all_lw_kernels_verify() {
+        for k in kernels() {
+            verify_kernel(k.as_ref(), Scale::test(), 21).unwrap();
+        }
+    }
+
+    #[test]
+    fn tm_predict_formula() {
+        let mut st = TmPredictState::new(Scale::test(), 4);
+        st.scalar();
+        let c = &st.0;
+        for x in 0..BLK {
+            let expect = (c.left[0] as i32 + c.top[x] as i32 - c.topleft[0] as i32)
+                .clamp(0, 255) as u8;
+            assert_eq!(c.out[x], expect);
+        }
+    }
+
+    #[test]
+    fn dc_predict_is_block_average() {
+        let mut st = DcPredictState::new(Scale::test(), 4);
+        st.scalar();
+        let c = &st.0;
+        let sum: u32 = c.top[..BLK].iter().map(|&v| v as u32).sum::<u32>()
+            + c.left[..BLK].iter().map(|&v| v as u32).sum::<u32>();
+        let dc = ((sum + 16) >> 5) as u8;
+        assert!(c.out[..256].iter().all(|&v| v == dc));
+    }
+
+    #[test]
+    fn sharp_yuv_update_clamps() {
+        let mut st = SharpYuvUpdateState::new(Scale::test(), 4);
+        st.src[0] = 1023;
+        st.dst[0] = 0;
+        st.reference[0] = 1000;
+        st.scalar();
+        assert_eq!(st.out[0], 1023);
+    }
+}

@@ -1,0 +1,320 @@
+//! `OR` — Arm Optimized Routines string/memory kernels: `memcpy`,
+//! `memcmp`, `memchr`, `strlen`.
+//!
+//! The search routines are the paper's *uncountable loop* examples
+//! (§5.2 example 1): the trip count depends on the data, so the
+//! auto-vectorizer refuses them, while the Neon versions detect the
+//! break condition with compare + reduction instructions.
+
+use crate::util::{gen_u8, rng, runnable, swan_kernel};
+use swan_core::{AutoOutcome, Scale, VsNeon};
+use swan_simd::scalar::{self as sc, counted};
+use swan_simd::{Vreg, Width};
+
+fn data_len(scale: Scale) -> usize {
+    scale.len(128 << 10)
+}
+
+// =====================================================================
+// memcpy
+// =====================================================================
+
+/// State for [`Memcpy`].
+#[derive(Debug)]
+pub struct MemcpyState {
+    src: Vec<u64>,
+    out: Vec<u64>,
+}
+
+impl MemcpyState {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let words = data_len(scale) / 8;
+        let mut r = rng(seed);
+        MemcpyState {
+            src: (0..words).map(|_| rand::Rng::gen(&mut r)).collect(),
+            out: vec![0u64; words],
+        }
+    }
+
+    fn scalar(&mut self) {
+        // Scalar memcpy moves 8 bytes per iteration (X-register pairs).
+        for i in counted(0..self.src.len()) {
+            let v = sc::load(&self.src, i);
+            sc::store(&mut self.out, i, v);
+        }
+    }
+
+    fn neon(&mut self, w: Width) {
+        let n = w.lanes::<u64>();
+        for i in counted((0..self.src.len()).step_by(n)) {
+            Vreg::<u64>::load(w, &self.src, i).store(&mut self.out, i);
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        // Compare a stable digest rather than 2^64 values losslessly.
+        self.out
+            .iter()
+            .map(|&v| ((v & 0xFFFF_FFFF) ^ (v >> 32)) as f64)
+            .collect()
+    }
+}
+
+runnable!(MemcpyState, auto = neon);
+
+swan_kernel!(
+    /// Bulk copy (Arm Optimized Routines `memcpy`).
+    Memcpy, MemcpyState, {
+        name: "memcpy",
+        library: OR,
+        precision_bits: 64,
+        is_float: false,
+        auto: AutoOutcome::Vectorized(VsNeon::Similar),
+        obstacles: [],
+        patterns: [],
+        tolerance: 0.0,
+    }
+);
+
+// =====================================================================
+// memcmp / memchr / strlen (uncountable loops)
+// =====================================================================
+
+/// Which search routine a [`SearchState`] implements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Search {
+    /// Compare two buffers, return the sign at the first difference.
+    Memcmp,
+    /// Find the first occurrence of a needle byte.
+    Memchr,
+    /// Find the terminating NUL.
+    Strlen,
+}
+
+/// State for the three search kernels.
+#[derive(Debug)]
+pub struct SearchState<const S: u8> {
+    a: Vec<u8>,
+    b: Vec<u8>,
+    needle: u8,
+    result: i64,
+}
+
+impl<const S: u8> SearchState<S> {
+    const KIND: Search = match S {
+        0 => Search::Memcmp,
+        1 => Search::Memchr,
+        _ => Search::Strlen,
+    };
+
+    fn new(scale: Scale, seed: u64) -> Self {
+        let len = data_len(scale);
+        let mut r = rng(seed);
+        // The interesting event happens at ~7/8 of the buffer, so the
+        // uncountable loop runs long before breaking.
+        let hit = len / 8 * 7 + 3;
+        let (a, b, needle) = match Self::KIND {
+            Search::Memcmp => {
+                let a = gen_u8(&mut r, len);
+                let mut b = a.clone();
+                b[hit] = a[hit].wrapping_add(1);
+                (a, b, 0)
+            }
+            Search::Memchr => {
+                let needle = 0xA5u8;
+                let mut a: Vec<u8> =
+                    (0..len).map(|_| rand::Rng::gen_range(&mut r, 0..255u8)).collect();
+                for v in a.iter_mut() {
+                    if *v == needle {
+                        *v = needle.wrapping_add(1);
+                    }
+                }
+                a[hit] = needle;
+                (a, Vec::new(), needle)
+            }
+            Search::Strlen => {
+                let mut a: Vec<u8> =
+                    (0..len).map(|_| rand::Rng::gen_range(&mut r, 1..=255u8)).collect();
+                a[hit] = 0;
+                (a, Vec::new(), 0)
+            }
+        };
+        SearchState { a, b, needle, result: -1 }
+    }
+
+    fn scalar(&mut self) {
+        // Byte loop with a data-dependent break: uncountable.
+        self.result = -1;
+        match Self::KIND {
+            Search::Memcmp => {
+                for i in counted(0..self.a.len()) {
+                    let x = sc::load(&self.a, i);
+                    let y = sc::load(&self.b, i);
+                    if !x.eq_branch(y) {
+                        self.result =
+                            if x.get() < y.get() { -(i as i64) } else { i as i64 };
+                        break;
+                    }
+                }
+            }
+            Search::Memchr | Search::Strlen => {
+                let needle = sc::lit(self.needle);
+                for i in counted(0..self.a.len()) {
+                    let x = sc::load(&self.a, i);
+                    if x.eq_branch(needle) {
+                        self.result = i as i64;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn neon(&mut self, w: Width) {
+        let n = w.lanes::<u8>();
+        self.result = -1;
+        match Self::KIND {
+            Search::Memcmp => {
+                for i in counted((0..self.a.len()).step_by(n)) {
+                    let x = Vreg::<u8>::load(w, &self.a, i);
+                    let y = Vreg::<u8>::load(w, &self.b, i);
+                    // All-equal check via reduction (MINV of the
+                    // equality mask): the paper's break detection.
+                    let eq = x.eq_mask(y);
+                    let all = eq.minv();
+                    sc::branch(all);
+                    if all.get() != 0xFF {
+                        // Locate within the chunk, scalar.
+                        for j in counted(0..n) {
+                            let xv = sc::load(&self.a, i + j);
+                            let yv = sc::load(&self.b, i + j);
+                            if !xv.eq_branch(yv) {
+                                self.result = if xv.get() < yv.get() {
+                                    -((i + j) as i64)
+                                } else {
+                                    (i + j) as i64
+                                };
+                                break;
+                            }
+                        }
+                        break;
+                    }
+                }
+            }
+            Search::Memchr | Search::Strlen => {
+                let needle = Vreg::<u8>::splat(w, self.needle);
+                for i in counted((0..self.a.len()).step_by(n)) {
+                    let x = Vreg::<u8>::load(w, &self.a, i);
+                    let hitmask = x.eq_mask(needle);
+                    let any = hitmask.maxv();
+                    sc::branch(any);
+                    if any.get() == 0xFF {
+                        for j in counted(0..n) {
+                            let xv = sc::load(&self.a, i + j);
+                            if xv.eq_branch(sc::lit(self.needle)) {
+                                self.result = (i + j) as i64;
+                                break;
+                            }
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        vec![self.result as f64]
+    }
+}
+
+runnable!(SearchState<0>, auto = scalar);
+runnable!(SearchState<1>, auto = scalar);
+runnable!(SearchState<2>, auto = scalar);
+
+swan_kernel!(
+    /// Buffer comparison (Arm Optimized Routines `memcmp`).
+    Memcmp, SearchState<0>, {
+        name: "memcmp",
+        library: OR,
+        precision_bits: 8,
+        is_float: false,
+        auto: AutoOutcome::SameAsScalar,
+        obstacles: [UncountableLoop],
+        patterns: [Reduction],
+        tolerance: 0.0,
+    }
+);
+
+swan_kernel!(
+    /// Byte search (Arm Optimized Routines `memchr`).
+    Memchr, SearchState<1>, {
+        name: "memchr",
+        library: OR,
+        precision_bits: 8,
+        is_float: false,
+        auto: AutoOutcome::SameAsScalar,
+        obstacles: [UncountableLoop],
+        patterns: [Reduction],
+        tolerance: 0.0,
+    }
+);
+
+swan_kernel!(
+    /// C-string length (Arm Optimized Routines `strlen`).
+    Strlen, SearchState<2>, {
+        name: "strlen",
+        library: OR,
+        precision_bits: 8,
+        is_float: false,
+        auto: AutoOutcome::SameAsScalar,
+        obstacles: [UncountableLoop],
+        patterns: [],
+        tolerance: 0.0,
+    }
+);
+
+/// All four Optimized Routines kernels.
+pub fn kernels() -> Vec<Box<dyn swan_core::Kernel>> {
+    vec![
+        Box::new(Memcpy),
+        Box::new(Memcmp),
+        Box::new(Memchr),
+        Box::new(Strlen),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swan_core::{verify_kernel, Scale};
+
+    #[test]
+    fn all_or_kernels_verify() {
+        for k in kernels() {
+            verify_kernel(k.as_ref(), Scale::test(), 81).unwrap();
+        }
+    }
+
+    #[test]
+    fn search_results_match_std() {
+        let mut st = SearchState::<1>::new(Scale::test(), 5);
+        st.scalar();
+        let expect = st.a.iter().position(|&b| b == st.needle).unwrap();
+        assert_eq!(st.result, expect as i64);
+
+        let mut sl = SearchState::<2>::new(Scale::test(), 5);
+        sl.scalar();
+        let expect = sl.a.iter().position(|&b| b == 0).unwrap();
+        assert_eq!(sl.result, expect as i64);
+    }
+
+    #[test]
+    fn memcmp_sign() {
+        let mut st = SearchState::<0>::new(Scale::test(), 6);
+        st.scalar();
+        let i = st.result.unsigned_abs() as usize;
+        assert_ne!(st.a[i], st.b[i]);
+        assert_eq!(st.result < 0, st.a[i] < st.b[i]);
+    }
+}

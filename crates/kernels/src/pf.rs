@@ -1,0 +1,434 @@
+//! `PF` — PFFFT kernels: complex FFT forward/inverse passes and the
+//! spectral convolution-accumulate, in the portable-vector-API style of
+//! PFFFT (§6.5): only basic intrinsics, naive 6-op complex multiplies,
+//! and a scalar-heavy setup (bit-reversal reorder and the early
+//! stages), which is why PF shows the largest scalar share in Figure 1.
+
+use crate::util::{gen_f32, rng, runnable, swan_kernel};
+use swan_core::{AutoOutcome, Scale, VsNeon};
+use swan_simd::scalar::{self as sc, counted};
+use swan_simd::{Vreg, Width};
+
+/// FFT frames processed per invocation.
+pub const FRAMES: usize = 8;
+
+fn fft_size(scale: Scale) -> usize {
+    let target = scale.dim(4096, 256, 1);
+    let n = target.next_power_of_two();
+    if n > target {
+        n / 2
+    } else {
+        n
+    }
+    .max(256)
+}
+
+/// Shared FFT state: split re/im arrays per frame, precomputed
+/// bit-reversal table and per-stage twiddle tables.
+#[derive(Debug)]
+struct FftCtx {
+    n: usize,
+    re_in: Vec<f32>,
+    im_in: Vec<f32>,
+    /// Working/output arrays (FRAMES * n).
+    re: Vec<f32>,
+    im: Vec<f32>,
+    bitrev: Vec<u32>,
+    /// Twiddles per stage, concatenated; `tw_off[s]` indexes stage `s`.
+    tw_re: Vec<f32>,
+    tw_im: Vec<f32>,
+    tw_off: Vec<usize>,
+    inverse: bool,
+}
+
+impl FftCtx {
+    fn new(scale: Scale, seed: u64, inverse: bool) -> Self {
+        let n = fft_size(scale);
+        let mut r = rng(seed);
+        let mut bitrev = vec![0u32; n];
+        let bits = n.trailing_zeros();
+        for (i, slot) in bitrev.iter_mut().enumerate() {
+            *slot = (i as u32).reverse_bits() >> (32 - bits);
+        }
+        let (mut tw_re, mut tw_im, mut tw_off) = (Vec::new(), Vec::new(), Vec::new());
+        let mut len = 2;
+        while len <= n {
+            tw_off.push(tw_re.len());
+            let half = len / 2;
+            for j in 0..half {
+                let ang = -2.0 * std::f64::consts::PI * j as f64 / len as f64;
+                let ang = if inverse { -ang } else { ang };
+                tw_re.push(ang.cos() as f32);
+                tw_im.push(ang.sin() as f32);
+            }
+            len *= 2;
+        }
+        FftCtx {
+            n,
+            re_in: gen_f32(&mut r, FRAMES * n, 1.0),
+            im_in: gen_f32(&mut r, FRAMES * n, 1.0),
+            re: vec![0.0; FRAMES * n],
+            im: vec![0.0; FRAMES * n],
+            bitrev,
+            tw_re,
+            tw_im,
+            tw_off,
+            inverse,
+        }
+    }
+
+    /// Scalar FFT of one frame, in place over `re/im[base..base+n]`.
+    fn scalar_frame(&mut self, base: usize) {
+        let n = self.n;
+        // Bit-reversal reorder: indirect loads, scalar only.
+        for i in counted(0..n) {
+            let j = sc::load(&self.bitrev, i);
+            let jj = j.get() as usize;
+            sc::store(&mut self.re, base + i, sc::load(&self.re_in, base + jj));
+            sc::store(&mut self.im, base + i, sc::load(&self.im_in, base + jj));
+        }
+        let mut stage = 0;
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let toff = self.tw_off[stage];
+            for b in counted((0..n).step_by(len)) {
+                for j in counted(0..half) {
+                    let tr = sc::load(&self.tw_re, toff + j);
+                    let ti = sc::load(&self.tw_im, toff + j);
+                    let ur = sc::load(&self.re, base + b + j);
+                    let ui = sc::load(&self.im, base + b + j);
+                    let xr = sc::load(&self.re, base + b + j + half);
+                    let xi = sc::load(&self.im, base + b + j + half);
+                    // Naive complex multiply: 4 mul + 2 add (§6.5).
+                    let vr = xr * tr - xi * ti;
+                    let vi = xr * ti + xi * tr;
+                    sc::store(&mut self.re, base + b + j, ur + vr);
+                    sc::store(&mut self.im, base + b + j, ui + vi);
+                    sc::store(&mut self.re, base + b + j + half, ur - vr);
+                    sc::store(&mut self.im, base + b + j + half, ui - vi);
+                }
+            }
+            len *= 2;
+            stage += 1;
+        }
+        if self.inverse {
+            let inv = sc::lit(1.0f32 / n as f32);
+            for i in counted(0..n) {
+                let r = sc::load(&self.re, base + i) * inv;
+                let im = sc::load(&self.im, base + i) * inv;
+                sc::store(&mut self.re, base + i, r);
+                sc::store(&mut self.im, base + i, im);
+            }
+        }
+    }
+
+    /// Vector FFT of one frame: the reorder and the early short stages
+    /// stay scalar (PFFFT's real structure), later stages vectorize.
+    fn neon_frame(&mut self, base: usize, w: Width) {
+        let n = self.n;
+        let lanes = w.lanes::<f32>();
+        for i in counted(0..n) {
+            let j = sc::load(&self.bitrev, i);
+            let jj = j.get() as usize;
+            sc::store(&mut self.re, base + i, sc::load(&self.re_in, base + jj));
+            sc::store(&mut self.im, base + i, sc::load(&self.im_in, base + jj));
+        }
+        let mut stage = 0;
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let toff = self.tw_off[stage];
+            if half < lanes {
+                // Short butterflies: scalar, as in PFFFT's setup code.
+                for b in counted((0..n).step_by(len)) {
+                    for j in counted(0..half) {
+                        let tr = sc::load(&self.tw_re, toff + j);
+                        let ti = sc::load(&self.tw_im, toff + j);
+                        let ur = sc::load(&self.re, base + b + j);
+                        let ui = sc::load(&self.im, base + b + j);
+                        let xr = sc::load(&self.re, base + b + j + half);
+                        let xi = sc::load(&self.im, base + b + j + half);
+                        let vr = xr * tr - xi * ti;
+                        let vi = xr * ti + xi * tr;
+                        sc::store(&mut self.re, base + b + j, ur + vr);
+                        sc::store(&mut self.im, base + b + j, ui + vi);
+                        sc::store(&mut self.re, base + b + j + half, ur - vr);
+                        sc::store(&mut self.im, base + b + j + half, ui - vi);
+                    }
+                }
+            } else {
+                for b in counted((0..n).step_by(len)) {
+                    for j in counted((0..half).step_by(lanes)) {
+                        let tr = Vreg::<f32>::load(w, &self.tw_re, toff + j);
+                        let ti = Vreg::<f32>::load(w, &self.tw_im, toff + j);
+                        let ur = Vreg::<f32>::load(w, &self.re, base + b + j);
+                        let ui = Vreg::<f32>::load(w, &self.im, base + b + j);
+                        let xr = Vreg::<f32>::load(w, &self.re, base + b + j + half);
+                        let xi = Vreg::<f32>::load(w, &self.im, base + b + j + half);
+                        let vr = xr.mul(tr).sub(xi.mul(ti));
+                        let vi = xr.mul(ti).add(xi.mul(tr));
+                        ur.add(vr).store(&mut self.re, base + b + j);
+                        ui.add(vi).store(&mut self.im, base + b + j);
+                        ur.sub(vr).store(&mut self.re, base + b + j + half);
+                        ui.sub(vi).store(&mut self.im, base + b + j + half);
+                    }
+                }
+            }
+            len *= 2;
+            stage += 1;
+        }
+        if self.inverse {
+            let inv = Vreg::<f32>::splat(w, 1.0 / n as f32);
+            for i in counted((0..n).step_by(lanes)) {
+                Vreg::<f32>::load(w, &self.re, base + i)
+                    .mul(inv)
+                    .store(&mut self.re, base + i);
+                Vreg::<f32>::load(w, &self.im, base + i)
+                    .mul(inv)
+                    .store(&mut self.im, base + i);
+            }
+        }
+    }
+
+    fn scalar(&mut self) {
+        for f in counted(0..FRAMES) {
+            self.scalar_frame(f * self.n);
+        }
+    }
+
+    fn neon(&mut self, w: Width) {
+        for f in counted(0..FRAMES) {
+            self.neon_frame(f * self.n, w);
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.re
+            .iter()
+            .chain(self.im.iter())
+            .map(|&v| v as f64)
+            .collect()
+    }
+}
+
+/// State for [`FftForward`].
+#[derive(Debug)]
+pub struct FftForwardState(FftCtx);
+
+impl FftForwardState {
+    fn new(scale: Scale, seed: u64) -> Self {
+        FftForwardState(FftCtx::new(scale, seed, false))
+    }
+    fn scalar(&mut self) {
+        self.0.scalar()
+    }
+    fn neon(&mut self, w: Width) {
+        self.0.neon(w)
+    }
+    fn out(&self) -> Vec<f64> {
+        self.0.out()
+    }
+}
+
+/// State for [`FftInverse`].
+#[derive(Debug)]
+pub struct FftInverseState(FftCtx);
+
+impl FftInverseState {
+    fn new(scale: Scale, seed: u64) -> Self {
+        FftInverseState(FftCtx::new(scale, seed, true))
+    }
+    fn scalar(&mut self) {
+        self.0.scalar()
+    }
+    fn neon(&mut self, w: Width) {
+        self.0.neon(w)
+    }
+    fn out(&self) -> Vec<f64> {
+        self.0.out()
+    }
+}
+
+runnable!(FftForwardState, auto = scalar);
+runnable!(FftInverseState, auto = scalar);
+
+swan_kernel!(
+    /// Forward complex FFT (PFFFT `pffft_transform`).
+    FftForward, FftForwardState, {
+        name: "fft_forward",
+        library: PF,
+        precision_bits: 32,
+        is_float: true,
+        auto: AutoOutcome::SameAsScalar,
+        obstacles: [OtherLegality],
+        patterns: [MatrixTransposition, VectorApi],
+        tolerance: 1e-5,
+    }
+);
+
+swan_kernel!(
+    /// Inverse complex FFT with 1/N scaling (PFFFT `pffft_transform`
+    /// backward).
+    FftInverse, FftInverseState, {
+        name: "fft_inverse",
+        library: PF,
+        precision_bits: 32,
+        is_float: true,
+        auto: AutoOutcome::SameAsScalar,
+        obstacles: [OtherLegality],
+        patterns: [MatrixTransposition, VectorApi],
+        tolerance: 1e-5,
+    }
+);
+
+// =====================================================================
+// zconvolve
+// =====================================================================
+
+/// State for [`Zconvolve`].
+#[derive(Debug)]
+pub struct ZconvolveState {
+    n: usize,
+    a_re: Vec<f32>,
+    a_im: Vec<f32>,
+    b_re: Vec<f32>,
+    b_im: Vec<f32>,
+    acc_re: Vec<f32>,
+    acc_im: Vec<f32>,
+}
+
+impl ZconvolveState {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let n = fft_size(scale) * FRAMES;
+        let mut r = rng(seed);
+        ZconvolveState {
+            n,
+            a_re: gen_f32(&mut r, n, 1.0),
+            a_im: gen_f32(&mut r, n, 1.0),
+            b_re: gen_f32(&mut r, n, 1.0),
+            b_im: gen_f32(&mut r, n, 1.0),
+            acc_re: vec![0.0; n],
+            acc_im: vec![0.0; n],
+        }
+    }
+
+    fn scalar(&mut self) {
+        for i in counted(0..self.n) {
+            let ar = sc::load(&self.a_re, i);
+            let ai = sc::load(&self.a_im, i);
+            let br = sc::load(&self.b_re, i);
+            let bi = sc::load(&self.b_im, i);
+            let pr = ar * br - ai * bi;
+            let pi = ar * bi + ai * br;
+            let cr = sc::load(&self.acc_re, i) + pr;
+            let ci = sc::load(&self.acc_im, i) + pi;
+            sc::store(&mut self.acc_re, i, cr);
+            sc::store(&mut self.acc_im, i, ci);
+        }
+    }
+
+    fn neon(&mut self, w: Width) {
+        let lanes = w.lanes::<f32>();
+        for i in counted((0..self.n).step_by(lanes)) {
+            let ar = Vreg::<f32>::load(w, &self.a_re, i);
+            let ai = Vreg::<f32>::load(w, &self.a_im, i);
+            let br = Vreg::<f32>::load(w, &self.b_re, i);
+            let bi = Vreg::<f32>::load(w, &self.b_im, i);
+            let pr = ar.mul(br).sub(ai.mul(bi));
+            let pi = ar.mul(bi).add(ai.mul(br));
+            Vreg::<f32>::load(w, &self.acc_re, i)
+                .add(pr)
+                .store(&mut self.acc_re, i);
+            Vreg::<f32>::load(w, &self.acc_im, i)
+                .add(pi)
+                .store(&mut self.acc_im, i);
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.acc_re
+            .iter()
+            .chain(self.acc_im.iter())
+            .map(|&v| v as f64)
+            .collect()
+    }
+}
+
+runnable!(ZconvolveState, auto = neon);
+
+swan_kernel!(
+    /// Spectral multiply-accumulate (PFFFT `pffft_zconvolve_accumulate`)
+    /// with the naive 6-op complex multiply the paper discusses (§6.5).
+    Zconvolve, ZconvolveState, {
+        name: "zconvolve",
+        library: PF,
+        precision_bits: 32,
+        is_float: true,
+        auto: AutoOutcome::Vectorized(VsNeon::Worse),
+        obstacles: [],
+        patterns: [VectorApi],
+        tolerance: 0.0,
+    }
+);
+
+/// All three PFFFT kernels.
+pub fn kernels() -> Vec<Box<dyn swan_core::Kernel>> {
+    vec![Box::new(FftForward), Box::new(FftInverse), Box::new(Zconvolve)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swan_core::{verify_kernel, Scale};
+
+    #[test]
+    fn all_pf_kernels_verify() {
+        for k in kernels() {
+            verify_kernel(k.as_ref(), Scale::test(), 51).unwrap();
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let mut st = FftForwardState::new(Scale::test(), 6);
+        st.scalar();
+        let n = st.0.n;
+        // Check a few bins of frame 0 against the O(n^2) DFT.
+        for k in [0usize, 1, n / 2, n - 1] {
+            let (mut rr, mut ii) = (0.0f64, 0.0f64);
+            for t in 0..n {
+                let ang = -2.0 * std::f64::consts::PI * (k * t % n) as f64 / n as f64;
+                let (re, im) = (st.0.re_in[t] as f64, st.0.im_in[t] as f64);
+                rr += re * ang.cos() - im * ang.sin();
+                ii += re * ang.sin() + im * ang.cos();
+            }
+            assert!(
+                (st.0.re[k] as f64 - rr).abs() < 1e-2,
+                "bin {k}: {} vs {rr}",
+                st.0.re[k]
+            );
+            assert!((st.0.im[k] as f64 - ii).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn inverse_fft_recovers_signal() {
+        // forward then inverse round-trips the input.
+        let mut fwd = FftForwardState::new(Scale::test(), 7);
+        fwd.scalar();
+        let mut inv = FftInverseState::new(Scale::test(), 7);
+        inv.0.re_in.copy_from_slice(&fwd.0.re);
+        inv.0.im_in.copy_from_slice(&fwd.0.im);
+        inv.scalar();
+        let n = inv.0.n;
+        for t in 0..n {
+            assert!(
+                (inv.0.re[t] - fwd.0.re_in[t]).abs() < 1e-3,
+                "t={t}: {} vs {}",
+                inv.0.re[t],
+                fwd.0.re_in[t]
+            );
+        }
+    }
+}

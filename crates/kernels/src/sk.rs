@@ -1,0 +1,514 @@
+//! `SK` — Skia rasterization kernels: separable convolution (the image
+//! scaling filter), source-over row blitting, 32-bit color fill, and
+//! modulate blending, on RGBA8888 pixels.
+//!
+//! `convolve_vertical` is one of the paper's Figure 5(a) representative
+//! kernels: a pure row-streaming filter with near-perfect SIMD lane
+//! utilization at any register width.
+
+use crate::util::{gen_u8, gen_u32, rng, runnable, swan_kernel};
+use swan_core::{AutoOutcome, Scale, VsNeon};
+use swan_simd::scalar::{self as sc, counted};
+use swan_simd::{Vreg, Width};
+
+/// Bytes per RGBA pixel.
+pub const BPP: usize = 4;
+/// Row width in pixels.
+pub const COLS: usize = 1280;
+/// Convolution filter taps (positive, summing to 128, applied `>> 7`).
+pub const TAPS: [u16; 4] = [14, 50, 50, 14];
+
+fn dims(scale: Scale) -> (usize, usize) {
+    (scale.dim(720, 16, 8), COLS)
+}
+
+/// Four-quarter u32 accumulators for one u8 register stream:
+/// `acc += reg * tap` with widening, then `(acc >> 7)` renarrowed.
+#[derive(Clone, Copy)]
+struct MacQuarters {
+    q: [Vreg<u32>; 4],
+}
+
+impl MacQuarters {
+    fn new(w: Width, init: u32) -> MacQuarters {
+        MacQuarters { q: [Vreg::<u32>::splat(w, init); 4] }
+    }
+
+    fn mac(&mut self, reg: Vreg<u8>, tap: Vreg<u16>) {
+        let lo = reg.widen_lo_u16();
+        let hi = reg.widen_hi_u16();
+        self.q[0] = self.q[0].mlal_lo_u16(lo, tap);
+        self.q[1] = self.q[1].mlal_hi_u16(lo, tap);
+        self.q[2] = self.q[2].mlal_lo_u16(hi, tap);
+        self.q[3] = self.q[3].mlal_hi_u16(hi, tap);
+    }
+
+    /// `(acc >> shift)` narrowed back to u8 (values must fit).
+    fn narrow_u8(self, shift: u32) -> Vreg<u8> {
+        let lo16 = self.q[0].shr(shift).narrow_u16(self.q[1].shr(shift));
+        let hi16 = self.q[2].shr(shift).narrow_u16(self.q[3].shr(shift));
+        lo16.narrow_u8(hi16)
+    }
+}
+
+// =====================================================================
+// convolve_horizontal
+// =====================================================================
+
+/// State for [`ConvolveHorizontal`].
+#[derive(Debug)]
+pub struct ConvolveHorizontalState {
+    rows: usize,
+    cols: usize,
+    /// Input rows padded by 3 extra pixels on the right.
+    src: Vec<u8>,
+    out: Vec<u8>,
+}
+
+impl ConvolveHorizontalState {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let (rows, cols) = dims(scale);
+        let mut r = rng(seed);
+        ConvolveHorizontalState {
+            rows,
+            cols,
+            src: gen_u8(&mut r, rows * (cols + 3) * BPP),
+            out: vec![0u8; rows * cols * BPP],
+        }
+    }
+
+    fn scalar(&mut self) {
+        let (rows, cols) = (self.rows, self.cols);
+        let srow = (cols + 3) * BPP;
+        for r in counted(0..rows) {
+            for c in counted(0..cols) {
+                for ch in counted(0..BPP) {
+                    let mut acc = sc::lit(64u32); // rounding before >> 7
+                    for (k, &t) in TAPS.iter().enumerate() {
+                        let v = sc::load(&self.src, r * srow + (c + k) * BPP + ch)
+                            .cast::<u32>();
+                        acc = acc + v * (t as u32);
+                    }
+                    sc::store(
+                        &mut self.out,
+                        (r * cols + c) * BPP + ch,
+                        (acc >> 7).cast::<u8>(),
+                    );
+                }
+            }
+        }
+    }
+
+    fn neon(&mut self, w: Width) {
+        let (rows, cols) = (self.rows, self.cols);
+        let srow = (cols + 3) * BPP;
+        let px = w.lanes::<u8>(); // pixels per iteration (via LD4)
+        let taps: Vec<Vreg<u16>> =
+            TAPS.iter().map(|&t| Vreg::<u16>::splat(w, t)).collect();
+        for r in counted(0..rows) {
+            for c in counted((0..cols).step_by(px)) {
+                let mut acc = [MacQuarters::new(w, 64); BPP];
+                for (k, tap) in taps.iter().enumerate() {
+                    let chans =
+                        Vreg::<u8>::load4(w, &self.src, r * srow + (c + k) * BPP);
+                    for (ch, reg) in chans.iter().enumerate() {
+                        acc[ch].mac(*reg, *tap);
+                    }
+                }
+                let outc: [Vreg<u8>; BPP] =
+                    std::array::from_fn(|ch| acc[ch].narrow_u8(7));
+                Vreg::store4(&outc, &mut self.out, (r * cols + c) * BPP);
+            }
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.out.iter().map(|&b| b as f64).collect()
+    }
+}
+
+runnable!(ConvolveHorizontalState, auto = scalar);
+
+swan_kernel!(
+    /// Horizontal 4-tap RGBA convolution (Skia `ConvolveHorizontally`).
+    ConvolveHorizontal, ConvolveHorizontalState, {
+        name: "convolve_horizontal",
+        library: SK,
+        precision_bits: 8,
+        is_float: false,
+        auto: AutoOutcome::SameAsScalar,
+        obstacles: [CostModel],
+        patterns: [StridedMemoryAccess],
+        tolerance: 0.0,
+    }
+);
+
+// =====================================================================
+// convolve_vertical
+// =====================================================================
+
+/// State for [`ConvolveVertical`].
+#[derive(Debug)]
+pub struct ConvolveVerticalState {
+    rows: usize,
+    rowbytes: usize,
+    /// `rows + 3` input rows.
+    src: Vec<u8>,
+    out: Vec<u8>,
+}
+
+impl ConvolveVerticalState {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let (rows, cols) = dims(scale);
+        let rowbytes = cols * BPP;
+        let mut r = rng(seed);
+        ConvolveVerticalState {
+            rows,
+            rowbytes,
+            src: gen_u8(&mut r, (rows + 3) * rowbytes),
+            out: vec![0u8; rows * rowbytes],
+        }
+    }
+
+    fn scalar(&mut self) {
+        let (rows, rb) = (self.rows, self.rowbytes);
+        for r in counted(0..rows) {
+            for i in counted(0..rb) {
+                let mut acc = sc::lit(64u32);
+                for (k, &t) in TAPS.iter().enumerate() {
+                    let v = sc::load(&self.src, (r + k) * rb + i).cast::<u32>();
+                    acc = acc + v * (t as u32);
+                }
+                sc::store(&mut self.out, r * rb + i, (acc >> 7).cast::<u8>());
+            }
+        }
+    }
+
+    fn neon(&mut self, w: Width) {
+        let (rows, rb) = (self.rows, self.rowbytes);
+        let n = w.lanes::<u8>();
+        let taps: Vec<Vreg<u16>> =
+            TAPS.iter().map(|&t| Vreg::<u16>::splat(w, t)).collect();
+        for r in counted(0..rows) {
+            for i in counted((0..rb).step_by(n)) {
+                let mut acc = MacQuarters::new(w, 64);
+                for (k, tap) in taps.iter().enumerate() {
+                    acc.mac(Vreg::<u8>::load(w, &self.src, (r + k) * rb + i), *tap);
+                }
+                acc.narrow_u8(7).store(&mut self.out, r * rb + i);
+            }
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.out.iter().map(|&b| b as f64).collect()
+    }
+}
+
+runnable!(ConvolveVerticalState, auto = neon);
+
+swan_kernel!(
+    /// Vertical 4-tap RGBA convolution (Skia `ConvolveVertically`),
+    /// the Figure 5(a) streaming representative.
+    ConvolveVertical, ConvolveVerticalState, {
+        name: "convolve_vertical",
+        library: SK,
+        precision_bits: 8,
+        is_float: false,
+        auto: AutoOutcome::Vectorized(VsNeon::Worse),
+        obstacles: [],
+        patterns: [],
+        tolerance: 0.0,
+    }
+);
+
+// =====================================================================
+// blit_row_srcover
+// =====================================================================
+
+/// State for [`BlitRowSrcover`].
+#[derive(Debug)]
+pub struct BlitRowState {
+    len_px: usize,
+    src: Vec<u8>,
+    dst: Vec<u8>,
+    out: Vec<u8>,
+}
+
+impl BlitRowState {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let (rows, cols) = dims(scale);
+        let len_px = rows * cols;
+        let mut r = rng(seed);
+        BlitRowState {
+            len_px,
+            src: gen_u8(&mut r, len_px * BPP),
+            dst: gen_u8(&mut r, len_px * BPP),
+            out: vec![0u8; len_px * BPP],
+        }
+    }
+
+    fn scalar(&mut self) {
+        for p in counted(0..self.len_px) {
+            let a = sc::load(&self.src, p * BPP + 3).cast::<u32>();
+            let inv = sc::lit(255u32) - a;
+            for ch in counted(0..BPP) {
+                let s = sc::load(&self.src, p * BPP + ch).cast::<u32>();
+                let d = sc::load(&self.dst, p * BPP + ch).cast::<u32>();
+                let v = (s + ((d * inv + 128u32) >> 8)).min(sc::lit(255u32));
+                sc::store(&mut self.out, p * BPP + ch, v.cast::<u8>());
+            }
+        }
+    }
+
+    fn neon(&mut self, w: Width) {
+        let n = w.lanes::<u8>();
+        let half = Vreg::<u16>::splat(w, 128);
+        for p in counted((0..self.len_px).step_by(n)) {
+            let s = Vreg::<u8>::load4(w, &self.src, p * BPP);
+            let d = Vreg::<u8>::load4(w, &self.dst, p * BPP);
+            let inv = Vreg::<u8>::splat(w, 255).sub(s[3]);
+            let outc: [Vreg<u8>; BPP] = std::array::from_fn(|ch| {
+                let lo = half
+                    .mla(d[ch].widen_lo_u16(), inv.widen_lo_u16())
+                    .shr(8);
+                let hi = half
+                    .mla(d[ch].widen_hi_u16(), inv.widen_hi_u16())
+                    .shr(8);
+                s[ch].sat_add(lo.narrow_u8(hi))
+            });
+            Vreg::store4(&outc, &mut self.out, p * BPP);
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.out.iter().map(|&b| b as f64).collect()
+    }
+}
+
+runnable!(BlitRowState, auto = custom);
+
+impl BlitRowState {
+    /// The compiler vectorizes this loop but with poor lane utilization
+    /// (per-lane inserts for the alpha broadcast), ending up slower
+    /// than scalar — one of the paper's two `Auto < Scalar` kernels.
+    fn auto(&mut self) {
+        let w = Width::W128;
+        let n = w.lanes::<u8>();
+        let half = Vreg::<u16>::splat(w, 128);
+        for p in counted((0..self.len_px).step_by(n)) {
+            let s = Vreg::<u8>::load4(w, &self.src, p * BPP);
+            let d = Vreg::<u8>::load4(w, &self.dst, p * BPP);
+            // Clumsy alpha handling: per-lane export/import instead of
+            // a register-wide subtract.
+            let mut inv = Vreg::<u8>::zero(w);
+            for lane in 0..n {
+                let a = s[3].get_lane(lane);
+                inv = inv.set_lane(lane, sc::lit(255u8).sat_sub(a));
+            }
+            let outc: [Vreg<u8>; BPP] = std::array::from_fn(|ch| {
+                let lo = half
+                    .mla(d[ch].widen_lo_u16(), inv.widen_lo_u16())
+                    .shr(8);
+                let hi = half
+                    .mla(d[ch].widen_hi_u16(), inv.widen_hi_u16())
+                    .shr(8);
+                s[ch].sat_add(lo.narrow_u8(hi))
+            });
+            Vreg::store4(&outc, &mut self.out, p * BPP);
+        }
+    }
+}
+
+swan_kernel!(
+    /// Source-over alpha blending of one row (Skia `S32A_Opaque_BlitRow32`).
+    BlitRowSrcover, BlitRowState, {
+        name: "blit_row_srcover",
+        library: SK,
+        precision_bits: 8,
+        is_float: false,
+        auto: AutoOutcome::SlowerThanScalar,
+        obstacles: [CostModel],
+        patterns: [StridedMemoryAccess],
+        tolerance: 0.0,
+    }
+);
+
+// =====================================================================
+// memset32
+// =====================================================================
+
+/// State for [`Memset32`].
+#[derive(Debug)]
+pub struct Memset32State {
+    len: usize,
+    color: u32,
+    out: Vec<u32>,
+}
+
+impl Memset32State {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let (rows, cols) = dims(scale);
+        let mut r = rng(seed);
+        Memset32State {
+            len: rows * cols,
+            color: gen_u32(&mut r, 1)[0],
+            out: vec![0u32; rows * cols],
+        }
+    }
+
+    fn scalar(&mut self) {
+        let c = sc::lit(self.color);
+        for i in counted(0..self.len) {
+            sc::store(&mut self.out, i, c);
+        }
+    }
+
+    fn neon(&mut self, w: Width) {
+        let n = w.lanes::<u32>();
+        let c = Vreg::<u32>::splat(w, self.color);
+        for i in counted((0..self.len).step_by(n)) {
+            c.store(&mut self.out, i);
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.out.iter().map(|&b| b as f64).collect()
+    }
+}
+
+runnable!(Memset32State, auto = neon);
+
+swan_kernel!(
+    /// 32-bit color fill (Skia `sk_memset32`).
+    Memset32, Memset32State, {
+        name: "memset32",
+        library: SK,
+        precision_bits: 32,
+        is_float: false,
+        auto: AutoOutcome::Vectorized(VsNeon::Better),
+        obstacles: [],
+        patterns: [],
+        tolerance: 0.0,
+    }
+);
+
+// =====================================================================
+// blend_modulate
+// =====================================================================
+
+/// State for [`BlendModulate`].
+#[derive(Debug)]
+pub struct BlendModulateState {
+    len: usize,
+    src: Vec<u8>,
+    dst: Vec<u8>,
+    out: Vec<u8>,
+}
+
+impl BlendModulateState {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let (rows, cols) = dims(scale);
+        let len = rows * cols * BPP;
+        let mut r = rng(seed);
+        BlendModulateState {
+            len,
+            src: gen_u8(&mut r, len),
+            dst: gen_u8(&mut r, len),
+            out: vec![0u8; len],
+        }
+    }
+
+    fn scalar(&mut self) {
+        for i in counted(0..self.len) {
+            let s = sc::load(&self.src, i).cast::<u32>();
+            let d = sc::load(&self.dst, i).cast::<u32>();
+            sc::store(&mut self.out, i, ((s * d + 128u32) >> 8).cast::<u8>());
+        }
+    }
+
+    fn neon(&mut self, w: Width) {
+        let n = w.lanes::<u8>();
+        let half = Vreg::<u16>::splat(w, 128);
+        for i in counted((0..self.len).step_by(n)) {
+            let s = Vreg::<u8>::load(w, &self.src, i);
+            let d = Vreg::<u8>::load(w, &self.dst, i);
+            let lo = half.add(s.mull_lo_u16(d)).shr(8);
+            let hi = half.add(s.mull_hi_u16(d)).shr(8);
+            lo.narrow_u8(hi).store(&mut self.out, i);
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.out.iter().map(|&b| b as f64).collect()
+    }
+}
+
+runnable!(BlendModulateState, auto = neon);
+
+swan_kernel!(
+    /// Modulate (multiply) blend of two RGBA rows (Skia `SkBlendMode::kModulate`).
+    BlendModulate, BlendModulateState, {
+        name: "blend_modulate",
+        library: SK,
+        precision_bits: 8,
+        is_float: false,
+        auto: AutoOutcome::Vectorized(VsNeon::Worse),
+        obstacles: [],
+        patterns: [],
+        tolerance: 0.0,
+    }
+);
+
+/// All five Skia kernels.
+pub fn kernels() -> Vec<Box<dyn swan_core::Kernel>> {
+    vec![
+        Box::new(ConvolveHorizontal),
+        Box::new(ConvolveVertical),
+        Box::new(BlitRowSrcover),
+        Box::new(Memset32),
+        Box::new(BlendModulate),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swan_core::{verify_kernel, Scale};
+
+    #[test]
+    fn all_sk_kernels_verify() {
+        for k in kernels() {
+            verify_kernel(k.as_ref(), Scale::test(), 31).unwrap();
+        }
+    }
+
+    #[test]
+    fn convolution_preserves_constant_rows() {
+        let mut st = ConvolveVerticalState::new(Scale::test(), 1);
+        st.src.fill(200);
+        st.scalar();
+        // Taps sum to 128 with rounding: a constant image stays put.
+        assert!(st.out.iter().all(|&v| v == 200));
+    }
+
+    #[test]
+    fn srcover_opaque_source_wins() {
+        let mut st = BlitRowState::new(Scale::test(), 2);
+        for p in 0..st.len_px {
+            st.src[p * BPP + 3] = 255; // opaque
+        }
+        st.scalar();
+        for i in 0..64 {
+            assert_eq!(st.out[i], st.src[i]);
+        }
+    }
+
+    #[test]
+    fn modulate_black_is_black() {
+        let mut st = BlendModulateState::new(Scale::test(), 3);
+        st.dst.fill(0);
+        st.scalar();
+        assert!(st.out.iter().all(|&v| v == 0));
+    }
+}

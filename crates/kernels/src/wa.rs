@@ -1,0 +1,485 @@
+//! `WA` — WebAudio kernels: the fine-grain portable vector APIs used by
+//! Chromium's and WebRTC's audio graphs (§6.5).
+//!
+//! Each kernel is one vector-API primitive applied over a 44.1 kHz
+//! stream: a load and a store bracket nearly every arithmetic
+//! operation, which is why the paper measures ~59% of WA's vector
+//! instructions as memory operations and a Neon speedup of only ~1.9x.
+
+use crate::util::{gen_f32, rng, runnable, swan_kernel, tree_reduce_add};
+use swan_core::{AutoOutcome, Scale, VsNeon};
+use swan_simd::scalar::{self as sc, counted};
+use swan_simd::{Vreg, Width};
+
+/// WebAudio render quantum (samples per frame).
+pub const FRAME: usize = 128;
+
+fn samples(scale: Scale) -> usize {
+    scale.dim(44100, 2048, 512)
+}
+
+// =====================================================================
+// audible (frame energy)
+// =====================================================================
+
+/// State for [`Audible`].
+#[derive(Debug)]
+pub struct AudibleState {
+    n: usize,
+    input: Vec<f32>,
+    out: Vec<f32>,
+}
+
+impl AudibleState {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let n = samples(scale);
+        let mut r = rng(seed);
+        AudibleState {
+            n,
+            input: gen_f32(&mut r, n, 1.0),
+            out: vec![0.0; n / FRAME],
+        }
+    }
+
+    fn scalar(&mut self) {
+        for f in counted(0..self.n / FRAME) {
+            let mut energy = sc::lit(0.0f32);
+            for i in counted(0..FRAME) {
+                let s = sc::load(&self.input, f * FRAME + i);
+                energy = s.mul_add(s, energy);
+            }
+            sc::store(&mut self.out, f, energy);
+        }
+    }
+
+    fn neon(&mut self, w: Width) {
+        let lanes = w.lanes::<f32>();
+        for f in counted(0..self.n / FRAME) {
+            let mut acc = Vreg::<f32>::zero(w);
+            for i in counted((0..FRAME).step_by(lanes)) {
+                let s = Vreg::<f32>::load(w, &self.input, f * FRAME + i);
+                acc = acc.mla(s, s);
+            }
+            // Intra-reduction parallelism: partial sums per lane, then
+            // a width-dependent tree reduction (§6.1, §7.1).
+            sc::store(&mut self.out, f, tree_reduce_add(acc));
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.out.iter().map(|&v| v as f64).collect()
+    }
+}
+
+runnable!(AudibleState, auto = scalar);
+
+swan_kernel!(
+    /// Frame-energy reduction (Blink `AudioBus::... IsAudible`), the
+    /// Figure 5(a) reduction representative.
+    Audible, AudibleState, {
+        name: "audible",
+        library: WA,
+        precision_bits: 32,
+        is_float: true,
+        auto: AutoOutcome::SameAsScalar,
+        obstacles: [OtherLegality],
+        patterns: [Reduction, VectorApi],
+        tolerance: 1e-3,
+    }
+);
+
+// =====================================================================
+// gain (vsmul)
+// =====================================================================
+
+/// State for [`Gain`].
+#[derive(Debug)]
+pub struct GainState {
+    n: usize,
+    input: Vec<f32>,
+    gain: f32,
+    out: Vec<f32>,
+}
+
+impl GainState {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let n = samples(scale);
+        let mut r = rng(seed);
+        GainState {
+            n,
+            input: gen_f32(&mut r, n, 1.0),
+            gain: 0.7079, // -3 dB
+            out: vec![0.0; n],
+        }
+    }
+
+    fn scalar(&mut self) {
+        // Compiler-style 4x unroll (superscalar-optimized baseline).
+        let g = sc::lit(self.gain);
+        for i in counted((0..self.n).step_by(4)) {
+            for u in 0..4 {
+                sc::store(&mut self.out, i + u, sc::load(&self.input, i + u) * g);
+            }
+        }
+    }
+
+    fn neon(&mut self, w: Width) {
+        let lanes = w.lanes::<f32>();
+        let g = Vreg::<f32>::splat(w, self.gain);
+        for i in counted((0..self.n).step_by(lanes)) {
+            Vreg::<f32>::load(w, &self.input, i).mul(g).store(&mut self.out, i);
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.out.iter().map(|&v| v as f64).collect()
+    }
+}
+
+runnable!(GainState, auto = neon);
+
+swan_kernel!(
+    /// Scalar gain over a stream (WebAudio `VectorMath::Vsmul`).
+    Gain, GainState, {
+        name: "gain",
+        library: WA,
+        precision_bits: 32,
+        is_float: true,
+        auto: AutoOutcome::Vectorized(VsNeon::Better),
+        obstacles: [],
+        patterns: [VectorApi],
+        tolerance: 0.0,
+    }
+);
+
+// =====================================================================
+// vector_add (vadd)
+// =====================================================================
+
+/// State for [`VectorAdd`].
+#[derive(Debug)]
+pub struct VectorAddState {
+    n: usize,
+    a: Vec<f32>,
+    b: Vec<f32>,
+    out: Vec<f32>,
+}
+
+impl VectorAddState {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let n = samples(scale);
+        let mut r = rng(seed);
+        VectorAddState {
+            n,
+            a: gen_f32(&mut r, n, 1.0),
+            b: gen_f32(&mut r, n, 1.0),
+            out: vec![0.0; n],
+        }
+    }
+
+    fn scalar(&mut self) {
+        for i in counted((0..self.n).step_by(4)) {
+            for u in 0..4 {
+                let v = sc::load(&self.a, i + u) + sc::load(&self.b, i + u);
+                sc::store(&mut self.out, i + u, v);
+            }
+        }
+    }
+
+    fn neon(&mut self, w: Width) {
+        let lanes = w.lanes::<f32>();
+        for i in counted((0..self.n).step_by(lanes)) {
+            Vreg::<f32>::load(w, &self.a, i)
+                .add(Vreg::<f32>::load(w, &self.b, i))
+                .store(&mut self.out, i);
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.out.iter().map(|&v| v as f64).collect()
+    }
+}
+
+runnable!(VectorAddState, auto = neon);
+
+swan_kernel!(
+    /// Stream addition (WebAudio `VectorMath::Vadd`).
+    VectorAdd, VectorAddState, {
+        name: "vector_add",
+        library: WA,
+        precision_bits: 32,
+        is_float: true,
+        auto: AutoOutcome::Vectorized(VsNeon::Similar),
+        obstacles: [],
+        patterns: [VectorApi],
+        tolerance: 0.0,
+    }
+);
+
+// =====================================================================
+// vector_clip (vclip)
+// =====================================================================
+
+/// State for [`VectorClip`].
+#[derive(Debug)]
+pub struct VectorClipState {
+    n: usize,
+    input: Vec<f32>,
+    out: Vec<f32>,
+}
+
+impl VectorClipState {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let n = samples(scale);
+        let mut r = rng(seed);
+        VectorClipState {
+            n,
+            input: gen_f32(&mut r, n, 2.0),
+            out: vec![0.0; n],
+        }
+    }
+
+    fn scalar(&mut self) {
+        let lo = sc::lit(-1.0f32);
+        let hi = sc::lit(1.0f32);
+        for i in counted((0..self.n).step_by(4)) {
+            for u in 0..4 {
+                let v = sc::load(&self.input, i + u).max(lo).min(hi);
+                sc::store(&mut self.out, i + u, v);
+            }
+        }
+    }
+
+    fn neon(&mut self, w: Width) {
+        let lanes = w.lanes::<f32>();
+        let lo = Vreg::<f32>::splat(w, -1.0);
+        let hi = Vreg::<f32>::splat(w, 1.0);
+        for i in counted((0..self.n).step_by(lanes)) {
+            Vreg::<f32>::load(w, &self.input, i)
+                .max(lo)
+                .min(hi)
+                .store(&mut self.out, i);
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.out.iter().map(|&v| v as f64).collect()
+    }
+}
+
+runnable!(VectorClipState, auto = neon);
+
+swan_kernel!(
+    /// Stream clamp to `[-1, 1]` (WebAudio `VectorMath::Vclip`).
+    VectorClip, VectorClipState, {
+        name: "vector_clip",
+        library: WA,
+        precision_bits: 32,
+        is_float: true,
+        auto: AutoOutcome::Vectorized(VsNeon::Worse),
+        obstacles: [],
+        patterns: [VectorApi],
+        tolerance: 0.0,
+    }
+);
+
+// =====================================================================
+// convolve_fir
+// =====================================================================
+
+/// FIR taps.
+pub const FIR_TAPS: usize = 32;
+
+/// State for [`ConvolveFir`].
+#[derive(Debug)]
+pub struct ConvolveFirState {
+    n: usize,
+    /// Input padded by `FIR_TAPS` samples.
+    input: Vec<f32>,
+    coefs: Vec<f32>,
+    out: Vec<f32>,
+}
+
+impl ConvolveFirState {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let n = samples(scale);
+        let mut r = rng(seed);
+        ConvolveFirState {
+            n,
+            input: gen_f32(&mut r, n + FIR_TAPS, 1.0),
+            coefs: gen_f32(&mut r, FIR_TAPS, 0.25),
+            out: vec![0.0; n],
+        }
+    }
+
+    fn scalar(&mut self) {
+        for i in counted(0..self.n) {
+            let mut acc = sc::lit(0.0f32);
+            for k in counted(0..FIR_TAPS) {
+                acc = sc::load(&self.input, i + k).mul_add(sc::load(&self.coefs, k), acc);
+            }
+            sc::store(&mut self.out, i, acc);
+        }
+    }
+
+    fn neon(&mut self, w: Width) {
+        let lanes = w.lanes::<f32>();
+        // Tap splats hoisted once per invocation (kept in registers).
+        let taps: Vec<Vreg<f32>> = (0..FIR_TAPS)
+            .map(|k| Vreg::<f32>::splat_tr(w, sc::load(&self.coefs, k)))
+            .collect();
+        for i in counted((0..self.n).step_by(lanes)) {
+            let mut acc = Vreg::<f32>::zero(w);
+            for (k, tap) in taps.iter().enumerate() {
+                acc = acc.mla(Vreg::<f32>::load(w, &self.input, i + k), *tap);
+            }
+            acc.store(&mut self.out, i);
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.out.iter().map(|&v| v as f64).collect()
+    }
+}
+
+runnable!(ConvolveFirState, auto = scalar);
+
+swan_kernel!(
+    /// Direct-form FIR convolution (WebAudio `DirectConvolver`);
+    /// inter-reduction parallelism across output samples (§6.1).
+    ConvolveFir, ConvolveFirState, {
+        name: "convolve_fir",
+        library: WA,
+        precision_bits: 32,
+        is_float: true,
+        auto: AutoOutcome::SameAsScalar,
+        obstacles: [OtherLegality],
+        patterns: [VectorApi],
+        tolerance: 0.0,
+    }
+);
+
+// =====================================================================
+// merge_channels
+// =====================================================================
+
+/// Input buses merged per output sample.
+pub const BUSES: usize = 4;
+
+/// State for [`MergeChannels`].
+#[derive(Debug)]
+pub struct MergeChannelsState {
+    n: usize,
+    buses: Vec<Vec<f32>>,
+    out: Vec<f32>,
+}
+
+impl MergeChannelsState {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let n = samples(scale);
+        let mut r = rng(seed);
+        MergeChannelsState {
+            n,
+            buses: (0..BUSES).map(|_| gen_f32(&mut r, n, 1.0)).collect(),
+            out: vec![0.0; n],
+        }
+    }
+
+    fn scalar(&mut self) {
+        for i in counted((0..self.n).step_by(2)) {
+            for u in 0..2 {
+                let mut acc = sc::load(&self.buses[0], i + u);
+                for b in 1..BUSES {
+                    acc = acc + sc::load(&self.buses[b], i + u);
+                }
+                sc::store(&mut self.out, i + u, acc);
+            }
+        }
+    }
+
+    fn neon(&mut self, w: Width) {
+        let lanes = w.lanes::<f32>();
+        for i in counted((0..self.n).step_by(lanes)) {
+            let mut acc = Vreg::<f32>::load(w, &self.buses[0], i);
+            for b in 1..BUSES {
+                acc = acc.add(Vreg::<f32>::load(w, &self.buses[b], i));
+            }
+            acc.store(&mut self.out, i);
+        }
+    }
+
+    fn out(&self) -> Vec<f64> {
+        self.out.iter().map(|&v| v as f64).collect()
+    }
+}
+
+runnable!(MergeChannelsState, auto = neon);
+
+swan_kernel!(
+    /// Summing-bus merge of four inputs (Blink `AudioBus::SumFrom`).
+    MergeChannels, MergeChannelsState, {
+        name: "merge_channels",
+        library: WA,
+        precision_bits: 32,
+        is_float: true,
+        auto: AutoOutcome::Vectorized(VsNeon::Similar),
+        obstacles: [],
+        patterns: [VectorApi],
+        tolerance: 0.0,
+    }
+);
+
+/// All six WebAudio kernels.
+pub fn kernels() -> Vec<Box<dyn swan_core::Kernel>> {
+    vec![
+        Box::new(Audible),
+        Box::new(Gain),
+        Box::new(VectorAdd),
+        Box::new(VectorClip),
+        Box::new(ConvolveFir),
+        Box::new(MergeChannels),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swan_core::{verify_kernel, Scale};
+
+    #[test]
+    fn all_wa_kernels_verify() {
+        for k in kernels() {
+            verify_kernel(k.as_ref(), Scale::test(), 41).unwrap();
+        }
+    }
+
+    #[test]
+    fn audible_energy_is_nonnegative_and_matches_reference() {
+        let mut st = AudibleState::new(Scale::test(), 2);
+        st.scalar();
+        let reference: f32 = st.input[..FRAME].iter().map(|&s| s * s).sum();
+        assert!((st.out[0] - reference).abs() / reference.max(1e-6) < 1e-4);
+        assert!(st.out.iter().all(|&e| e >= 0.0));
+    }
+
+    #[test]
+    fn clip_bounds_output() {
+        let mut st = VectorClipState::new(Scale::test(), 3);
+        st.scalar();
+        assert!(st.out.iter().all(|&v| (-1.0..=1.0).contains(&v)));
+        assert!(st.input.iter().any(|&v| !(-1.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn fir_impulse_recovers_taps() {
+        let mut st = ConvolveFirState::new(Scale::test(), 4);
+        st.input.fill(0.0);
+        st.input[FIR_TAPS] = 1.0; // impulse (offset by padding reads)
+        st.scalar();
+        // out[i] = sum_k in[i+k] coef[k]; impulse at FIR_TAPS means
+        // out[FIR_TAPS - k] = coef[k].
+        for k in 1..FIR_TAPS {
+            assert_eq!(st.out[FIR_TAPS - k], st.coefs[k]);
+        }
+    }
+}

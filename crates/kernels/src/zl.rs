@@ -1,0 +1,358 @@
+//! `ZL` — zlib checksum kernels: Adler-32 and CRC-32.
+//!
+//! Adler-32 is the paper's worked example of a *sequential* reduction
+//! (§6.1): `s2` is neither associative nor commutative as written, and
+//! the vector implementation applies the loop-distribution rewrite
+//! (`s2 += n*s1 + Σ(n-i)·b_i`). CRC-32's scalar form is a look-up-table
+//! serial chain (an auto-vectorization killer, §5.2 example 2); the
+//! vector form uses the `PMULL` carry-less-multiply crypto extension
+//! with fold + Barrett reduction, all constants derived from the
+//! polynomial rather than transcribed.
+
+use crate::util::{gen_u8, rng, runnable, swan_kernel};
+use swan_core::{AutoOutcome, Scale};
+use swan_simd::scalar::{self as sc, counted};
+use swan_simd::{Tr, Vreg, Width};
+
+fn data_len(scale: Scale) -> usize {
+    scale.len(128 << 10)
+}
+
+// =====================================================================
+// adler32
+// =====================================================================
+
+/// Adler-32 modulus.
+pub const ADLER_MOD: u32 = 65521;
+/// Largest byte count before `s2` can overflow 32 bits.
+pub const NMAX: usize = 5552;
+
+/// State for [`Adler32`].
+#[derive(Debug)]
+pub struct Adler32State {
+    data: Vec<u8>,
+    out: u32,
+}
+
+fn mod_adler(v: Tr<u32>) -> Tr<u32> {
+    let q = v.div(sc::lit(ADLER_MOD));
+    v - q * ADLER_MOD
+}
+
+impl Adler32State {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let mut r = rng(seed);
+        Adler32State { data: gen_u8(&mut r, data_len(scale)), out: 0 }
+    }
+
+    fn scalar(&mut self) {
+        let mut s1 = sc::lit(1u32);
+        let mut s2 = sc::lit(0u32);
+        let len = self.data.len();
+        for block in counted((0..len).step_by(NMAX)) {
+            let end = (block + NMAX).min(len);
+            for i in counted(block..end) {
+                let b = sc::load(&self.data, i).cast::<u32>();
+                s1 = s1 + b;
+                s2 = s2 + s1; // the sequential reduction (§6.1)
+            }
+            s1 = mod_adler(s1);
+            s2 = mod_adler(s2);
+        }
+        self.out = (s2.get() << 16) | s1.get();
+    }
+
+    fn neon(&mut self, w: Width) {
+        let n = w.lanes::<u8>();
+        let weights: Vec<u8> = (0..n).map(|i| (n - i) as u8).collect();
+        let wv = Vreg::<u8>::from_lanes(w, &weights);
+        let mut s1 = sc::lit(1u32);
+        let mut s2 = sc::lit(0u32);
+        let len = self.data.len();
+        let block = NMAX / n * n;
+        for base in counted((0..len).step_by(block)) {
+            let end = (base + block).min(len);
+            for i in counted((base..end).step_by(n)) {
+                let d = Vreg::<u8>::load(w, &self.data, i);
+                // Loop-distributed form: s2 gains n*s1 plus the
+                // position-weighted byte sum.
+                s2 = s2 + s1 * (n as u32);
+                let weighted =
+                    d.mull_lo_u16(wv).addlv_u32() + d.mull_hi_u16(wv).addlv_u32();
+                s2 = s2 + weighted;
+                s1 = s1 + d.addlv_u32();
+            }
+            s1 = mod_adler(s1);
+            s2 = mod_adler(s2);
+        }
+        self.out = (s2.get() << 16) | s1.get();
+    }
+
+    fn out(&self) -> Vec<f64> {
+        vec![self.out as f64]
+    }
+}
+
+runnable!(Adler32State, auto = scalar);
+
+swan_kernel!(
+    /// Adler-32 checksum (zlib `adler32`), the Figure 5(a) sequential-
+    /// reduction representative.
+    Adler32, Adler32State, {
+        name: "adler32",
+        library: ZL,
+        precision_bits: 8,
+        is_float: false,
+        auto: AutoOutcome::SameAsScalar,
+        obstacles: [LoopDependency, OtherLegality],
+        patterns: [SequentialReduction],
+        tolerance: 0.0,
+    }
+);
+
+// =====================================================================
+// crc32
+// =====================================================================
+
+/// The CRC-32 (IEEE 802.3) polynomial, reflected form.
+pub const POLY_REFLECTED: u32 = 0xEDB8_8320;
+/// The polynomial in normal (MSB-first) form, 33 bits.
+pub const POLY_NORMAL: u64 = 0x1_04C1_1DB7;
+
+/// `x^k mod P` in normal form (computed, not transcribed).
+fn xpow_mod(k: u32) -> u64 {
+    let mut r = 1u64;
+    for _ in 0..k {
+        r <<= 1;
+        if r & (1 << 32) != 0 {
+            r ^= POLY_NORMAL;
+        }
+    }
+    r
+}
+
+/// `floor(x^64 / P)` for the Barrett reduction (33 bits).
+fn barrett_mu() -> u64 {
+    let mut rem: u128 = 1u128 << 64;
+    let mut q = 0u64;
+    for i in (0..=32).rev() {
+        if (rem >> (i + 32)) & 1 == 1 {
+            q |= 1 << i;
+            rem ^= (POLY_NORMAL as u128) << i;
+        }
+    }
+    q
+}
+
+/// Byte-at-a-time reflected CRC table.
+fn crc_table() -> Vec<u32> {
+    (0..256u32)
+        .map(|i| {
+            let mut c = i;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { (c >> 1) ^ POLY_REFLECTED } else { c >> 1 };
+            }
+            c
+        })
+        .collect()
+}
+
+/// State for [`Crc32`].
+#[derive(Debug)]
+pub struct Crc32State {
+    data: Vec<u8>,
+    table: Vec<u32>,
+    k128: u64,
+    k64: u64,
+    k32: u64,
+    mu: u64,
+    out: u32,
+}
+
+impl Crc32State {
+    fn new(scale: Scale, seed: u64) -> Self {
+        let mut r = rng(seed);
+        Crc32State {
+            data: gen_u8(&mut r, data_len(scale)),
+            table: crc_table(),
+            k128: xpow_mod(128),
+            k64: xpow_mod(64),
+            k32: xpow_mod(32),
+            mu: barrett_mu(),
+            out: 0,
+        }
+    }
+
+    fn scalar(&mut self) {
+        // The classic table chain: every step's load address depends on
+        // the previous CRC value — a serial indirect-load chain.
+        let mut crc = sc::lit(0xFFFF_FFFFu32);
+        for i in counted(0..self.data.len()) {
+            let b = sc::load(&self.data, i).cast::<u32>();
+            let idx = (crc ^ b) & 0xFFu32;
+            let t = sc::load_dep(&self.table, idx.get() as usize, idx);
+            crc = (crc >> 8) ^ t;
+        }
+        self.out = crc.get() ^ 0xFFFF_FFFF;
+    }
+
+    fn neon(&mut self, _w: Width) {
+        // PMULL fold over 16-byte chunks in normal bit order; register
+        // width beyond 128 bits does not help the serial fold chain,
+        // so the kernel is width-invariant (like real PMULL CRC code).
+        let w = Width::W128;
+        let consts = |v: u64| Vreg::<u64>::from_lanes(w, &[v, v]);
+        let k128 = consts(self.k128);
+        let k64 = consts(self.k64);
+        let mu = consts(self.mu);
+        let poly = consts(POLY_NORMAL);
+        let lo_mask = Vreg::<u64>::from_lanes(w, &[u64::MAX, 0]);
+        let mask32 = Vreg::<u64>::from_lanes(w, &[0xFFFF_FFFF, 0]);
+        let init = {
+            let mut lanes = vec![0u8; 16];
+            lanes[..4].fill(0xFF);
+            Vreg::<u8>::from_lanes(w, &lanes)
+        };
+        let z = Vreg::<u64>::zero(w);
+        let mut r = Vreg::<u64>::zero(w); // state in lane 0, normal form
+        let mut first = true;
+        for i in counted((0..self.data.len()).step_by(16)) {
+            let mut chunk = Vreg::<u8>::load(w, &self.data, i);
+            if first {
+                chunk = chunk.xor(init);
+                first = false;
+            }
+            // bitrev64 per 8-byte group: RBIT + byte reverse.
+            let wreg = chunk.rbit().rev(8).bitcast_u64();
+            // U = R*x^128 + C_hi*x^64 + C_lo  (mod-P congruent, <=96b).
+            let u = r
+                .pmull_lo(k128)
+                .xor(wreg.pmull_lo(k64))
+                .xor(wreg.ext(z, 1)); // C_lo into lane 0
+            // Fold bits 64..95: V = U_hi*x^64 + U_lo  (<= 64 bits).
+            let v = u.pmull_hi(k64).xor(u.and(lo_mask));
+            // Barrett: q = (V >> 32) * mu >> 32; R = V ^ q*P (32 bits).
+            let q = v.shr(32).pmull_lo(mu).shr(32);
+            r = v.xor(q.pmull_lo(poly)).and(mask32);
+        }
+        // Final: advance 32 bits, reflect, complement.
+        let k32v = consts(self.k32);
+        let v = r.pmull_lo(k32v);
+        let q = v.shr(32).pmull_lo(mu).shr(32);
+        let crc_norm = v.xor(q.pmull_lo(poly)).and(mask32);
+        let crc = crc_norm.rbit().shr(32).get_lane(0);
+        self.out = (crc ^ sc::lit(0xFFFF_FFFFu64)).cast::<u32>().get();
+    }
+
+    fn out(&self) -> Vec<f64> {
+        vec![self.out as f64]
+    }
+}
+
+runnable!(Crc32State, auto = scalar);
+
+swan_kernel!(
+    /// CRC-32 checksum (zlib `crc32`): table chain scalar vs `PMULL`
+    /// fold + Barrett vector.
+    Crc32, Crc32State, {
+        name: "crc32",
+        library: ZL,
+        precision_bits: 8,
+        is_float: false,
+        auto: AutoOutcome::SameAsScalar,
+        obstacles: [IndirectMemoryAccess],
+        patterns: [RandomMemoryAccess, SequentialReduction],
+        tolerance: 0.0,
+    }
+);
+
+/// Both zlib kernels.
+pub fn kernels() -> Vec<Box<dyn swan_core::Kernel>> {
+    vec![Box::new(Adler32), Box::new(Crc32)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swan_core::{verify_kernel, Scale};
+
+    #[test]
+    fn all_zl_kernels_verify() {
+        for k in kernels() {
+            verify_kernel(k.as_ref(), Scale::test(), 61).unwrap();
+        }
+    }
+
+    /// Reference scalar CRC without tracing.
+    fn crc_ref(data: &[u8]) -> u32 {
+        let table = crc_table();
+        let mut c = 0xFFFF_FFFFu32;
+        for &b in data {
+            c = (c >> 8) ^ table[((c ^ b as u32) & 0xff) as usize];
+        }
+        c ^ 0xFFFF_FFFF
+    }
+
+    #[test]
+    fn crc32_check_value() {
+        // The canonical CRC-32 check: "123456789" -> 0xCBF43926.
+        assert_eq!(crc_ref(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc32_scalar_matches_reference() {
+        let mut st = Crc32State::new(Scale::test(), 13);
+        st.scalar();
+        assert_eq!(st.out, crc_ref(&st.data));
+    }
+
+    #[test]
+    fn crc32_pmull_matches_reference() {
+        let mut st = Crc32State::new(Scale::test(), 17);
+        st.neon(Width::W128);
+        assert_eq!(st.out, crc_ref(&st.data));
+    }
+
+    /// Reference Adler-32.
+    fn adler_ref(data: &[u8]) -> u32 {
+        let (mut s1, mut s2) = (1u32, 0u32);
+        for &b in data {
+            s1 = (s1 + b as u32) % ADLER_MOD;
+            s2 = (s2 + s1) % ADLER_MOD;
+        }
+        (s2 << 16) | s1
+    }
+
+    #[test]
+    fn adler32_matches_reference() {
+        let mut st = Adler32State::new(Scale::test(), 19);
+        st.scalar();
+        assert_eq!(st.out, adler_ref(&st.data));
+        let mut st2 = Adler32State::new(Scale::test(), 19);
+        st2.neon(Width::W256);
+        assert_eq!(st2.out, adler_ref(&st2.data));
+    }
+
+    #[test]
+    fn constants_are_consistent() {
+        // x^32 mod P has degree < 32 and x^64 = (x^32)^2 mod P.
+        let k32 = xpow_mod(32);
+        assert!(k32 < (1 << 32));
+        assert_eq!(xpow_mod(64), {
+            // Square k32 via carry-less multiply then reduce.
+            let mut sq = 0u128;
+            for i in 0..64 {
+                if (k32 >> i) & 1 == 1 {
+                    sq ^= (k32 as u128) << i;
+                }
+            }
+            let mut rem = sq;
+            for i in (0..=(127 - 32)).rev() {
+                if (rem >> (i + 32)) & 1 == 1 {
+                    rem ^= (POLY_NORMAL as u128) << i;
+                }
+            }
+            rem as u64
+        });
+    }
+}

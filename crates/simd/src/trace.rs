@@ -1,0 +1,456 @@
+//! Dynamic-instruction tracing.
+//!
+//! Every intrinsic call on a [`crate::Vreg`] or tracked scalar emits one
+//! dynamic instruction into a per-thread tracer. A [`Session`] brackets a
+//! kernel invocation; finishing it yields [`TraceData`] containing the
+//! per-class/per-op histograms and — in [`Mode::Full`] — the complete
+//! dynamic trace with dataflow edges (value ids) and memory references.
+//! This is the hand-off point to the `swan-uarch` trace-driven core
+//! model, mirroring the paper's DynamoRIO → Ramulator flow.
+
+use std::cell::RefCell;
+
+/// Instruction classes, matching the Figure 1 breakdown of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Class {
+    /// Scalar integer (including scalar loads/stores and branches).
+    SInt = 0,
+    /// Scalar floating-point.
+    SFloat = 1,
+    /// Vector load.
+    VLoad = 2,
+    /// Vector store.
+    VStore = 3,
+    /// Vector integer arithmetic/logic.
+    VInt = 4,
+    /// Vector floating-point arithmetic.
+    VFloat = 5,
+    /// Vector cryptography (AES, SHA, PMULL).
+    VCrypto = 6,
+    /// Vector miscellaneous: permutes, lane moves, width/type
+    /// conversions, register manipulation.
+    VMisc = 7,
+}
+
+/// Number of instruction classes.
+pub const CLASS_COUNT: usize = 8;
+
+impl Class {
+    /// All classes in `Figure 1` order.
+    pub const ALL: [Class; CLASS_COUNT] = [
+        Class::SInt,
+        Class::SFloat,
+        Class::VLoad,
+        Class::VStore,
+        Class::VInt,
+        Class::VFloat,
+        Class::VCrypto,
+        Class::VMisc,
+    ];
+
+    /// Whether the class is a vector class.
+    pub fn is_vector(self) -> bool {
+        !matches!(self, Class::SInt | Class::SFloat)
+    }
+
+    /// Display label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Class::SInt => "S-Integer",
+            Class::SFloat => "S-Float",
+            Class::VLoad => "V-Load",
+            Class::VStore => "V-Store",
+            Class::VInt => "V-Integer",
+            Class::VFloat => "V-Float",
+            Class::VCrypto => "V-Crypto",
+            Class::VMisc => "V-Misc",
+        }
+    }
+}
+
+macro_rules! ops {
+    ($($(#[$doc:meta])* $name:ident),+ $(,)?) => {
+        /// Operation tags. Each maps to an execution latency and a
+        /// functional-unit class in `swan-uarch` (taken from the Arm
+        /// Cortex-A76 Software Optimization Guide).
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+        #[allow(missing_docs)]
+        #[repr(u8)]
+        pub enum Op { $($(#[$doc])* $name),+ }
+
+        /// Number of distinct operation tags.
+        pub const OP_COUNT: usize = [$(Op::$name),+].len();
+
+        impl Op {
+            /// All operation tags.
+            pub const ALL: [Op; OP_COUNT] = [$(Op::$name),+];
+        }
+    };
+}
+
+ops! {
+    // --- scalar ---
+    SAlu, SMul, SDiv, SLoad, SStore, SBranch, SFAdd, SFMul, SFDiv, SFma,
+    // --- vector memory (suffix = interleave stride) ---
+    VLd1, VLd2, VLd3, VLd4, VSt1, VSt2, VSt3, VSt4,
+    // --- vector integer ---
+    VAlu, VMul, VMla, VMull, VAbd, VShift, VCmp, VBsl, VPadd,
+    // --- vector float ---
+    VFAdd, VFMul, VFma, VFDiv, VFCvt,
+    // --- reductions ---
+    VAddv, VAddlv, VMaxv, VMinv,
+    // --- permutes / register manipulation ---
+    VZip, VUzp, VTrn, VExt, VRev, VTbl, VDup, VGetLane, VSetLane,
+    VWiden, VNarrow,
+    // --- crypto ---
+    VAes, VSha, VPmull,
+}
+
+impl Op {
+    /// Whether this op reads memory.
+    pub fn is_load(self) -> bool {
+        matches!(
+            self,
+            Op::SLoad | Op::VLd1 | Op::VLd2 | Op::VLd3 | Op::VLd4
+        )
+    }
+
+    /// Whether this op writes memory.
+    pub fn is_store(self) -> bool {
+        matches!(
+            self,
+            Op::SStore | Op::VSt1 | Op::VSt2 | Op::VSt3 | Op::VSt4
+        )
+    }
+
+    /// Interleave stride for multi-register structure loads/stores
+    /// (`vld2/3/4`, `vst2/3/4`), 1 otherwise.
+    pub fn stride(self) -> usize {
+        match self {
+            Op::VLd2 | Op::VSt2 => 2,
+            Op::VLd3 | Op::VSt3 => 3,
+            Op::VLd4 | Op::VSt4 => 4,
+            _ => 1,
+        }
+    }
+}
+
+/// Memory reference attached to a load/store instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemRef {
+    /// Byte address (host address of the accessed slice element, which
+    /// gives the cache model a realistic, stable layout).
+    pub addr: u64,
+    /// Access footprint in bytes.
+    pub bytes: u32,
+}
+
+/// One dynamic instruction.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceInstr {
+    /// Operation tag.
+    pub op: Op,
+    /// Instruction class (Figure 1 taxonomy).
+    pub class: Class,
+    /// Destination value id (0 = none).
+    pub dst: u32,
+    /// Source value ids (first `nsrc` entries are valid; 0 = immediate
+    /// or untracked).
+    pub srcs: [u32; 4],
+    /// Number of valid sources.
+    pub nsrc: u8,
+    /// Memory reference for loads/stores.
+    pub mem: Option<MemRef>,
+}
+
+/// Tracing mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// No tracing; intrinsics run at full emulation speed.
+    #[default]
+    Off,
+    /// Histogram instruction counts only (Figure 1, Table 6).
+    Count,
+    /// Record the complete dynamic trace (timing simulation input).
+    Full,
+}
+
+struct Tracer {
+    mode: Mode,
+    active: bool,
+    next_id: u32,
+    by_op: [u64; OP_COUNT],
+    by_class: [u64; CLASS_COUNT],
+    instrs: Vec<TraceInstr>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer {
+            mode: Mode::Off,
+            active: false,
+            next_id: 1,
+            by_op: [0; OP_COUNT],
+            by_class: [0; CLASS_COUNT],
+            instrs: Vec::new(),
+        }
+    }
+}
+
+thread_local! {
+    static TRACER: RefCell<Tracer> = RefCell::new(Tracer::default());
+}
+
+/// Aggregated results of a tracing session.
+#[derive(Clone, Debug)]
+pub struct TraceData {
+    /// Per-op dynamic instruction counts, indexed by `Op as usize`.
+    pub by_op: [u64; OP_COUNT],
+    /// Per-class dynamic instruction counts, indexed by `Class as usize`.
+    pub by_class: [u64; CLASS_COUNT],
+    /// Full dynamic trace (empty unless the session ran in [`Mode::Full`]).
+    pub instrs: Vec<TraceInstr>,
+}
+
+impl Default for TraceData {
+    fn default() -> Self {
+        TraceData {
+            by_op: [0; OP_COUNT],
+            by_class: [0; CLASS_COUNT],
+            instrs: Vec::new(),
+        }
+    }
+}
+
+impl TraceData {
+    /// Total dynamic instruction count.
+    pub fn total(&self) -> u64 {
+        self.by_class.iter().sum()
+    }
+
+    /// Count for one instruction class.
+    pub fn class_count(&self, c: Class) -> u64 {
+        self.by_class[c as usize]
+    }
+
+    /// Count for one operation tag.
+    pub fn op_count(&self, op: Op) -> u64 {
+        self.by_op[op as usize]
+    }
+
+    /// Total vector-class instructions.
+    pub fn vector_total(&self) -> u64 {
+        Class::ALL
+            .iter()
+            .filter(|c| c.is_vector())
+            .map(|c| self.class_count(*c))
+            .sum()
+    }
+
+    /// Merge another trace's histograms (used when a measurement spans
+    /// several invocations). Full traces are concatenated.
+    pub fn merge(&mut self, other: &TraceData) {
+        for i in 0..OP_COUNT {
+            self.by_op[i] += other.by_op[i];
+        }
+        for i in 0..CLASS_COUNT {
+            self.by_class[i] += other.by_class[i];
+        }
+        self.instrs.extend_from_slice(&other.instrs);
+    }
+}
+
+/// An active tracing session (RAII).
+///
+/// Only one session per thread may be active at a time; nesting panics.
+/// Dropping a session without calling [`Session::finish`] discards its
+/// data and re-arms the tracer.
+#[derive(Debug)]
+pub struct Session {
+    done: bool,
+}
+
+impl Session {
+    /// Start tracing on the current thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a session is already active on this thread.
+    pub fn begin(mode: Mode) -> Session {
+        TRACER.with(|t| {
+            let mut t = t.borrow_mut();
+            assert!(!t.active, "a trace session is already active");
+            t.active = true;
+            t.mode = mode;
+            t.next_id = 1;
+            t.by_op = [0; OP_COUNT];
+            t.by_class = [0; CLASS_COUNT];
+            t.instrs.clear();
+        });
+        Session { done: false }
+    }
+
+    /// Stop tracing and return the collected data.
+    pub fn finish(mut self) -> TraceData {
+        self.done = true;
+        TRACER.with(|t| {
+            let mut t = t.borrow_mut();
+            t.active = false;
+            t.mode = Mode::Off;
+            TraceData {
+                by_op: t.by_op,
+                by_class: t.by_class,
+                instrs: std::mem::take(&mut t.instrs),
+            }
+        })
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        if !self.done {
+            TRACER.with(|t| {
+                let mut t = t.borrow_mut();
+                t.active = false;
+                t.mode = Mode::Off;
+                t.instrs.clear();
+            });
+        }
+    }
+}
+
+/// Emit one dynamic instruction; returns the fresh destination value id
+/// (0 when tracing is off).
+#[inline]
+pub(crate) fn emit(op: Op, class: Class, srcs: &[u32], mem: Option<MemRef>) -> u32 {
+    TRACER.with(|t| {
+        let mut t = t.borrow_mut();
+        if t.mode == Mode::Off {
+            return 0;
+        }
+        t.by_op[op as usize] += 1;
+        t.by_class[class as usize] += 1;
+        let id = t.next_id;
+        t.next_id = t.next_id.wrapping_add(1);
+        if t.mode == Mode::Full {
+            let mut s = [0u32; 4];
+            let n = srcs.len().min(4);
+            s[..n].copy_from_slice(&srcs[..n]);
+            t.instrs.push(TraceInstr {
+                op,
+                class,
+                dst: id,
+                srcs: s,
+                nsrc: n as u8,
+                mem,
+            });
+        }
+        id
+    })
+}
+
+/// Emit `n` repeated bookkeeping instructions of the same op (used for
+/// loop-control overhead). Cheaper than `n` separate `emit` calls.
+#[inline]
+pub(crate) fn emit_overhead(op: Op, class: Class, n: u64) {
+    if n == 0 {
+        return;
+    }
+    TRACER.with(|t| {
+        let mut t = t.borrow_mut();
+        if t.mode == Mode::Off {
+            return;
+        }
+        t.by_op[op as usize] += n;
+        t.by_class[class as usize] += n;
+        if t.mode == Mode::Full {
+            for _ in 0..n {
+                let id = t.next_id;
+                t.next_id = t.next_id.wrapping_add(1);
+                t.instrs.push(TraceInstr {
+                    op,
+                    class,
+                    dst: id,
+                    srcs: [0; 4],
+                    nsrc: 0,
+                    mem: None,
+                });
+            }
+        }
+    })
+}
+
+/// Whether tracing is currently enabled on this thread.
+pub fn is_tracing() -> bool {
+    TRACER.with(|t| t.borrow().mode != Mode::Off)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_counts_and_resets() {
+        let s = Session::begin(Mode::Count);
+        emit(Op::VAlu, Class::VInt, &[1, 2], None);
+        emit(Op::SLoad, Class::SInt, &[], Some(MemRef { addr: 64, bytes: 4 }));
+        let d = s.finish();
+        assert_eq!(d.total(), 2);
+        assert_eq!(d.class_count(Class::VInt), 1);
+        assert_eq!(d.op_count(Op::SLoad), 1);
+        assert!(d.instrs.is_empty(), "Count mode records no trace");
+        assert!(!is_tracing());
+    }
+
+    #[test]
+    fn full_mode_records_dataflow() {
+        let s = Session::begin(Mode::Full);
+        let a = emit(Op::VLd1, Class::VLoad, &[], Some(MemRef { addr: 0, bytes: 16 }));
+        let b = emit(Op::VAlu, Class::VInt, &[a, a], None);
+        emit(Op::VSt1, Class::VStore, &[b], Some(MemRef { addr: 64, bytes: 16 }));
+        let d = s.finish();
+        assert_eq!(d.instrs.len(), 3);
+        assert_eq!(d.instrs[1].srcs[0], a);
+        assert_eq!(d.instrs[2].srcs[0], b);
+        assert_eq!(d.instrs[0].mem.unwrap().bytes, 16);
+    }
+
+    #[test]
+    fn off_mode_is_free() {
+        // No session: emit returns 0 and records nothing.
+        let id = emit(Op::VAlu, Class::VInt, &[], None);
+        assert_eq!(id, 0);
+        let s = Session::begin(Mode::Count);
+        let d = s.finish();
+        assert_eq!(d.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already active")]
+    fn nested_sessions_panic() {
+        let _a = Session::begin(Mode::Count);
+        let _b = Session::begin(Mode::Count);
+    }
+
+    #[test]
+    fn dropped_session_rearms() {
+        {
+            let _s = Session::begin(Mode::Full);
+            emit(Op::VAlu, Class::VInt, &[], None);
+        }
+        let s = Session::begin(Mode::Count);
+        let d = s.finish();
+        assert_eq!(d.total(), 0);
+    }
+
+    #[test]
+    fn op_strides() {
+        assert_eq!(Op::VLd4.stride(), 4);
+        assert_eq!(Op::VSt2.stride(), 2);
+        assert_eq!(Op::VLd1.stride(), 1);
+        assert!(Op::VLd3.is_load());
+        assert!(Op::VSt3.is_store());
+        assert!(!Op::VAlu.is_load());
+    }
+}

@@ -1,0 +1,630 @@
+//! Width and type conversions: widening/narrowing moves, widening
+//! multiplies and multiply-accumulates, pairwise widening adds, and
+//! numeric conversions.
+//!
+//! Naming follows a `<op>_<lo|hi>_<dst>` convention, e.g.
+//! [`Vreg::<u8>::widen_lo_u16`] models `USHLL`(`UXTL`) and
+//! [`Vreg::<i16>::narrow_sat_u8`] models the `SQXTUN`/`SQXTUN2` pair.
+
+use super::{vclass, Vreg};
+use crate::elem::{Elem, Half};
+use crate::trace::{self, Class, Op};
+
+macro_rules! widen_ops {
+    ($src:ty, $dst:ty, $lo:ident, $hi:ident) => {
+        impl Vreg<$src> {
+            #[doc = concat!("Widen the low half of the lanes to `", stringify!($dst), "` (`XTL`).")]
+            pub fn $lo(&self) -> Vreg<$dst> {
+                let h = self.n() / 2;
+                let (mut l, n) = Vreg::<$dst>::empty(h);
+                for i in 0..h {
+                    l[i] = self.lanes[i] as $dst;
+                }
+                let id = trace::emit(Op::VWiden, Class::VMisc, &[self.id], None);
+                Vreg::raw(l, n, id)
+            }
+
+            #[doc = concat!("Widen the high half of the lanes to `", stringify!($dst), "` (`XTL2`).")]
+            pub fn $hi(&self) -> Vreg<$dst> {
+                let h = self.n() / 2;
+                let (mut l, n) = Vreg::<$dst>::empty(h);
+                for i in 0..h {
+                    l[i] = self.lanes[h + i] as $dst;
+                }
+                let id = trace::emit(Op::VWiden, Class::VMisc, &[self.id], None);
+                Vreg::raw(l, n, id)
+            }
+        }
+    };
+}
+
+widen_ops!(u8, u16, widen_lo_u16, widen_hi_u16);
+widen_ops!(u8, i16, widen_lo_i16, widen_hi_i16);
+widen_ops!(i8, i16, widen_lo_i16, widen_hi_i16);
+widen_ops!(u16, u32, widen_lo_u32, widen_hi_u32);
+widen_ops!(u16, i32, widen_lo_i32, widen_hi_i32);
+widen_ops!(i16, i32, widen_lo_i32, widen_hi_i32);
+widen_ops!(u32, u64, widen_lo_u64, widen_hi_u64);
+widen_ops!(i32, i64, widen_lo_i64, widen_hi_i64);
+
+macro_rules! narrow_ops {
+    ($src:ty, $dst:ty, $trunc:ident, $sat:ident, $satf:expr) => {
+        impl Vreg<$src> {
+            #[doc = concat!("Truncating narrow of `self:hi` to `", stringify!($dst),
+                "` (`XTN` + `XTN2`, two instructions).")]
+            pub fn $trunc(&self, hi: Vreg<$src>) -> Vreg<$dst> {
+                assert_eq!(self.n, hi.n);
+                let h = self.n();
+                let (mut l, n) = Vreg::<$dst>::empty(2 * h);
+                for i in 0..h {
+                    l[i] = self.lanes[i] as $dst;
+                    l[h + i] = hi.lanes[i] as $dst;
+                }
+                let a = trace::emit(Op::VNarrow, Class::VMisc, &[self.id], None);
+                let id = trace::emit(Op::VNarrow, Class::VMisc, &[hi.id, a], None);
+                Vreg::raw(l, n, id)
+            }
+
+            #[doc = concat!("Saturating narrow of `self:hi` to `", stringify!($dst),
+                "` (`QXTN` pair, two instructions).")]
+            pub fn $sat(&self, hi: Vreg<$src>) -> Vreg<$dst> {
+                assert_eq!(self.n, hi.n);
+                let h = self.n();
+                let (mut l, n) = Vreg::<$dst>::empty(2 * h);
+                let f = $satf;
+                for i in 0..h {
+                    l[i] = f(self.lanes[i]);
+                    l[h + i] = f(hi.lanes[i]);
+                }
+                let a = trace::emit(Op::VNarrow, Class::VMisc, &[self.id], None);
+                let id = trace::emit(Op::VNarrow, Class::VMisc, &[hi.id, a], None);
+                Vreg::raw(l, n, id)
+            }
+        }
+    };
+}
+
+narrow_ops!(u16, u8, narrow_u8, narrow_sat_u8, |x: u16| x.min(255) as u8);
+narrow_ops!(i16, i8, narrow_i8, narrow_sat_i8, |x: i16| {
+    x.clamp(-128, 127) as i8
+});
+narrow_ops!(u32, u16, narrow_u16, narrow_sat_u16, |x: u32| {
+    x.min(65535) as u16
+});
+narrow_ops!(i32, i16, narrow_i16, narrow_sat_i16, |x: i32| {
+    x.clamp(-32768, 32767) as i16
+});
+narrow_ops!(u64, u32, narrow_u32, narrow_sat_u32, |x: u64| {
+    x.min(u32::MAX as u64) as u32
+});
+narrow_ops!(i64, i32, narrow_i32, narrow_sat_i32, |x: i64| {
+    x.clamp(i32::MIN as i64, i32::MAX as i64) as i32
+});
+
+macro_rules! narrow_unsigned_ops {
+    ($src:ty, $dst:ty, $sat:ident, $rshrn:ident, $max:expr) => {
+        impl Vreg<$src> {
+            #[doc = concat!("Saturating narrow of signed `self:hi` to unsigned `",
+                stringify!($dst), "` (`SQXTUN` pair, two instructions).")]
+            pub fn $sat(&self, hi: Vreg<$src>) -> Vreg<$dst> {
+                assert_eq!(self.n, hi.n);
+                let h = self.n();
+                let (mut l, n) = Vreg::<$dst>::empty(2 * h);
+                for i in 0..h {
+                    l[i] = self.lanes[i].clamp(0, $max) as $dst;
+                    l[h + i] = hi.lanes[i].clamp(0, $max) as $dst;
+                }
+                let a = trace::emit(Op::VNarrow, Class::VMisc, &[self.id], None);
+                let id = trace::emit(Op::VNarrow, Class::VMisc, &[hi.id, a], None);
+                Vreg::raw(l, n, id)
+            }
+
+            #[doc = concat!("Rounding shift-right + unsigned-saturating narrow of ",
+                "`self:hi` (`SQRSHRUN` pair, two instructions).")]
+            pub fn $rshrn(&self, hi: Vreg<$src>, imm: u32) -> Vreg<$dst> {
+                assert_eq!(self.n, hi.n);
+                let h = self.n();
+                let (mut l, n) = Vreg::<$dst>::empty(2 * h);
+                for i in 0..h {
+                    l[i] = self.lanes[i].shr_round(imm).clamp(0, $max) as $dst;
+                    l[h + i] = hi.lanes[i].shr_round(imm).clamp(0, $max) as $dst;
+                }
+                let a = trace::emit(Op::VNarrow, Class::VMisc, &[self.id], None);
+                let id = trace::emit(Op::VNarrow, Class::VMisc, &[hi.id, a], None);
+                Vreg::raw(l, n, id)
+            }
+        }
+    };
+}
+
+narrow_unsigned_ops!(i16, u8, narrow_sat_u8_from_i16, rshrn_sat_u8, 255);
+narrow_unsigned_ops!(i32, u16, narrow_sat_u16_from_i32, rshrn_sat_u16, 65535);
+
+macro_rules! mull_ops {
+    ($src:ty, $dst:ty, $lo:ident, $hi:ident, $mlal_lo:ident, $mlal_hi:ident,
+     $mlsl_lo:ident, $mlsl_hi:ident, $paddl:ident, $padal:ident, $addlv:ident, $lvty:ty) => {
+        impl Vreg<$src> {
+            #[doc = concat!("Widening multiply of the low lane halves (`MULL`): `",
+                stringify!($dst), "` product lanes.")]
+            pub fn $lo(&self, o: Vreg<$src>) -> Vreg<$dst> {
+                assert_eq!(self.n, o.n);
+                let h = self.n() / 2;
+                let (mut l, n) = Vreg::<$dst>::empty(h);
+                for i in 0..h {
+                    l[i] = (self.lanes[i] as $dst).wrapping_mul(o.lanes[i] as $dst);
+                }
+                let id = trace::emit(Op::VMull, Class::VInt, &[self.id, o.id], None);
+                Vreg::raw(l, n, id)
+            }
+
+            #[doc = "Widening multiply of the high lane halves (`MULL2`)."]
+            pub fn $hi(&self, o: Vreg<$src>) -> Vreg<$dst> {
+                assert_eq!(self.n, o.n);
+                let h = self.n() / 2;
+                let (mut l, n) = Vreg::<$dst>::empty(h);
+                for i in 0..h {
+                    l[i] =
+                        (self.lanes[h + i] as $dst).wrapping_mul(o.lanes[h + i] as $dst);
+                }
+                let id = trace::emit(Op::VMull, Class::VInt, &[self.id, o.id], None);
+                Vreg::raw(l, n, id)
+            }
+
+            #[doc = "Pairwise widening add (`PADDL`): half the lanes, double the width."]
+            pub fn $paddl(&self) -> Vreg<$dst> {
+                let h = self.n() / 2;
+                let (mut l, n) = Vreg::<$dst>::empty(h);
+                for i in 0..h {
+                    l[i] = (self.lanes[2 * i] as $dst)
+                        .wrapping_add(self.lanes[2 * i + 1] as $dst);
+                }
+                let id = trace::emit(Op::VPadd, Class::VInt, &[self.id], None);
+                Vreg::raw(l, n, id)
+            }
+
+            #[doc = concat!("Widening sum of all lanes (`ADDLV`-style reduction) to a tracked `",
+                stringify!($lvty), "` scalar.")]
+            pub fn $addlv(&self) -> crate::scalar::Tr<$lvty> {
+                let mut acc: $lvty = 0;
+                for i in 0..self.n() {
+                    acc = acc.wrapping_add(self.lanes[i] as $lvty);
+                }
+                let id = trace::emit(Op::VAddlv, Class::VInt, &[self.id], None);
+                crate::scalar::Tr::raw(acc, id)
+            }
+        }
+
+        impl Vreg<$dst> {
+            #[doc = "Widening multiply-accumulate of low halves (`MLAL`)."]
+            pub fn $mlal_lo(&self, a: Vreg<$src>, b: Vreg<$src>) -> Vreg<$dst> {
+                assert_eq!(a.n, b.n);
+                assert_eq!(self.n(), a.n() / 2);
+                let h = self.n();
+                let (mut l, n) = Vreg::<$dst>::empty(h);
+                for i in 0..h {
+                    l[i] = self.lanes[i].wrapping_add(
+                        (a.lanes[i] as $dst).wrapping_mul(b.lanes[i] as $dst),
+                    );
+                }
+                let id =
+                    trace::emit(Op::VMla, Class::VInt, &[self.id, a.id, b.id], None);
+                Vreg::raw(l, n, id)
+            }
+
+            #[doc = "Widening multiply-accumulate of high halves (`MLAL2`)."]
+            pub fn $mlal_hi(&self, a: Vreg<$src>, b: Vreg<$src>) -> Vreg<$dst> {
+                assert_eq!(a.n, b.n);
+                assert_eq!(self.n(), a.n() / 2);
+                let h = self.n();
+                let (mut l, n) = Vreg::<$dst>::empty(h);
+                for i in 0..h {
+                    l[i] = self.lanes[i].wrapping_add(
+                        (a.lanes[h + i] as $dst).wrapping_mul(b.lanes[h + i] as $dst),
+                    );
+                }
+                let id =
+                    trace::emit(Op::VMla, Class::VInt, &[self.id, a.id, b.id], None);
+                Vreg::raw(l, n, id)
+            }
+
+            #[doc = "Widening multiply-subtract of low halves (`MLSL`)."]
+            pub fn $mlsl_lo(&self, a: Vreg<$src>, b: Vreg<$src>) -> Vreg<$dst> {
+                assert_eq!(a.n, b.n);
+                assert_eq!(self.n(), a.n() / 2);
+                let h = self.n();
+                let (mut l, n) = Vreg::<$dst>::empty(h);
+                for i in 0..h {
+                    l[i] = self.lanes[i].wrapping_sub(
+                        (a.lanes[i] as $dst).wrapping_mul(b.lanes[i] as $dst),
+                    );
+                }
+                let id =
+                    trace::emit(Op::VMla, Class::VInt, &[self.id, a.id, b.id], None);
+                Vreg::raw(l, n, id)
+            }
+
+            #[doc = "Widening multiply-subtract of high halves (`MLSL2`)."]
+            pub fn $mlsl_hi(&self, a: Vreg<$src>, b: Vreg<$src>) -> Vreg<$dst> {
+                assert_eq!(a.n, b.n);
+                assert_eq!(self.n(), a.n() / 2);
+                let h = self.n();
+                let (mut l, n) = Vreg::<$dst>::empty(h);
+                for i in 0..h {
+                    l[i] = self.lanes[i].wrapping_sub(
+                        (a.lanes[h + i] as $dst).wrapping_mul(b.lanes[h + i] as $dst),
+                    );
+                }
+                let id =
+                    trace::emit(Op::VMla, Class::VInt, &[self.id, a.id, b.id], None);
+                Vreg::raw(l, n, id)
+            }
+
+            #[doc = "Pairwise widening add-accumulate (`PADAL`)."]
+            pub fn $padal(&self, a: Vreg<$src>) -> Vreg<$dst> {
+                assert_eq!(self.n(), a.n() / 2);
+                let h = self.n();
+                let (mut l, n) = Vreg::<$dst>::empty(h);
+                for i in 0..h {
+                    l[i] = self.lanes[i]
+                        .wrapping_add(a.lanes[2 * i] as $dst)
+                        .wrapping_add(a.lanes[2 * i + 1] as $dst);
+                }
+                let id = trace::emit(Op::VPadd, Class::VInt, &[self.id, a.id], None);
+                Vreg::raw(l, n, id)
+            }
+        }
+    };
+}
+
+mull_ops!(u8, u16, mull_lo_u16, mull_hi_u16, mlal_lo_u8, mlal_hi_u8, mlsl_lo_u8, mlsl_hi_u8,
+    paddl_u16, padal_u8, addlv_u32_from_u8_wide, u32);
+mull_ops!(i8, i16, mull_lo_i16, mull_hi_i16, mlal_lo_i8, mlal_hi_i8, mlsl_lo_i8, mlsl_hi_i8,
+    paddl_i16, padal_i8, addlv_i32_from_i8_wide, i32);
+mull_ops!(u16, u32, mull_lo_u32, mull_hi_u32, mlal_lo_u16, mlal_hi_u16, mlsl_lo_u16, mlsl_hi_u16,
+    paddl_u32, padal_u16, addlv_u32, u32);
+mull_ops!(i16, i32, mull_lo_i32, mull_hi_i32, mlal_lo_i16, mlal_hi_i16, mlsl_lo_i16, mlsl_hi_i16,
+    paddl_i32, padal_i16, addlv_i32, i32);
+mull_ops!(u32, u64, mull_lo_u64, mull_hi_u64, mlal_lo_u32, mlal_hi_u32, mlsl_lo_u32, mlsl_hi_u32,
+    paddl_u64, padal_u32, addlv_u64, u64);
+mull_ops!(i32, i64, mull_lo_i64, mull_hi_i64, mlal_lo_i32, mlal_hi_i32, mlsl_lo_i32, mlsl_hi_i32,
+    paddl_i64, padal_i32, addlv_i64, i64);
+
+impl Vreg<u8> {
+    /// Widening sum of all `u8` lanes to a `u32` scalar (`UADDLV`).
+    pub fn addlv_u32(&self) -> crate::scalar::Tr<u32> {
+        self.addlv_u32_from_u8_wide()
+    }
+}
+
+impl Vreg<i32> {
+    /// Convert lanes to `f32` (`SCVTF`).
+    pub fn cvt_f32(&self) -> Vreg<f32> {
+        let (mut l, n) = Vreg::<f32>::empty(self.n());
+        for i in 0..self.n() {
+            l[i] = self.lanes[i] as f32;
+        }
+        let id = trace::emit(Op::VFCvt, Class::VMisc, &[self.id], None);
+        Vreg::raw(l, n, id)
+    }
+}
+
+impl Vreg<u32> {
+    /// Convert lanes to `f32` (`UCVTF`).
+    pub fn cvt_f32(&self) -> Vreg<f32> {
+        let (mut l, n) = Vreg::<f32>::empty(self.n());
+        for i in 0..self.n() {
+            l[i] = self.lanes[i] as f32;
+        }
+        let id = trace::emit(Op::VFCvt, Class::VMisc, &[self.id], None);
+        Vreg::raw(l, n, id)
+    }
+}
+
+impl Vreg<f32> {
+    /// Convert lanes to `i32`, truncating toward zero (`FCVTZS`).
+    pub fn cvt_i32(&self) -> Vreg<i32> {
+        let (mut l, n) = Vreg::<i32>::empty(self.n());
+        for i in 0..self.n() {
+            l[i] = i32::from_f64(self.lanes[i].trunc() as f64);
+        }
+        let id = trace::emit(Op::VFCvt, Class::VMisc, &[self.id], None);
+        Vreg::raw(l, n, id)
+    }
+
+    /// Convert lanes to `i32` with round-to-nearest (`FCVTNS`).
+    pub fn cvt_i32_round(&self) -> Vreg<i32> {
+        let (mut l, n) = Vreg::<i32>::empty(self.n());
+        for i in 0..self.n() {
+            l[i] = i32::from_f64(self.lanes[i].round_ties_even() as f64);
+        }
+        let id = trace::emit(Op::VFCvt, Class::VMisc, &[self.id], None);
+        Vreg::raw(l, n, id)
+    }
+
+    /// Narrow `self:hi` to half precision (`FCVTN` pair, two
+    /// instructions).
+    pub fn narrow_f16(&self, hi: Vreg<f32>) -> Vreg<Half> {
+        assert_eq!(self.n, hi.n);
+        let h = self.n();
+        let (mut l, n) = Vreg::<Half>::empty(2 * h);
+        for i in 0..h {
+            l[i] = Half::from_f32(self.lanes[i]);
+            l[h + i] = Half::from_f32(hi.lanes[i]);
+        }
+        let a = trace::emit(Op::VFCvt, Class::VMisc, &[self.id], None);
+        let id = trace::emit(Op::VFCvt, Class::VMisc, &[hi.id, a], None);
+        Vreg::raw(l, n, id)
+    }
+}
+
+impl Vreg<Half> {
+    /// Widen the low half of the lanes to `f32` (`FCVTL`).
+    pub fn widen_lo_f32(&self) -> Vreg<f32> {
+        let h = self.n() / 2;
+        let (mut l, n) = Vreg::<f32>::empty(h);
+        for i in 0..h {
+            l[i] = self.lanes[i].to_f32();
+        }
+        let id = trace::emit(Op::VFCvt, Class::VMisc, &[self.id], None);
+        Vreg::raw(l, n, id)
+    }
+
+    /// Widen the high half of the lanes to `f32` (`FCVTL2`).
+    pub fn widen_hi_f32(&self) -> Vreg<f32> {
+        let h = self.n() / 2;
+        let (mut l, n) = Vreg::<f32>::empty(h);
+        for i in 0..h {
+            l[i] = self.lanes[h + i].to_f32();
+        }
+        let id = trace::emit(Op::VFCvt, Class::VMisc, &[self.id], None);
+        Vreg::raw(l, n, id)
+    }
+
+    /// Lane-wise FP16 addition (native `FADD.8H`, emulated through f32).
+    pub fn addh(&self, o: Vreg<Half>) -> Vreg<Half> {
+        self.bin_op(&o, Op::VFAdd, vclass::<Half>(), |a, b| a.wadd(b))
+    }
+
+    /// Lane-wise FP16 multiply-accumulate (`FMLA.8H`).
+    pub fn mlah(&self, a: Vreg<Half>, b: Vreg<Half>) -> Vreg<Half> {
+        self.mla(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Mode, Session};
+    use crate::width::Width;
+
+    const W: Width = Width::W128;
+
+    #[test]
+    fn widen_preserves_values_and_sign() {
+        let a = Vreg::<i8>::from_lanes(W, &[-1i8; 16]);
+        let lo = a.widen_lo_i16();
+        assert_eq!(lo.n(), 8);
+        assert!(lo.lanes().iter().all(|&x| x == -1));
+
+        let b = Vreg::<u8>::from_lanes(W, &[200u8; 16]);
+        assert!(b.widen_hi_u16().lanes().iter().all(|&x| x == 200));
+        assert!(b.widen_lo_i16().lanes().iter().all(|&x| x == 200));
+    }
+
+    #[test]
+    fn narrow_saturates() {
+        let a = Vreg::<i16>::from_lanes(W, &[300, -5, 128, 0, 255, 256, -1, 90]);
+        let b = Vreg::<i16>::from_lanes(W, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let r = a.narrow_sat_u8_from_i16(b);
+        assert_eq!(r.n(), 16);
+        assert_eq!(&r.lanes()[..8], &[255, 0, 128, 0, 255, 255, 0, 90]);
+        assert_eq!(r.lane_value(8), 1);
+    }
+
+    #[test]
+    fn narrow_emits_two_instructions() {
+        let s = Session::begin(Mode::Count);
+        let a = Vreg::<u16>::splat(W, 70000u32 as u16);
+        let _ = a.narrow_sat_u8(a);
+        let d = s.finish();
+        assert_eq!(d.op_count(Op::VNarrow), 2);
+        assert_eq!(d.class_count(Class::VMisc), 3); // dup + 2 narrows
+    }
+
+    #[test]
+    fn rshrn_rounds_then_saturates() {
+        let a = Vreg::<i16>::from_lanes(W, &[7, 8, 9, 1000, -3, 0, 15, 16]);
+        let r = a.rshrn_sat_u8(a, 3);
+        // (7+4)>>3 = 1, (8+4)>>3 = 1, (9+4)>>3 = 1, 1004>>3 = 125 ...
+        assert_eq!(&r.lanes()[..8], &[1, 1, 1, 125, 0, 0, 2, 2]);
+    }
+
+    #[test]
+    fn mull_widens_products() {
+        let a = Vreg::<u8>::splat(W, 200);
+        let b = Vreg::<u8>::splat(W, 200);
+        let lo = a.mull_lo_u16(b);
+        assert_eq!(lo.n(), 8);
+        assert!(lo.lanes().iter().all(|&x| x == 40000));
+    }
+
+    #[test]
+    fn mlal_accumulates_wide() {
+        let acc = Vreg::<i32>::splat(W, 5);
+        let a = Vreg::<i16>::splat(W, -300);
+        let b = Vreg::<i16>::splat(W, 300);
+        let r = acc.mlal_lo_i16(a, b);
+        assert!(r.lanes().iter().all(|&x| x == 5 - 90000));
+        let r2 = acc.mlsl_lo_i16(a, b);
+        assert!(r2.lanes().iter().all(|&x| x == 5 + 90000));
+    }
+
+    #[test]
+    fn paddl_and_padal() {
+        let a = Vreg::<u8>::from_lanes(
+            W,
+            &[255, 255, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14],
+        );
+        let p = a.paddl_u16();
+        assert_eq!(p.n(), 8);
+        assert_eq!(p.lane_value(0), 510);
+        assert_eq!(p.lane_value(1), 3);
+        let acc = Vreg::<u16>::splat(W, 100);
+        let q = acc.padal_u8(a);
+        assert_eq!(q.lane_value(0), 610);
+    }
+
+    #[test]
+    fn addlv_wide_sum() {
+        let a = Vreg::<u8>::splat(W, 255);
+        assert_eq!(a.addlv_u32().get(), 255 * 16);
+        let b = Vreg::<i16>::splat(W, -1000);
+        assert_eq!(b.addlv_i32().get(), -8000);
+    }
+
+    #[test]
+    fn float_conversions() {
+        let a = Vreg::<f32>::from_lanes(W, &[1.5, -1.5, 2.5, -0.4]);
+        assert_eq!(a.cvt_i32().lanes(), &[1, -1, 2, 0]);
+        assert_eq!(a.cvt_i32_round().lanes(), &[2, -2, 2, 0]);
+        let b = Vreg::<i32>::from_lanes(W, &[3, -4, 0, 7]);
+        assert_eq!(b.cvt_f32().lanes(), &[3.0, -4.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn f16_round_trip() {
+        let a = Vreg::<f32>::from_lanes(W, &[1.0, 2.0, 3.0, 4.0]);
+        let b = Vreg::<f32>::from_lanes(W, &[5.0, 6.0, 7.0, 8.0]);
+        let h = a.narrow_f16(b);
+        assert_eq!(h.n(), 8);
+        let lo = h.widen_lo_f32();
+        let hi = h.widen_hi_f32();
+        assert_eq!(lo.lanes(), a.lanes());
+        assert_eq!(hi.lanes(), b.lanes());
+    }
+
+    #[test]
+    fn f16_arithmetic() {
+        let a = Vreg::<Half>::splat(W, Half::from_f32(1.5));
+        let b = Vreg::<Half>::splat(W, Half::from_f32(2.0));
+        assert_eq!(a.n(), 8); // FP16 doubles VRE vs f32
+        let c = a.addh(b);
+        assert_eq!(c.lane_value(0).to_f32(), 3.5);
+        let d = c.mlah(a, b);
+        assert_eq!(d.lane_value(7).to_f32(), 6.5);
+    }
+}
+
+macro_rules! reinterpret_ops {
+    ($src:ty, $dst:ty, $name:ident) => {
+        impl Vreg<$src> {
+            #[doc = concat!("Bit-level reinterpretation of the lanes as `",
+                stringify!($dst),
+                "` (free on hardware: no instruction is traced and the dataflow id is preserved).")]
+            pub fn $name(&self) -> Vreg<$dst> {
+                let (mut l, n) = Vreg::<$dst>::empty(self.n());
+                for i in 0..self.n() {
+                    l[i] = self.lanes[i] as $dst;
+                }
+                Vreg::raw(l, n, self.id)
+            }
+        }
+    };
+}
+
+reinterpret_ops!(u8, i8, reinterpret_i8);
+reinterpret_ops!(i8, u8, reinterpret_u8);
+reinterpret_ops!(u16, i16, reinterpret_i16);
+reinterpret_ops!(i16, u16, reinterpret_u16);
+reinterpret_ops!(u32, i32, reinterpret_i32);
+reinterpret_ops!(i32, u32, reinterpret_u32);
+reinterpret_ops!(u64, i64, reinterpret_i64);
+reinterpret_ops!(i64, u64, reinterpret_u64);
+
+#[cfg(test)]
+mod reinterpret_tests {
+    use super::*;
+    use crate::trace::{Mode, Session};
+    use crate::width::Width;
+
+    #[test]
+    fn reinterpret_is_free_and_bit_exact() {
+        let s = Session::begin(Mode::Count);
+        let a = Vreg::<u16>::splat(Width::W128, 0xff80);
+        let b = a.reinterpret_i16();
+        let d = s.finish();
+        assert_eq!(b.lane_value(0), -128);
+        assert_eq!(b.id(), a.id());
+        assert_eq!(d.total(), 1, "only the splat is traced");
+        let c = b.reinterpret_u16();
+        assert_eq!(c.lane_value(0), 0xff80);
+    }
+}
+
+macro_rules! bitcast_ops {
+    ($src:ty, $dst:ty, $name:ident) => {
+        impl Vreg<$src> {
+            #[doc = concat!("Bit-level view of the register as `", stringify!($dst),
+                "` lanes (little-endian packing; free on hardware, no instruction traced, dataflow id preserved).")]
+            pub fn $name(&self) -> Vreg<$dst> {
+                let bytes_total = self.n() * <$src as crate::elem::Elem>::BYTES;
+                let dn = bytes_total / <$dst as crate::elem::Elem>::BYTES;
+                let (mut l, n) = Vreg::<$dst>::empty(dn);
+                let mut bytes = [0u8; 128];
+                for (i, v) in self.lanes[..self.n()].iter().enumerate() {
+                    let b = v.to_le_bytes();
+                    bytes[i * b.len()..(i + 1) * b.len()].copy_from_slice(&b);
+                }
+                const DB: usize = <$dst as crate::elem::Elem>::BYTES;
+                for (i, slot) in l[..dn].iter_mut().enumerate() {
+                    let mut bb = [0u8; DB];
+                    bb.copy_from_slice(&bytes[i * DB..(i + 1) * DB]);
+                    *slot = <$dst>::from_le_bytes(bb);
+                }
+                Vreg::raw(l, n, self.id)
+            }
+        }
+    };
+}
+
+bitcast_ops!(u8, u16, bitcast_u16);
+bitcast_ops!(u8, u32, bitcast_u32);
+bitcast_ops!(u8, u64, bitcast_u64);
+bitcast_ops!(u16, u8, bitcast_u8);
+bitcast_ops!(u32, u8, bitcast_u8);
+bitcast_ops!(u64, u8, bitcast_u8);
+bitcast_ops!(u16, u32, bitcast_u32);
+bitcast_ops!(u32, u16, bitcast_u16);
+bitcast_ops!(u32, u64, bitcast_u64);
+bitcast_ops!(u16, u64, bitcast_u64);
+bitcast_ops!(u64, u16, bitcast_u16);
+bitcast_ops!(u64, u32, bitcast_u32);
+
+#[cfg(test)]
+mod bitcast_tests {
+    use super::*;
+    use crate::trace::{Mode, Session};
+    use crate::width::Width;
+
+    #[test]
+    fn bitcast_round_trips_and_is_free() {
+        let s = Session::begin(Mode::Count);
+        let bytes: Vec<u8> = (0..16).collect();
+        let a = Vreg::<u8>::from_lanes(Width::W128, &bytes);
+        let w = a.bitcast_u32();
+        assert_eq!(w.n(), 4);
+        assert_eq!(w.lane_value(0), u32::from_le_bytes([0, 1, 2, 3]));
+        let back = w.bitcast_u8();
+        assert_eq!(back.lanes(), &bytes[..]);
+        assert_eq!(back.id(), a.id());
+        let d = s.finish();
+        assert_eq!(d.total(), 1, "only the initial load is traced");
+    }
+
+    #[test]
+    fn bitcast_u64_view() {
+        let a = Vreg::<u32>::from_lanes(Width::W128, &[1, 0, 2, 0]);
+        let q = a.bitcast_u64();
+        assert_eq!(q.lanes(), &[1u64, 2]);
+    }
+}

@@ -1,0 +1,585 @@
+//! Cryptography extension intrinsics: AES single-round ops, SHA-256
+//! hash/schedule ops, and the `PMULL` carry-less multiply.
+//!
+//! On widths above 128 bits the operations apply independently to each
+//! 128-bit chunk, the natural wide extension (and how SVE defines its
+//! crypto ops). The AES S-box is derived algebraically (inverse in
+//! GF(2^8) + affine map) rather than transcribed, and the intrinsics are
+//! validated against FIPS-197 / FIPS 180-4 vectors in the tests below.
+
+use super::Vreg;
+use crate::trace::{self, Class, Op};
+
+/// The AES forward S-box, computed from the field inverse and affine
+/// transform at first use.
+pub fn aes_sbox() -> &'static [u8; 256] {
+    use std::sync::OnceLock;
+    static SBOX: OnceLock<[u8; 256]> = OnceLock::new();
+    SBOX.get_or_init(|| {
+        // GF(2^8) multiply modulo x^8 + x^4 + x^3 + x + 1 (0x11b).
+        fn gmul(mut a: u8, mut b: u8) -> u8 {
+            let mut p = 0u8;
+            for _ in 0..8 {
+                if b & 1 != 0 {
+                    p ^= a;
+                }
+                let hi = a & 0x80;
+                a <<= 1;
+                if hi != 0 {
+                    a ^= 0x1b;
+                }
+                b >>= 1;
+            }
+            p
+        }
+        // Multiplicative inverse via x^254.
+        fn ginv(x: u8) -> u8 {
+            if x == 0 {
+                return 0;
+            }
+            // Inverse is x^254; square-and-multiply (254 = 0b11111110).
+            let mut acc = 1u8;
+            let mut base = x;
+            let mut e = 254u32;
+            while e > 0 {
+                if e & 1 != 0 {
+                    acc = gmul(acc, base);
+                }
+                base = gmul(base, base);
+                e >>= 1;
+            }
+            acc
+        }
+        let mut sbox = [0u8; 256];
+        for (i, slot) in sbox.iter_mut().enumerate() {
+            let b = ginv(i as u8);
+            let mut y = b;
+            for r in 1..5u32 {
+                y ^= b.rotate_left(r);
+            }
+            *slot = y ^ 0x63;
+        }
+        debug_assert_eq!(sbox[0x00], 0x63);
+        debug_assert_eq!(sbox[0x01], 0x7c);
+        debug_assert_eq!(sbox[0x53], 0xed);
+        sbox
+    })
+}
+
+fn xtime(x: u8) -> u8 {
+    (x << 1) ^ if x & 0x80 != 0 { 0x1b } else { 0 }
+}
+
+impl Vreg<u8> {
+    /// `AESE`: AddRoundKey (XOR with `key`), then SubBytes and
+    /// ShiftRows, per 128-bit block.
+    pub fn aese(&self, key: Vreg<u8>) -> Vreg<u8> {
+        assert_eq!(self.n, key.n);
+        let sbox = aes_sbox();
+        let (mut l, n) = Self::empty(self.n());
+        for blk in (0..self.n()).step_by(16) {
+            let mut st = [0u8; 16];
+            for i in 0..16 {
+                st[i] = self.lanes[blk + i] ^ key.lanes[blk + i];
+            }
+            // ShiftRows then SubBytes (they commute).
+            for col in 0..4 {
+                for row in 0..4 {
+                    let src = 4 * ((col + row) % 4) + row;
+                    l[blk + 4 * col + row] = sbox[st[src] as usize];
+                }
+            }
+        }
+        let id = trace::emit(Op::VAes, Class::VCrypto, &[self.id, key.id], None);
+        Vreg::raw(l, n, id)
+    }
+
+    /// `AESMC`: MixColumns, per 128-bit block.
+    pub fn aesmc(&self) -> Vreg<u8> {
+        let (mut l, n) = Self::empty(self.n());
+        for blk in (0..self.n()).step_by(16) {
+            for col in 0..4 {
+                let a: [u8; 4] =
+                    std::array::from_fn(|r| self.lanes[blk + 4 * col + r]);
+                l[blk + 4 * col] = xtime(a[0]) ^ (xtime(a[1]) ^ a[1]) ^ a[2] ^ a[3];
+                l[blk + 4 * col + 1] = a[0] ^ xtime(a[1]) ^ (xtime(a[2]) ^ a[2]) ^ a[3];
+                l[blk + 4 * col + 2] = a[0] ^ a[1] ^ xtime(a[2]) ^ (xtime(a[3]) ^ a[3]);
+                l[blk + 4 * col + 3] = (xtime(a[0]) ^ a[0]) ^ a[1] ^ a[2] ^ xtime(a[3]);
+            }
+        }
+        let id = trace::emit(Op::VAes, Class::VCrypto, &[self.id], None);
+        Vreg::raw(l, n, id)
+    }
+}
+
+fn small_sigma0(x: u32) -> u32 {
+    x.rotate_right(7) ^ x.rotate_right(18) ^ (x >> 3)
+}
+
+fn small_sigma1(x: u32) -> u32 {
+    x.rotate_right(17) ^ x.rotate_right(19) ^ (x >> 10)
+}
+
+fn big_sigma0(x: u32) -> u32 {
+    x.rotate_right(2) ^ x.rotate_right(13) ^ x.rotate_right(22)
+}
+
+fn big_sigma1(x: u32) -> u32 {
+    x.rotate_right(6) ^ x.rotate_right(11) ^ x.rotate_right(25)
+}
+
+/// Four rounds of the SHA-256 compression function with the round
+/// constants already folded into `wk` (the shared core of `SHA256H`
+/// and `SHA256H2`).
+fn sha256_rounds4(abcd: [u32; 4], efgh: [u32; 4], wk: [u32; 4]) -> ([u32; 4], [u32; 4]) {
+    let [mut a, mut b, mut c, mut d] = abcd;
+    let [mut e, mut f, mut g, mut h] = efgh;
+    for &w in wk.iter() {
+        let t1 = h
+            .wrapping_add(big_sigma1(e))
+            .wrapping_add((e & f) ^ (!e & g))
+            .wrapping_add(w);
+        let t2 = big_sigma0(a).wrapping_add((a & b) ^ (a & c) ^ (b & c));
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+    ([a, b, c, d], [e, f, g, h])
+}
+
+impl Vreg<u32> {
+    fn chunk4(&self, blk: usize) -> [u32; 4] {
+        std::array::from_fn(|i| self.lanes[blk + i])
+    }
+
+    /// `SHA256H`: four compression rounds, returning the updated
+    /// `ABCD` half of the state. `self` is `ABCD`, `efgh` the other
+    /// half, `wk` the schedule words with round constants added.
+    pub fn sha256h(&self, efgh: Vreg<u32>, wk: Vreg<u32>) -> Vreg<u32> {
+        assert_eq!(self.n, efgh.n);
+        assert_eq!(self.n, wk.n);
+        let (mut l, n) = Self::empty(self.n());
+        for blk in (0..self.n()).step_by(4) {
+            let (abcd, _) =
+                sha256_rounds4(self.chunk4(blk), efgh.chunk4(blk), wk.chunk4(blk));
+            l[blk..blk + 4].copy_from_slice(&abcd);
+        }
+        let id = trace::emit(Op::VSha, Class::VCrypto, &[self.id, efgh.id, wk.id], None);
+        Vreg::raw(l, n, id)
+    }
+
+    /// `SHA256H2`: four compression rounds, returning the updated
+    /// `EFGH` half. `self` is `EFGH`, `abcd` the other half.
+    pub fn sha256h2(&self, abcd: Vreg<u32>, wk: Vreg<u32>) -> Vreg<u32> {
+        assert_eq!(self.n, abcd.n);
+        assert_eq!(self.n, wk.n);
+        let (mut l, n) = Self::empty(self.n());
+        for blk in (0..self.n()).step_by(4) {
+            let (_, efgh) =
+                sha256_rounds4(abcd.chunk4(blk), self.chunk4(blk), wk.chunk4(blk));
+            l[blk..blk + 4].copy_from_slice(&efgh);
+        }
+        let id = trace::emit(Op::VSha, Class::VCrypto, &[self.id, abcd.id, wk.id], None);
+        Vreg::raw(l, n, id)
+    }
+
+    /// `SHA256SU0`: message-schedule update, part 1.
+    /// `self` = `W[t-16..t-13]`, `w4_7` = `W[t-12..t-9]`.
+    pub fn sha256su0(&self, w4_7: Vreg<u32>) -> Vreg<u32> {
+        assert_eq!(self.n, w4_7.n);
+        let (mut l, n) = Self::empty(self.n());
+        for blk in (0..self.n()).step_by(4) {
+            let w = self.chunk4(blk);
+            let x = w4_7.chunk4(blk);
+            let shifted = [w[1], w[2], w[3], x[0]];
+            for i in 0..4 {
+                l[blk + i] = w[i].wrapping_add(small_sigma0(shifted[i]));
+            }
+        }
+        let id = trace::emit(Op::VSha, Class::VCrypto, &[self.id, w4_7.id], None);
+        Vreg::raw(l, n, id)
+    }
+
+    /// `SHA256SU1`: message-schedule update, part 2. `self` is the
+    /// `SHA256SU0` result, `w8_11` = `W[t-8..t-5]`, `w12_15` =
+    /// `W[t-4..t-1]`; returns `W[t..t+4]`.
+    pub fn sha256su1(&self, w8_11: Vreg<u32>, w12_15: Vreg<u32>) -> Vreg<u32> {
+        assert_eq!(self.n, w8_11.n);
+        assert_eq!(self.n, w12_15.n);
+        let (mut l, n) = Self::empty(self.n());
+        for blk in (0..self.n()).step_by(4) {
+            let t = self.chunk4(blk);
+            let w8 = w8_11.chunk4(blk);
+            let w12 = w12_15.chunk4(blk);
+            let r0 = t[0]
+                .wrapping_add(small_sigma1(w12[2]))
+                .wrapping_add(w8[1]);
+            let r1 = t[1]
+                .wrapping_add(small_sigma1(w12[3]))
+                .wrapping_add(w8[2]);
+            let r2 = t[2].wrapping_add(small_sigma1(r0)).wrapping_add(w8[3]);
+            let r3 = t[3].wrapping_add(small_sigma1(r1)).wrapping_add(w12[0]);
+            l[blk..blk + 4].copy_from_slice(&[r0, r1, r2, r3]);
+        }
+        let id = trace::emit(
+            Op::VSha,
+            Class::VCrypto,
+            &[self.id, w8_11.id, w12_15.id],
+            None,
+        );
+        Vreg::raw(l, n, id)
+    }
+}
+
+/// Carry-less (polynomial) 64x64 -> 128-bit multiply.
+pub(crate) fn clmul64(a: u64, b: u64) -> u128 {
+    let mut r = 0u128;
+    let b = b as u128;
+    for i in 0..64 {
+        if (a >> i) & 1 != 0 {
+            r ^= b << i;
+        }
+    }
+    r
+}
+
+impl Vreg<u64> {
+    /// `PMULL`: carry-less multiply of lane 0 of each 128-bit chunk of
+    /// `self` and `o`; the 128-bit product fills the chunk as
+    /// `[low64, high64]`.
+    pub fn pmull_lo(&self, o: Vreg<u64>) -> Vreg<u64> {
+        assert_eq!(self.n, o.n);
+        let (mut l, n) = Self::empty(self.n());
+        for blk in (0..self.n()).step_by(2) {
+            let p = clmul64(self.lanes[blk], o.lanes[blk]);
+            l[blk] = p as u64;
+            l[blk + 1] = (p >> 64) as u64;
+        }
+        let id = trace::emit(Op::VPmull, Class::VCrypto, &[self.id, o.id], None);
+        Vreg::raw(l, n, id)
+    }
+
+    /// `PMULL2`: carry-less multiply of lane 1 of each 128-bit chunk.
+    pub fn pmull_hi(&self, o: Vreg<u64>) -> Vreg<u64> {
+        assert_eq!(self.n, o.n);
+        let (mut l, n) = Self::empty(self.n());
+        for blk in (0..self.n()).step_by(2) {
+            let p = clmul64(self.lanes[blk + 1], o.lanes[blk + 1]);
+            l[blk] = p as u64;
+            l[blk + 1] = (p >> 64) as u64;
+        }
+        let id = trace::emit(Op::VPmull, Class::VCrypto, &[self.id, o.id], None);
+        Vreg::raw(l, n, id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::width::Width;
+
+    const W: Width = Width::W128;
+
+    /// AES-128 key expansion (FIPS-197), test-local helper.
+    fn key_expand(key: [u8; 16]) -> [[u8; 16]; 11] {
+        let sbox = aes_sbox();
+        let mut w = [[0u8; 4]; 44];
+        for i in 0..4 {
+            w[i].copy_from_slice(&key[4 * i..4 * i + 4]);
+        }
+        let mut rcon = 1u8;
+        for i in 4..44 {
+            let mut t = w[i - 1];
+            if i % 4 == 0 {
+                t = [
+                    sbox[t[1] as usize] ^ rcon,
+                    sbox[t[2] as usize],
+                    sbox[t[3] as usize],
+                    sbox[t[0] as usize],
+                ];
+                rcon = xtime(rcon);
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ t[j];
+            }
+        }
+        std::array::from_fn(|r| {
+            let mut rk = [0u8; 16];
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+            rk
+        })
+    }
+
+    #[test]
+    fn sbox_spot_values() {
+        let s = aes_sbox();
+        assert_eq!(s[0x00], 0x63);
+        assert_eq!(s[0x01], 0x7c);
+        assert_eq!(s[0x53], 0xed);
+        assert_eq!(s[0xff], 0x16);
+    }
+
+    #[test]
+    fn aes128_fips197_vector() {
+        // FIPS-197 Appendix C.1.
+        let key: [u8; 16] = std::array::from_fn(|i| i as u8);
+        let pt: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb,
+            0xcc, 0xdd, 0xee, 0xff,
+        ];
+        let expect: [u8; 16] = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80,
+            0x70, 0xb4, 0xc5, 0x5a,
+        ];
+        let rks = key_expand(key);
+        let mut st = Vreg::<u8>::from_lanes(W, &pt);
+        for rk in rks.iter().take(9) {
+            st = st.aese(Vreg::from_lanes(W, rk)).aesmc();
+        }
+        st = st.aese(Vreg::from_lanes(W, &rks[9]));
+        st = st.xor(Vreg::from_lanes(W, &rks[10]));
+        assert_eq!(st.lanes(), &expect);
+    }
+
+    #[test]
+    fn aes_wide_processes_blocks_independently() {
+        // Two identical blocks in a 256-bit register must produce two
+        // identical cipher blocks.
+        let key: [u8; 16] = std::array::from_fn(|i| i as u8);
+        let rks = key_expand(key);
+        let pt: Vec<u8> = (0..16).chain(0..16).map(|i| i as u8 ^ 0x5a).collect();
+        let wide_key: Vec<u8> = rks[0].iter().chain(rks[0].iter()).copied().collect();
+        let st = Vreg::<u8>::from_lanes(Width::W256, &pt);
+        let k = Vreg::<u8>::from_lanes(Width::W256, &wide_key);
+        let r = st.aese(k).aesmc();
+        assert_eq!(&r.lanes()[..16], &r.lanes()[16..32]);
+    }
+
+    /// SHA-256 round constants.
+    pub(super) const K: [u32; 64] = [
+        0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+        0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+        0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+        0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+        0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+        0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+        0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+        0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+        0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+        0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+        0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+    ];
+
+    #[test]
+    fn sha256_abc_digest() {
+        // One padded block for "abc".
+        let mut block = [0u32; 16];
+        block[0] = 0x61626380;
+        block[15] = 24;
+        // Full message schedule via SU0/SU1 intrinsics.
+        let mut w: Vec<Vreg<u32>> = (0..4)
+            .map(|i| Vreg::from_lanes(W, &block[4 * i..4 * i + 4]))
+            .collect();
+        for t in 4..16 {
+            let next = w[t - 4]
+                .sha256su0(w[t - 3])
+                .sha256su1(w[t - 2], w[t - 1]);
+            w.push(next);
+        }
+        let mut abcd = Vreg::<u32>::from_lanes(
+            W,
+            &[0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a],
+        );
+        let mut efgh = Vreg::<u32>::from_lanes(
+            W,
+            &[0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19],
+        );
+        let (h0, h1) = (abcd, efgh);
+        for t in 0..16 {
+            let k = Vreg::<u32>::from_lanes(W, &K[4 * t..4 * t + 4]);
+            let wk = w[t].add(k);
+            let new_abcd = abcd.sha256h(efgh, wk);
+            let new_efgh = efgh.sha256h2(abcd, wk);
+            abcd = new_abcd;
+            efgh = new_efgh;
+        }
+        let abcd = abcd.add(h0);
+        let efgh = efgh.add(h1);
+        assert_eq!(
+            abcd.lanes(),
+            &[0xba7816bf, 0x8f01cfea, 0x414140de, 0x5dae2223]
+        );
+        assert_eq!(
+            efgh.lanes(),
+            &[0xb00361a3, 0x96177a9c, 0xb410ff61, 0xf20015ad]
+        );
+    }
+
+    #[test]
+    fn pmull_known_products() {
+        let a = Vreg::<u64>::from_lanes(W, &[0x3, 0xffff_ffff_ffff_ffff]);
+        let b = Vreg::<u64>::from_lanes(W, &[0x5, 0x2]);
+        let lo = a.pmull_lo(b);
+        // (x+1)(x^2+1) = x^3+x^2+x+1 = 0xF.
+        assert_eq!(lo.lane_value(0), 0xf);
+        assert_eq!(lo.lane_value(1), 0);
+        let hi = a.pmull_hi(b);
+        assert_eq!(hi.lane_value(0), 0xffff_ffff_ffff_fffe);
+        assert_eq!(hi.lane_value(1), 1);
+    }
+
+    #[test]
+    fn clmul_distributes_over_xor() {
+        let a = 0x1234_5678_9abc_def0u64;
+        let b = 0x0fed_cba9_8765_4321u64;
+        let c = 0xdead_beef_cafe_f00du64;
+        assert_eq!(clmul64(a ^ b, c), clmul64(a, c) ^ clmul64(b, c));
+    }
+}
+
+#[cfg(test)]
+mod debug_tests {
+    use super::*;
+    use crate::width::Width;
+
+    #[test]
+    fn sha256_first_4_rounds_match_reference() {
+        let w0 = Vreg::<u32>::from_lanes(Width::W128, &[0x61626380, 0, 0, 0]);
+        let k0 = Vreg::<u32>::from_lanes(
+            Width::W128,
+            &[0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5],
+        );
+        let abcd = Vreg::<u32>::from_lanes(
+            Width::W128,
+            &[0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a],
+        );
+        let efgh = Vreg::<u32>::from_lanes(
+            Width::W128,
+            &[0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19],
+        );
+        let wk = w0.add(k0);
+        let na = abcd.sha256h(efgh, wk);
+        let ne = efgh.sha256h2(abcd, wk);
+        assert_eq!(
+            na.lanes(),
+            &[0xd550f666u32, 0xc8c347a7, 0x5a6ad9ad, 0x5d6aebcd],
+            "abcd after 4 rounds"
+        );
+        assert_eq!(
+            ne.lanes(),
+            &[0x24e00850u32, 0xf92939eb, 0x78ce7989, 0xfa2a4622],
+            "efgh after 4 rounds"
+        );
+    }
+
+    #[test]
+    fn sha256su_schedule_w16_19() {
+        let w: [Vreg<u32>; 4] = [
+            Vreg::from_lanes(Width::W128, &[0x61626380, 0, 0, 0]),
+            Vreg::from_lanes(Width::W128, &[0, 0, 0, 0]),
+            Vreg::from_lanes(Width::W128, &[0, 0, 0, 0]),
+            Vreg::from_lanes(Width::W128, &[0, 0, 0, 24]),
+        ];
+        let r = w[0].sha256su0(w[1]).sha256su1(w[2], w[3]);
+        assert_eq!(r.lanes(), &[0x61626380u32, 0xf0000, 0x7da86405, 0x600003c6]);
+    }
+}
+
+#[cfg(test)]
+mod debug_tests2 {
+    use super::*;
+    use crate::width::Width;
+
+    #[test]
+    fn sha256su_full_schedule() {
+        let expect: [[u32; 4]; 16] = [
+            [0x61626380, 0, 0, 0],
+            [0, 0, 0, 0],
+            [0, 0, 0, 0],
+            [0, 0, 0, 24],
+            [0x61626380, 0xf0000, 0x7da86405, 0x600003c6],
+            [0x3e9d7b78, 0x183fc00, 0x12dcbfdb, 0xe2e2c38e],
+            [0xc8215c1a, 0xb73679a2, 0xe5bc3909, 0x32663c5b],
+            [0x9d209d67, 0xec8726cb, 0x702138a4, 0xd3b7973b],
+            [0x93f5997f, 0x3b68ba73, 0xaff4ffc1, 0xf10a5c62],
+            [0xa8b3996, 0x72af830a, 0x9409e33e, 0x24641522],
+            [0x9f47bf94, 0xf0a64f5a, 0x3e246a79, 0x27333ba3],
+            [0xc4763f2, 0x840abf27, 0x7a290d5d, 0x65c43da],
+            [0xfb3e89cb, 0xcc7617db, 0xb9e66c34, 0xa9993667],
+            [0x84badedd, 0xc21462bc, 0x1487472c, 0xb20f7a99],
+            [0xef57b9cd, 0xebe6b238, 0x9fe3095e, 0x78bc8d4b],
+            [0xa43fcf15, 0x668b2ff8, 0xeeaba2cc, 0x12b1edeb],
+        ];
+        let mut w: Vec<Vreg<u32>> = expect[..4]
+            .iter()
+            .map(|c| Vreg::from_lanes(Width::W128, c))
+            .collect();
+        for t in 4..16 {
+            let next = w[t - 4].sha256su0(w[t - 3]).sha256su1(w[t - 2], w[t - 1]);
+            assert_eq!(next.lanes(), &expect[t], "schedule block {t}");
+            w.push(next);
+        }
+    }
+}
+
+#[cfg(test)]
+mod debug_tests3 {
+    use super::*;
+    use crate::width::Width;
+    use super::tests::K;
+
+    const STATES: [[u32; 8]; 16] = [
+        [0xd550f666,0xc8c347a7,0x5a6ad9ad,0x5d6aebcd,0x24e00850,0xf92939eb,0x78ce7989,0xfa2a4622],
+        [0x85a07b5f,0xe5030380,0x2b4209f5,0x4409a6a,0xc657a79,0x9b27a401,0x714260ad,0x43ada245],
+        [0xf71fc5a9,0x4798a3f4,0x8c87346b,0x8e04ecb9,0x816fd6e9,0x436b23e8,0x1cc92596,0x32ca2d8c],
+        [0xb0fa238e,0xc0645fde,0xd932eb16,0x87912990,0x7590dcd,0xb92f20c,0x745a48de,0x1e578218],
+        [0xe1f20c33,0xfe777bbf,0xc2fbd9d1,0x21da9a9b,0xb0638179,0xcc899961,0x846ee454,0x8034229c],
+        [0xc5d53d8d,0xa7a3623f,0xc2606d6d,0x9dc68b63,0xaa47c347,0x49f5114a,0xe1257970,0x8ada8930],
+        [0x77d37528,0xb62ec4bc,0xcde8037d,0x1c2c2838,0xedffbff8,0xc74c6516,0x14383d8e,0x2823ef91],
+        [0x73b33bf5,0xea992a22,0xa0060b30,0x363482c9,0xba591112,0x109ab3a,0xade79437,0x6112a3b7],
+        [0x65a0cfe4,0xa9a7738c,0xfe604df5,0x98e12507,0xf4b002d6,0x85f3833,0x59249dd3,0x9cd9f5f6],
+        [0x79ea687a,0x6dc57a8a,0x34df1604,0x41a65cb1,0x1efbc0a0,0xf0781bc8,0xa507a53d,0x772a26b],
+        [0x9d4baf93,0x17aa0dfe,0xdf46652f,0xd6670766,0xfda24c2e,0xdecd4715,0x838b2711,0x26352d63],
+        [0x4172328d,0xa14c14b0,0x72ab4b91,0x26628815,0xfecf0bc6,0xd57b94a9,0xb7755da1,0xa80f11f0],
+        [0x886e7a22,0x7a0508a1,0xf11bfaa8,0x5757ceb,0x49231c1e,0x52f1ccf7,0x6e5c390c,0xbd714038],
+        [0x38cc9913,0x3ec45cdb,0xf5702fdb,0x101fd28f,0x54cb266b,0xe50e1b4f,0x9f4787c3,0x529e7d00],
+        [0xb6ae8fff,0xffb70472,0xc062d46f,0xfcd1887b,0xb21bad3d,0x6d83bfc6,0x7e44008e,0x9b5e906c],
+        [0x506e3058,0xd39a2165,0x4d24d6c,0xb85e2ce9,0x5ef50f24,0xfb121210,0x948d25b6,0x961f4894],
+    ];
+
+    #[test]
+    fn sha256_states_every_4_rounds() {
+        let w128 = Width::W128;
+        let mut block = [0u32; 16];
+        block[0] = 0x61626380;
+        block[15] = 24;
+        let mut w: Vec<Vreg<u32>> = (0..4)
+            .map(|i| Vreg::from_lanes(w128, &block[4 * i..4 * i + 4]))
+            .collect();
+        for t in 4..16 {
+            let next = w[t - 4].sha256su0(w[t - 3]).sha256su1(w[t - 2], w[t - 1]);
+            w.push(next);
+        }
+        let mut abcd =
+            Vreg::<u32>::from_lanes(w128, &[0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a]);
+        let mut efgh =
+            Vreg::<u32>::from_lanes(w128, &[0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19]);
+        for t in 0..16 {
+            let k = Vreg::<u32>::from_lanes(w128, &K[4 * t..4 * t + 4]);
+            let wk = w[t].add(k);
+            let na = abcd.sha256h(efgh, wk);
+            let ne = efgh.sha256h2(abcd, wk);
+            abcd = na;
+            efgh = ne;
+            assert_eq!(abcd.lanes(), &STATES[t][..4], "abcd after block {t}");
+            assert_eq!(efgh.lanes(), &STATES[t][4..], "efgh after block {t}");
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Vector register width configuration.
+
+use crate::elem::Elem;
+
+/// Maximum number of lanes any register can hold (1024 bits of `u8`).
+pub const MAX_LANES: usize = 128;
+
+/// Vector register width in bits.
+///
+/// `W128` models Arm Neon; the wider variants model the paper's "fake
+/// Neon library" used for the Figure 5(a) scalability study.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Width {
+    /// 128-bit registers (Arm Neon baseline).
+    W128,
+    /// 256-bit registers (2x).
+    W256,
+    /// 512-bit registers (4x).
+    W512,
+    /// 1024-bit registers (8x).
+    W1024,
+}
+
+impl Width {
+    /// All widths, narrowest first.
+    pub const ALL: [Width; 4] = [Width::W128, Width::W256, Width::W512, Width::W1024];
+
+    /// Register width in bits.
+    pub fn bits(self) -> usize {
+        match self {
+            Width::W128 => 128,
+            Width::W256 => 256,
+            Width::W512 => 512,
+            Width::W1024 => 1024,
+        }
+    }
+
+    /// Register width in bytes.
+    pub fn bytes(self) -> usize {
+        self.bits() / 8
+    }
+
+    /// Number of lanes of element type `T` (the paper's `VRE`).
+    pub fn lanes<T: Elem>(self) -> usize {
+        self.bytes() / T::BYTES
+    }
+
+    /// Width factor relative to 128-bit Neon (1, 2, 4 or 8).
+    pub fn factor(self) -> usize {
+        self.bits() / 128
+    }
+
+    /// The next narrower width, if any. Used by kernels that fall back
+    /// to narrower registers for loop remainders, as the paper's
+    /// GEMM implementation does.
+    pub fn narrower(self) -> Option<Width> {
+        match self {
+            Width::W128 => None,
+            Width::W256 => Some(Width::W128),
+            Width::W512 => Some(Width::W256),
+            Width::W1024 => Some(Width::W512),
+        }
+    }
+}
+
+impl std::fmt::Display for Width {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}-bit", self.bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_counts_match_vre_equation() {
+        // VRE = register width / element width (paper Equation 1).
+        assert_eq!(Width::W128.lanes::<u8>(), 16);
+        assert_eq!(Width::W128.lanes::<i16>(), 8);
+        assert_eq!(Width::W128.lanes::<f32>(), 4);
+        assert_eq!(Width::W128.lanes::<crate::Half>(), 8);
+        assert_eq!(Width::W1024.lanes::<u8>(), 128);
+        assert_eq!(Width::W1024.lanes::<f32>(), 32);
+    }
+
+    #[test]
+    fn factors() {
+        assert_eq!(Width::W128.factor(), 1);
+        assert_eq!(Width::W1024.factor(), 8);
+        assert_eq!(Width::W256.narrower(), Some(Width::W128));
+        assert_eq!(Width::W128.narrower(), None);
+    }
+
+    #[test]
+    fn max_lanes_covers_widest_register() {
+        assert_eq!(Width::W1024.lanes::<u8>(), MAX_LANES);
+    }
+}

@@ -1,0 +1,186 @@
+//! Property-based tests of the vector engine's intrinsic semantics.
+
+use proptest::prelude::*;
+use swan_simd::{Vreg, Width};
+
+fn width_strategy() -> impl Strategy<Value = Width> {
+    prop_oneof![
+        Just(Width::W128),
+        Just(Width::W256),
+        Just(Width::W512),
+        Just(Width::W1024),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn sat_add_matches_lanewise_saturating(
+        w in width_strategy(),
+        data in proptest::collection::vec(any::<u8>(), 128),
+        other in proptest::collection::vec(any::<u8>(), 128),
+    ) {
+        let n = w.lanes::<u8>();
+        let a = Vreg::<u8>::from_lanes(w, &data[..n]);
+        let b = Vreg::<u8>::from_lanes(w, &other[..n]);
+        let r = a.sat_add(b);
+        for i in 0..n {
+            prop_assert_eq!(r.lane_value(i), data[i].saturating_add(other[i]));
+        }
+    }
+
+    #[test]
+    fn zip_then_unzip_is_identity(
+        w in width_strategy(),
+        data in proptest::collection::vec(any::<i16>(), 64),
+        other in proptest::collection::vec(any::<i16>(), 64),
+    ) {
+        let n = w.lanes::<i16>();
+        let a = Vreg::<i16>::from_lanes(w, &data[..n]);
+        let b = Vreg::<i16>::from_lanes(w, &other[..n]);
+        let lo = a.zip_lo(b);
+        let hi = a.zip_hi(b);
+        let back_a = lo.uzp_even(hi);
+        let back_b = lo.uzp_odd(hi);
+        prop_assert_eq!(back_a.lanes(), &data[..n]);
+        prop_assert_eq!(back_b.lanes(), &other[..n]);
+    }
+
+    #[test]
+    fn interleaving_store_load_round_trip(
+        w in width_strategy(),
+        data in proptest::collection::vec(any::<u8>(), 512),
+    ) {
+        let n = w.lanes::<u8>();
+        let regs = Vreg::<u8>::load4(w, &data, 0);
+        let mut out = vec![0u8; 4 * n];
+        Vreg::store4(&regs, &mut out, 0);
+        prop_assert_eq!(&out[..], &data[..4 * n]);
+    }
+
+    #[test]
+    fn narrowing_saturates_like_clamp(
+        w in width_strategy(),
+        data in proptest::collection::vec(any::<i16>(), 64),
+        other in proptest::collection::vec(any::<i16>(), 64),
+    ) {
+        let n = w.lanes::<i16>();
+        let a = Vreg::<i16>::from_lanes(w, &data[..n]);
+        let b = Vreg::<i16>::from_lanes(w, &other[..n]);
+        let r = a.narrow_sat_u8_from_i16(b);
+        for i in 0..n {
+            prop_assert_eq!(r.lane_value(i), data[i].clamp(0, 255) as u8);
+            prop_assert_eq!(r.lane_value(n + i), other[i].clamp(0, 255) as u8);
+        }
+    }
+
+    #[test]
+    fn widen_narrow_round_trips(
+        w in width_strategy(),
+        data in proptest::collection::vec(any::<u8>(), 128),
+    ) {
+        let n = w.lanes::<u8>();
+        let a = Vreg::<u8>::from_lanes(w, &data[..n]);
+        let back = a.widen_lo_u16().narrow_u8(a.widen_hi_u16());
+        prop_assert_eq!(back.lanes(), &data[..n]);
+    }
+
+    #[test]
+    fn addv_equals_wrapping_sum(
+        w in width_strategy(),
+        data in proptest::collection::vec(any::<u32>(), 32),
+    ) {
+        let n = w.lanes::<u32>();
+        let a = Vreg::<u32>::from_lanes(w, &data[..n]);
+        let expect = data[..n].iter().fold(0u32, |s, &v| s.wrapping_add(v));
+        prop_assert_eq!(a.addv().get(), expect);
+    }
+
+    #[test]
+    fn bsl_selects_bitwise(
+        w in width_strategy(),
+        mask in proptest::collection::vec(any::<u32>(), 32),
+        x in proptest::collection::vec(any::<u32>(), 32),
+        y in proptest::collection::vec(any::<u32>(), 32),
+    ) {
+        let n = w.lanes::<u32>();
+        let m = Vreg::<u32>::from_lanes(w, &mask[..n]);
+        let a = Vreg::<u32>::from_lanes(w, &x[..n]);
+        let b = Vreg::<u32>::from_lanes(w, &y[..n]);
+        let r = m.bsl(a, b);
+        for i in 0..n {
+            prop_assert_eq!(r.lane_value(i), (mask[i] & x[i]) | (!mask[i] & y[i]));
+        }
+    }
+
+    #[test]
+    fn ext_is_concatenation_window(
+        w in width_strategy(),
+        data in proptest::collection::vec(any::<u8>(), 256),
+        k in 0usize..16,
+    ) {
+        let n = w.lanes::<u8>();
+        let a = Vreg::<u8>::from_lanes(w, &data[..n]);
+        let b = Vreg::<u8>::from_lanes(w, &data[n..2 * n]);
+        let k = k % (n + 1);
+        let r = a.ext(b, k);
+        for i in 0..n {
+            prop_assert_eq!(r.lane_value(i), data[k + i]);
+        }
+    }
+
+    #[test]
+    fn tbl_matches_table_indexing(
+        idx in proptest::collection::vec(any::<u8>(), 16),
+        table in proptest::collection::vec(any::<u8>(), 16),
+    ) {
+        let w = Width::W128;
+        let t = Vreg::<u8>::from_lanes(w, &table);
+        let i = Vreg::<u8>::from_lanes(w, &idx);
+        let r = Vreg::tbl(&[t], i);
+        for lane in 0..16 {
+            let expect = *table.get(idx[lane] as usize).unwrap_or(&0);
+            prop_assert_eq!(r.lane_value(lane), expect);
+        }
+    }
+
+    #[test]
+    fn rotl_matches_rotate_left(
+        w in width_strategy(),
+        data in proptest::collection::vec(any::<u32>(), 32),
+        sh in 1u32..32,
+    ) {
+        let n = w.lanes::<u32>();
+        let a = Vreg::<u32>::from_lanes(w, &data[..n]);
+        let r = a.rotl(sh);
+        for i in 0..n {
+            prop_assert_eq!(r.lane_value(i), data[i].rotate_left(sh));
+        }
+    }
+
+    #[test]
+    fn mull_widening_never_wraps(
+        w in width_strategy(),
+        a in proptest::collection::vec(any::<u8>(), 128),
+        b in proptest::collection::vec(any::<u8>(), 128),
+    ) {
+        let n = w.lanes::<u8>();
+        let va = Vreg::<u8>::from_lanes(w, &a[..n]);
+        let vb = Vreg::<u8>::from_lanes(w, &b[..n]);
+        let lo = va.mull_lo_u16(vb);
+        let hi = va.mull_hi_u16(vb);
+        for i in 0..n / 2 {
+            prop_assert_eq!(lo.lane_value(i), a[i] as u16 * b[i] as u16);
+            prop_assert_eq!(hi.lane_value(i), a[n / 2 + i] as u16 * b[n / 2 + i] as u16);
+        }
+    }
+
+    #[test]
+    fn half_round_trip_is_monotone(x in -60000.0f32..60000.0) {
+        use swan_simd::Half;
+        let h = Half::from_f32(x);
+        let back = h.to_f32();
+        // FP16 has ~3 decimal digits: relative error below 2^-10.
+        let err = (back - x).abs();
+        prop_assert!(err <= x.abs() * 0.001 + 1e-6, "x={x} back={back}");
+    }
+}

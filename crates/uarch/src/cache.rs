@@ -1,0 +1,380 @@
+//! Set-associative cache hierarchy with LRU replacement, inclusive
+//! levels, a next-line prefetcher, and a flat DRAM latency — the memory
+//! system of the paper's Table 3.
+
+/// Parameters of one cache level.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line: usize,
+    /// Access latency in cycles (total load-to-use at this level).
+    pub latency: u32,
+}
+
+impl CacheConfig {
+    fn sets(&self) -> usize {
+        self.size / (self.ways * self.line)
+    }
+}
+
+/// Memory hierarchy parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MemConfig {
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Private L2.
+    pub l2: CacheConfig,
+    /// Shared last-level cache.
+    pub llc: CacheConfig,
+    /// Additional DRAM latency in cycles beyond an LLC miss.
+    pub dram_latency: u32,
+    /// Next-line prefetch degree on a miss (0 disables).
+    pub prefetch_degree: u32,
+}
+
+impl MemConfig {
+    /// Snapdragon 855 Prime-core hierarchy (paper Table 3):
+    /// L1D 64 KiB/4-way/4 cycles, L2 512 KiB/8-way/9 cycles,
+    /// LLC 2 MiB/8-way/31 cycles.
+    pub fn snapdragon855() -> MemConfig {
+        MemConfig {
+            l1d: CacheConfig { size: 64 << 10, ways: 4, line: 64, latency: 4 },
+            l2: CacheConfig { size: 512 << 10, ways: 8, line: 64, latency: 9 },
+            llc: CacheConfig { size: 2 << 20, ways: 8, line: 64, latency: 31 },
+            dram_latency: 130,
+            prefetch_degree: 3,
+        }
+    }
+}
+
+/// Hit/miss counters for one level.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses (prefetches excluded).
+    pub accesses: u64,
+    /// Demand misses.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in `[0, 1]`.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Misses per kilo-instruction for a run of `instrs` instructions
+    /// (the paper's MPKI metric, Table 5).
+    pub fn mpki(&self, instrs: u64) -> f64 {
+        if instrs == 0 {
+            0.0
+        } else {
+            self.misses as f64 * 1000.0 / instrs as f64
+        }
+    }
+}
+
+/// One set-associative cache level; tags ordered most-recent-first.
+#[derive(Debug)]
+struct Level {
+    cfg: CacheConfig,
+    sets: Vec<Vec<u64>>, // line tags, MRU at index 0
+    stats: CacheStats,
+}
+
+impl Level {
+    fn new(cfg: CacheConfig) -> Level {
+        let sets = vec![Vec::new(); cfg.sets()];
+        Level { cfg, sets, stats: CacheStats::default() }
+    }
+
+    fn set_index(&self, line_addr: u64) -> usize {
+        (line_addr as usize) % self.sets.len()
+    }
+
+    /// Look up a line; on hit promote to MRU. Returns hit.
+    fn probe(&mut self, line_addr: u64, demand: bool) -> bool {
+        if demand {
+            self.stats.accesses += 1;
+        }
+        let si = self.set_index(line_addr);
+        let set = &mut self.sets[si];
+        if let Some(pos) = set.iter().position(|&t| t == line_addr) {
+            let t = set.remove(pos);
+            set.insert(0, t);
+            true
+        } else {
+            if demand {
+                self.stats.misses += 1;
+            }
+            false
+        }
+    }
+
+    /// Insert a line as MRU, evicting LRU if needed. Returns the
+    /// evicted line, if any.
+    fn fill(&mut self, line_addr: u64) -> Option<u64> {
+        let ways = self.cfg.ways;
+        let si = self.set_index(line_addr);
+        let set = &mut self.sets[si];
+        if set.contains(&line_addr) {
+            return None;
+        }
+        set.insert(0, line_addr);
+        if set.len() > ways {
+            set.pop()
+        } else {
+            None
+        }
+    }
+
+    fn invalidate(&mut self, line_addr: u64) {
+        let si = self.set_index(line_addr);
+        self.sets[si].retain(|&t| t != line_addr);
+    }
+}
+
+/// The three-level hierarchy plus DRAM-access counting.
+#[derive(Debug)]
+pub struct CacheHierarchy {
+    l1: Level,
+    l2: Level,
+    llc: Level,
+    dram_latency: u32,
+    prefetch_degree: u32,
+    dram_accesses: u64,
+    prefetches: u64,
+}
+
+impl CacheHierarchy {
+    /// Build a hierarchy from a [`MemConfig`].
+    pub fn new(cfg: &MemConfig) -> CacheHierarchy {
+        CacheHierarchy {
+            l1: Level::new(cfg.l1d.clone()),
+            l2: Level::new(cfg.l2.clone()),
+            llc: Level::new(cfg.llc.clone()),
+            dram_latency: cfg.dram_latency,
+            prefetch_degree: cfg.prefetch_degree,
+            dram_accesses: 0,
+            prefetches: 0,
+        }
+    }
+
+    /// Access one cache line (by byte address); returns the load-to-use
+    /// latency in cycles. Stores update state identically but their
+    /// latency is hidden by the store buffer in the core model.
+    pub fn access_line(&mut self, addr: u64) -> u32 {
+        let line = addr / self.l1.cfg.line as u64;
+        let lat = self.access_line_inner(line, true);
+        if lat > self.l1.cfg.latency {
+            // Miss somewhere: next-line prefetch.
+            for d in 1..=self.prefetch_degree as u64 {
+                self.prefetch_line(line + d);
+            }
+        }
+        lat
+    }
+
+    fn access_line_inner(&mut self, line: u64, demand: bool) -> u32 {
+        if self.l1.probe(line, demand) {
+            return self.l1.cfg.latency;
+        }
+        let lat = if self.l2.probe(line, demand) {
+            self.l2.cfg.latency
+        } else if self.llc.probe(line, demand) {
+            self.llc.cfg.latency
+        } else {
+            if demand {
+                self.dram_accesses += 1;
+            }
+            self.llc.cfg.latency + self.dram_latency
+        };
+        // Fill inclusively; LLC evictions back-invalidate inner levels.
+        if let Some(victim) = self.llc.fill(line) {
+            self.l2.invalidate(victim);
+            self.l1.invalidate(victim);
+        }
+        if let Some(victim) = self.l2.fill(line) {
+            self.l1.invalidate(victim);
+        }
+        self.l1.fill(line);
+        lat
+    }
+
+    fn prefetch_line(&mut self, line: u64) {
+        self.prefetches += 1;
+        if !self.l1.probe(line, false) {
+            if !self.l2.probe(line, false) && !self.llc.probe(line, false) {
+                self.dram_accesses += 1;
+                if let Some(victim) = self.llc.fill(line) {
+                    self.l2.invalidate(victim);
+                    self.l1.invalidate(victim);
+                }
+            }
+            if let Some(victim) = self.l2.fill(line) {
+                self.l1.invalidate(victim);
+            }
+            self.l1.fill(line);
+        }
+    }
+
+    /// Access a byte range, touching every line it covers; returns the
+    /// worst line latency plus one extra cycle per additional line.
+    pub fn access(&mut self, addr: u64, bytes: u32) -> u32 {
+        let line = self.l1.cfg.line as u64;
+        let first = addr / line;
+        let last = (addr + bytes.max(1) as u64 - 1) / line;
+        let mut worst = 0;
+        for l in first..=last {
+            worst = worst.max(self.access_line(l * line));
+        }
+        worst + (last - first) as u32
+    }
+
+    /// Per-level statistics `(l1, l2, llc)`.
+    pub fn stats(&self) -> (CacheStats, CacheStats, CacheStats) {
+        (self.l1.stats, self.l2.stats, self.llc.stats)
+    }
+
+    /// Demand + prefetch DRAM accesses so far.
+    pub fn dram_accesses(&self) -> u64 {
+        self.dram_accesses
+    }
+
+    /// Reset statistics (keep cache contents) — used between the
+    /// warm-up replay and the timed run.
+    pub fn reset_stats(&mut self) {
+        self.l1.stats = CacheStats::default();
+        self.l2.stats = CacheStats::default();
+        self.llc.stats = CacheStats::default();
+        self.dram_accesses = 0;
+        self.prefetches = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheHierarchy {
+        // 4 lines of 64B, direct-ish: L1 2 sets x 2 ways.
+        CacheHierarchy::new(&MemConfig {
+            l1d: CacheConfig { size: 256, ways: 2, line: 64, latency: 4 },
+            l2: CacheConfig { size: 1024, ways: 2, line: 64, latency: 9 },
+            llc: CacheConfig { size: 4096, ways: 4, line: 64, latency: 31 },
+            dram_latency: 100,
+            prefetch_degree: 0,
+        })
+    }
+
+    #[test]
+    fn first_touch_misses_then_hits() {
+        let mut h = tiny();
+        assert_eq!(h.access_line(0), 131); // cold: LLC + DRAM
+        assert_eq!(h.access_line(0), 4); // L1 hit
+        assert_eq!(h.access_line(8), 4); // same line
+        let (l1, _, _) = h.stats();
+        assert_eq!(l1.accesses, 3);
+        assert_eq!(l1.misses, 1);
+        assert_eq!(h.dram_accesses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut h = tiny();
+        // Set 0 holds lines with even line index (2 sets): lines 0,2,4
+        // map to set 0; ways=2.
+        h.access_line(0); // miss
+        h.access_line(2 * 64); // miss
+        h.access_line(0); // hit, promotes 0
+        h.access_line(4 * 64); // miss, evicts line 2 (LRU)
+        assert_eq!(h.access_line(0), 4, "line 0 stayed resident");
+        let l2_hit = h.access_line(2 * 64);
+        assert_eq!(l2_hit, 9, "line 2 fell to L2");
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        let mut h = tiny();
+        h.access_line(0);
+        h.access_line(2 * 64);
+        h.access_line(4 * 64); // evicts one of set 0 from L1 only
+        let lat = h.access_line(0).min(h.access_line(2 * 64));
+        assert!(lat <= 9, "evicted line still in L2");
+    }
+
+    #[test]
+    fn multi_line_access_latency() {
+        let mut h = tiny();
+        h.access_line(0);
+        h.access_line(64);
+        // 128-byte access spanning two warm lines: max(4,4) + 1.
+        assert_eq!(h.access(0, 128), 5);
+        // Single byte: plain L1 latency.
+        assert_eq!(h.access(3, 1), 4);
+    }
+
+    #[test]
+    fn prefetch_hides_streaming_misses() {
+        let mut pf = CacheHierarchy::new(&MemConfig {
+            prefetch_degree: 3,
+            ..MemConfig::snapdragon855()
+        });
+        let mut nopf = CacheHierarchy::new(&MemConfig {
+            prefetch_degree: 0,
+            ..MemConfig::snapdragon855()
+        });
+        for i in 0..1024u64 {
+            pf.access(i * 16, 16);
+            nopf.access(i * 16, 16);
+        }
+        let (pf1, _, _) = pf.stats();
+        let (np1, _, _) = nopf.stats();
+        assert!(
+            pf1.misses < np1.misses / 2,
+            "prefetcher should cut streaming misses: {} vs {}",
+            pf1.misses,
+            np1.misses
+        );
+    }
+
+    #[test]
+    fn inclusive_llc_eviction_invalidates_inner() {
+        // LLC with 1 set x 2 ways so evictions are easy to force.
+        let mut h = CacheHierarchy::new(&MemConfig {
+            l1d: CacheConfig { size: 128, ways: 2, line: 64, latency: 4 },
+            l2: CacheConfig { size: 128, ways: 2, line: 64, latency: 9 },
+            llc: CacheConfig { size: 128, ways: 2, line: 64, latency: 31 },
+            dram_latency: 100,
+            prefetch_degree: 0,
+        });
+        h.access_line(0);
+        h.access_line(64);
+        h.access_line(128); // LLC evicts line 0 -> back-invalidate
+        let lat = h.access_line(0);
+        assert_eq!(lat, 131, "line 0 must have left the whole hierarchy");
+    }
+
+    #[test]
+    fn stats_reset_keeps_contents() {
+        let mut h = tiny();
+        h.access_line(0);
+        h.reset_stats();
+        assert_eq!(h.stats().0.accesses, 0);
+        assert_eq!(h.access_line(0), 4, "contents survive reset");
+    }
+
+    #[test]
+    fn mpki_math() {
+        let s = CacheStats { accesses: 100, misses: 10 };
+        assert!((s.miss_rate() - 0.1).abs() < 1e-12);
+        assert!((s.mpki(10_000) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,164 @@
+//! Core configurations: the Snapdragon 855 presets (Table 3, §5.5) and
+//! the decode-way / ASIMD-unit sweep of Figure 5(b).
+
+use crate::cache::MemConfig;
+
+/// Parameters of a simulated core.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoreConfig {
+    /// Human-readable name (for example `"Prime (Cortex-A76)"`).
+    pub name: String,
+    /// Core clock in GHz.
+    pub freq_ghz: f64,
+    /// Decode (front-end) width: instructions fetched+renamed per cycle.
+    pub decode_width: u32,
+    /// Commit (retire) width.
+    pub commit_width: u32,
+    /// Reorder-buffer entries. For in-order cores this acts as the
+    /// small completion window.
+    pub rob: u32,
+    /// Number of 128-bit-class ASIMD execution pipes (vector and
+    /// scalar floating-point share these, as on the Cortex-A76).
+    pub asimd_units: u32,
+    /// Number of scalar integer ALUs (one also executes branches).
+    pub scalar_alus: u32,
+    /// Load pipes.
+    pub load_units: u32,
+    /// Store pipes.
+    pub store_units: u32,
+    /// In-order issue (Cortex-A55 style) instead of out-of-order.
+    pub in_order: bool,
+    /// Branch misprediction redirect penalty in cycles.
+    pub mispredict_penalty: u32,
+    /// Misprediction rate (per mille) applied to data-dependent
+    /// branches; loop back-edges are modeled as always predicted.
+    pub mispredict_per_mille: u32,
+    /// Memory hierarchy parameters.
+    pub mem: MemConfig,
+    /// Relative dynamic-energy scale (voltage/frequency point); 1.0 is
+    /// the Prime core.
+    pub energy_scale: f64,
+    /// Static (leakage + clock-tree) power in watts while running.
+    pub static_watts: f64,
+}
+
+impl CoreConfig {
+    /// The evaluated baseline: Snapdragon 855 Prime core
+    /// (Cortex-A76, 2.8 GHz, 4-wide, 128-entry ROB, 2 ASIMD units) —
+    /// paper Table 3.
+    pub fn prime() -> CoreConfig {
+        CoreConfig {
+            name: "Prime (Cortex-A76 2.8GHz)".into(),
+            freq_ghz: 2.8,
+            decode_width: 4,
+            commit_width: 4,
+            rob: 128,
+            asimd_units: 2,
+            scalar_alus: 3,
+            load_units: 2,
+            store_units: 1,
+            in_order: false,
+            mispredict_penalty: 12,
+            mispredict_per_mille: 5,
+            mem: MemConfig::snapdragon855(),
+            energy_scale: 1.0,
+            static_watts: 0.42,
+        }
+    }
+
+    /// Gold core: Cortex-A76 at 2.4 GHz (same microarchitecture,
+    /// lower voltage/frequency point) — §5.5.
+    pub fn gold() -> CoreConfig {
+        CoreConfig {
+            name: "Gold (Cortex-A76 2.4GHz)".into(),
+            freq_ghz: 2.4,
+            energy_scale: 0.82,
+            static_watts: 0.33,
+            ..CoreConfig::prime()
+        }
+    }
+
+    /// Silver core: Cortex-A55 at 1.8 GHz, in-order, one 128-bit ASIMD
+    /// unit — §5.5.
+    pub fn silver() -> CoreConfig {
+        CoreConfig {
+            name: "Silver (Cortex-A55 1.8GHz)".into(),
+            freq_ghz: 1.8,
+            decode_width: 2,
+            commit_width: 2,
+            rob: 16,
+            asimd_units: 1,
+            scalar_alus: 2,
+            load_units: 1,
+            store_units: 1,
+            in_order: true,
+            mispredict_penalty: 8,
+            energy_scale: 0.45,
+            static_watts: 0.12,
+            ..CoreConfig::prime()
+        }
+    }
+
+    /// A Figure 5(b) sweep point: `ways`-wide decode/commit with `v`
+    /// ASIMD units on the Prime baseline (named e.g. `4W-2V`).
+    pub fn sweep(ways: u32, v: u32) -> CoreConfig {
+        CoreConfig {
+            name: format!("{ways}W-{v}V"),
+            decode_width: ways,
+            commit_width: ways,
+            asimd_units: v,
+            ..CoreConfig::prime()
+        }
+    }
+
+    /// The six Figure 5(b) configurations, in paper order:
+    /// `4W-2V, 4W-4V, 4W-6V, 6W-6V, 4W-8V, 8W-8V`.
+    pub fn fig5b_sweep() -> Vec<CoreConfig> {
+        [(4, 2), (4, 4), (4, 6), (6, 6), (4, 8), (8, 8)]
+            .into_iter()
+            .map(|(w, v)| CoreConfig::sweep(w, v))
+            .collect()
+    }
+
+    /// Cycles-to-seconds conversion.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.freq_ghz * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table3() {
+        let p = CoreConfig::prime();
+        assert_eq!(p.rob, 128);
+        assert_eq!(p.decode_width, 4);
+        assert_eq!(p.asimd_units, 2);
+        assert_eq!(p.freq_ghz, 2.8);
+        assert!(!p.in_order);
+
+        let s = CoreConfig::silver();
+        assert!(s.in_order);
+        assert_eq!(s.asimd_units, 1);
+        assert!(s.freq_ghz < CoreConfig::gold().freq_ghz);
+    }
+
+    #[test]
+    fn sweep_names() {
+        let cfgs = CoreConfig::fig5b_sweep();
+        assert_eq!(cfgs.len(), 6);
+        assert_eq!(cfgs[0].name, "4W-2V");
+        assert_eq!(cfgs[5].name, "8W-8V");
+        assert_eq!(cfgs[5].decode_width, 8);
+        assert_eq!(cfgs[5].asimd_units, 8);
+    }
+
+    #[test]
+    fn time_conversion() {
+        let p = CoreConfig::prime();
+        let t = p.cycles_to_seconds(2_800_000_000);
+        assert!((t - 1.0).abs() < 1e-9);
+    }
+}

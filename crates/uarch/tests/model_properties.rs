@@ -1,0 +1,102 @@
+//! Property-based tests of the timing model's invariants.
+
+use proptest::prelude::*;
+use swan_simd::trace::{Class, MemRef, Op};
+use swan_simd::{TraceData, TraceInstr};
+use swan_uarch::{simulate, simulate_cold, CoreConfig};
+
+/// Build a synthetic trace of `n` instructions with a configurable mix.
+fn synth_trace(n: u32, loads: bool, chain: bool) -> TraceData {
+    let mut t = TraceData::default();
+    for i in 1..=n {
+        let (op, class, mem) = if loads && i % 3 == 0 {
+            (
+                Op::SLoad,
+                Class::SInt,
+                Some(MemRef { addr: (i as u64 % 256) * 64, bytes: 4 }),
+            )
+        } else {
+            (Op::SAlu, Class::SInt, None)
+        };
+        let src = if chain { i - 1 } else { 0 };
+        t.instrs.push(TraceInstr {
+            op,
+            class,
+            dst: i,
+            srcs: [src, 0, 0, 0],
+            nsrc: 1,
+            mem,
+        });
+        t.by_op[op as usize] += 1;
+        t.by_class[class as usize] += 1;
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ipc_bounded_by_commit_width(n in 100u32..4000, loads: bool, chain: bool) {
+        let t = synth_trace(n, loads, chain);
+        let cfg = CoreConfig::prime();
+        let r = simulate(&t, &cfg);
+        prop_assert!(r.ipc() <= cfg.commit_width as f64 + 1e-9);
+        prop_assert_eq!(r.instrs, n as u64);
+    }
+
+    #[test]
+    fn cycles_monotone_in_instruction_count(n in 100u32..2000) {
+        let cfg = CoreConfig::prime();
+        let small = simulate(&synth_trace(n, true, false), &cfg);
+        let large = simulate(&synth_trace(2 * n, true, false), &cfg);
+        prop_assert!(large.cycles >= small.cycles);
+    }
+
+    #[test]
+    fn dependent_chain_never_faster_than_independent(n in 200u32..2000) {
+        let cfg = CoreConfig::prime();
+        let dep = simulate(&synth_trace(n, false, true), &cfg);
+        let ind = simulate(&synth_trace(n, false, false), &cfg);
+        prop_assert!(dep.cycles >= ind.cycles);
+    }
+
+    #[test]
+    fn warm_caches_never_slower_than_cold(n in 300u32..3000) {
+        let cfg = CoreConfig::prime();
+        let t = synth_trace(n, true, false);
+        let warm = simulate(&t, &cfg);
+        let cold = simulate_cold(&t, &cfg);
+        prop_assert!(warm.cycles <= cold.cycles);
+        prop_assert!(warm.l1d.misses <= cold.l1d.misses);
+    }
+
+    #[test]
+    fn wider_core_never_slower(n in 200u32..2000, chain: bool) {
+        let t = synth_trace(n, false, chain);
+        let narrow = simulate(&t, &CoreConfig::sweep(4, 2));
+        let wide = simulate(&t, &CoreConfig::sweep(8, 8));
+        prop_assert!(wide.cycles <= narrow.cycles);
+    }
+
+    #[test]
+    fn stall_accounting_stays_within_total(n in 100u32..3000, loads: bool) {
+        let t = synth_trace(n, loads, true);
+        let r = simulate(&t, &CoreConfig::prime());
+        prop_assert!(r.fe_stall_cycles <= r.cycles);
+        prop_assert!(r.be_stall_cycles <= r.cycles);
+    }
+
+    #[test]
+    fn energy_positive_and_scales_with_width_factor(n in 100u32..1000) {
+        use swan_uarch::EnergyModel;
+        let t = synth_trace(n, true, false);
+        let cfg = CoreConfig::prime();
+        let r = simulate(&t, &cfg);
+        let m = EnergyModel::default();
+        let e1 = m.energy(&r, &cfg, 1.0).total_j();
+        let e8 = m.energy(&r, &cfg, 8.0).total_j();
+        prop_assert!(e1 > 0.0);
+        prop_assert!(e8 >= e1);
+    }
+}

@@ -1,0 +1,128 @@
+//! `swan-report` — regenerate the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! swan-report [--quick | --scale F] [--seed N] <what>...
+//! ```
+//!
+//! where `<what>` is any of `tab2 tab3 fig1 fig2 fig3 tab4 tab5 fig4
+//! fig5a fig5b tab6 tab7 fig6 patterns detail all`. The default scale
+//! is the report scale (0.4 of paper-size inputs, preserving the
+//! cache-pressure regimes); `--quick` runs a much smaller scale for a
+//! fast smoke pass.
+
+use swan_core::report::{self, SuiteResults};
+use swan_core::Scale;
+use swan_kernels::xp::{conv_layers, GemmF32, Shape, SpmmF32};
+
+fn main() {
+    let mut scale = Scale::sim();
+    let mut seed = 42u64;
+    let mut wants: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => scale = Scale::quick(),
+            "--scale" => {
+                let v: f64 = args
+                    .next()
+                    .expect("--scale needs a value")
+                    .parse()
+                    .expect("invalid scale");
+                scale = Scale(v);
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("invalid seed");
+            }
+            other => wants.push(other.to_string()),
+        }
+    }
+    if wants.is_empty() {
+        wants.push("all".to_string());
+    }
+    let all = wants.iter().any(|w| w == "all");
+    let want = |w: &str| all || wants.iter().any(|x| x == w);
+
+    let kernels = swan_kernels::all_kernels();
+
+    if want("tab2") {
+        println!("{}", report::tab2(&kernels));
+    }
+    if want("tab3") {
+        println!("{}", report::tab3());
+    }
+    if want("patterns") {
+        println!("{}", report::patterns(&kernels));
+    }
+
+    let needs_suite = ["fig1", "fig2", "fig3", "tab4", "tab5", "fig4", "fig5a",
+        "fig5b", "tab6", "tab7", "detail"]
+        .iter()
+        .any(|w| want(w));
+    let suite: Option<SuiteResults> = if needs_suite {
+        eprintln!("running suite at scale {:.3} (seed {seed})...", scale.0);
+        let t0 = std::time::Instant::now();
+        let s = report::run_suite(&kernels, scale, seed, |msg| {
+            eprintln!("  [{:6.1}s] {msg}", t0.elapsed().as_secs_f32());
+        });
+        eprintln!("suite done in {:.1}s", t0.elapsed().as_secs_f32());
+        Some(s)
+    } else {
+        None
+    };
+
+    if let Some(suite) = &suite {
+        if want("fig1") {
+            println!("{}", report::fig1(suite));
+        }
+        if want("fig2") {
+            println!("{}", report::fig2(suite));
+        }
+        if want("fig3") {
+            println!("{}", report::fig3(suite));
+        }
+        if want("tab4") {
+            println!("{}", report::tab4(suite));
+        }
+        if want("tab5") {
+            println!("{}", report::tab5(suite));
+        }
+        if want("fig4") {
+            println!("{}", report::fig4(suite));
+        }
+        if want("fig5a") {
+            println!("{}", report::fig5a(suite));
+        }
+        if want("fig5b") {
+            println!("{}", report::fig5b(suite));
+        }
+        if want("tab6") {
+            println!("{}", report::tab6(suite));
+        }
+        if want("tab7") {
+            println!("{}", report::tab7(suite));
+        }
+        if want("detail") {
+            println!("{}", report::kernel_detail(suite));
+        }
+    }
+
+    if want("fig6") {
+        let layers: Vec<(usize, usize, usize)> =
+            conv_layers().iter().map(|s| (s.m, s.k, s.n)).collect();
+        let t0 = std::time::Instant::now();
+        let (_, _, rep) = report::fig6(
+            &layers,
+            13,
+            |m, k, n| Box::new(GemmF32::with_shape(Shape { m, k, n })),
+            |m, k, n| Box::new(SpmmF32::with_shape(Shape { m, k, n })),
+            |msg| eprintln!("  [{:6.1}s] {msg}", t0.elapsed().as_secs_f32()),
+        );
+        println!("{rep}");
+    }
+}
