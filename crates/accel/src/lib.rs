@@ -68,8 +68,7 @@ impl GpuModel {
     /// accumulate operations.
     pub fn gemm_time(&self, macs: u64) -> OffloadTime {
         OffloadTime::Seconds(
-            self.launch_overhead_s
-                + macs as f64 / (self.peak_macs_per_sec * self.gemm_efficiency),
+            self.launch_overhead_s + macs as f64 / (self.peak_macs_per_sec * self.gemm_efficiency),
         )
     }
 
@@ -77,8 +76,7 @@ impl GpuModel {
     /// operations.
     pub fn spmm_time(&self, macs: u64) -> OffloadTime {
         OffloadTime::Seconds(
-            self.launch_overhead_s
-                + macs as f64 / (self.peak_macs_per_sec * self.spmm_efficiency),
+            self.launch_overhead_s + macs as f64 / (self.peak_macs_per_sec * self.spmm_efficiency),
         )
     }
 
@@ -122,9 +120,7 @@ impl DspModel {
         if is_float {
             OffloadTime::Unsupported
         } else {
-            OffloadTime::Seconds(
-                self.launch_overhead_s + macs as f64 / self.peak_macs_per_sec,
-            )
+            OffloadTime::Seconds(self.launch_overhead_s + macs as f64 / self.peak_macs_per_sec)
         }
     }
 }
@@ -155,7 +151,7 @@ mod tests {
         let gpu = GpuModel::default();
         // 1000 MACs: essentially pure overhead.
         let t = gpu.gemm_time(1000).seconds().unwrap();
-        assert!(t >= 230e-6 && t < 231e-6);
+        assert!((230e-6..231e-6).contains(&t));
         // The paper's Table 7: average Neon kernel time is 117 µs, so
         // the GPU launch alone is ~2x that.
         assert!(t / 117e-6 > 1.9);
@@ -202,6 +198,8 @@ mod tests {
 
     #[test]
     fn dsp_launch_cheaper_than_gpu() {
-        assert!(DspModel::default().launch_overhead_s < GpuModel::default().launch_overhead_s / 10.0);
+        assert!(
+            DspModel::default().launch_overhead_s < GpuModel::default().launch_overhead_s / 10.0
+        );
     }
 }

@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use swan_bench::{find, measure_point, REPRESENTATIVES};
 use swan_core::report;
-use swan_core::{capture, simulate_trace, Impl, Scale};
+use swan_core::{capture, measure_multi, simulate_trace, Impl, Kernel, Scale, SuiteRunner};
 use swan_simd::Width;
 use swan_uarch::CoreConfig;
 
@@ -19,7 +19,11 @@ fn fig1_instruction_mix(c: &mut Criterion) {
     let kernels = swan_kernels::all_kernels();
     let mut g = c.benchmark_group("fig1_instruction_mix");
     g.sample_size(10);
-    for (lib, name) in [("LJ", "rgb_to_ycbcr"), ("WA", "audible"), ("BS", "aes128_ctr")] {
+    for (lib, name) in [
+        ("LJ", "rgb_to_ycbcr"),
+        ("WA", "audible"),
+        ("BS", "aes128_ctr"),
+    ] {
         let k = find(&kernels, lib, name);
         g.bench_function(format!("{lib}.{name}"), |b| {
             b.iter(|| {
@@ -67,7 +71,10 @@ fn fig3_power(c: &mut Criterion) {
 fn tab4_autovec(c: &mut Criterion) {
     c.bench_function("tab4_autovec/census", |b| {
         b.iter(|| {
-            let suite = report::SuiteResults { kernels: vec![], scale: SCALE };
+            let suite = report::SuiteResults {
+                kernels: vec![],
+                scale: SCALE,
+            };
             black_box(report::tab4(&suite).body.len())
         })
     });
@@ -76,7 +83,11 @@ fn tab4_autovec(c: &mut Criterion) {
 /// Figure 4: one kernel across the three cores (Silver/Gold/Prime).
 fn fig4_cores(c: &mut Criterion) {
     let kernels = swan_kernels::all_kernels();
-    let cores = [CoreConfig::silver(), CoreConfig::gold(), CoreConfig::prime()];
+    let cores = [
+        CoreConfig::silver(),
+        CoreConfig::gold(),
+        CoreConfig::prime(),
+    ];
     let k = find(&kernels, "ZL", "adler32");
     let (str_, ops) = capture(k, Impl::Scalar, Width::W128, SCALE, 42);
     let (vtr, _) = capture(k, Impl::Neon, Width::W128, SCALE, 42);
@@ -180,6 +191,72 @@ fn fig6_gpu(c: &mut Criterion) {
     g.finish();
 }
 
+/// Suite campaign, pipeline shape: the streaming fan-out (one traced
+/// execution pair drives all three cores at once, O(window) memory)
+/// vs the batch flow it replaced (capture the full trace, then replay
+/// it per core).
+fn campaign_streaming_vs_batch(c: &mut Criterion) {
+    let kernels = swan_kernels::all_kernels();
+    let cfgs = [
+        CoreConfig::prime(),
+        CoreConfig::gold(),
+        CoreConfig::silver(),
+    ];
+    let k = find(&kernels, "LJ", "rgb_to_ycbcr");
+    let mut g = c.benchmark_group("campaign_pipeline");
+    g.sample_size(10);
+    g.bench_function("batch_capture_replay_3cores", |b| {
+        b.iter(|| {
+            let (tr, ops) = capture(k, Impl::Neon, Width::W128, SCALE, 42);
+            let total: u64 = cfgs
+                .iter()
+                .map(|cfg| simulate_trace(&tr, cfg, 1.0, ops).sim.cycles)
+                .sum();
+            black_box(total)
+        })
+    });
+    g.bench_function("streaming_fanout_3cores", |b| {
+        b.iter(|| {
+            let total: u64 = measure_multi(k, Impl::Neon, Width::W128, &cfgs, SCALE, 42)
+                .iter()
+                .map(|m| m.sim.cycles)
+                .sum();
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+/// Suite campaign, scaling shape: the representative subset measured
+/// by `SuiteRunner` serially and sharded across 4 worker threads. The
+/// multi-thread point must beat the serial wall-clock on any
+/// multi-core host — this is the number the perf trajectory tracks.
+fn campaign_threads(c: &mut Criterion) {
+    let kernels = swan_kernels::all_kernels();
+    let subset: Vec<Box<dyn Kernel>> = kernels
+        .into_iter()
+        .filter(|k| {
+            let m = k.meta();
+            REPRESENTATIVES
+                .iter()
+                .any(|&(l, n)| m.library.info().symbol == l && m.name == n)
+        })
+        .collect();
+    let mut g = c.benchmark_group("campaign_threads");
+    g.sample_size(3);
+    for threads in [1usize, 4] {
+        g.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| {
+                let suite = SuiteRunner::new(SCALE, 42)
+                    .threads(threads)
+                    .run(&subset, |_| {});
+                black_box(suite.kernels.len())
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     paper,
     fig1_instruction_mix,
@@ -191,6 +268,8 @@ criterion_group!(
     fig5b_units,
     tab6_strides,
     tab7_offload,
-    fig6_gpu
+    fig6_gpu,
+    campaign_streaming_vs_batch,
+    campaign_threads
 );
 criterion_main!(paper);

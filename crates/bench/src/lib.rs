@@ -7,7 +7,7 @@
 //! emulator) and trace-driven timing simulation. The full-size numbers
 //! come from the `swan-report` binary.
 
-use swan_core::{capture, simulate_trace, Impl, Kernel, Measurement, Scale};
+use swan_core::{measure, Impl, Kernel, Measurement, Scale};
 use swan_simd::Width;
 use swan_uarch::CoreConfig;
 
@@ -28,11 +28,7 @@ pub const REPRESENTATIVES: [(&str, &str); 12] = [
 ];
 
 /// Look up a kernel by `(library symbol, name)`.
-pub fn find<'a>(
-    kernels: &'a [Box<dyn Kernel>],
-    lib: &str,
-    name: &str,
-) -> &'a dyn Kernel {
+pub fn find<'a>(kernels: &'a [Box<dyn Kernel>], lib: &str, name: &str) -> &'a dyn Kernel {
     kernels
         .iter()
         .find(|k| k.meta().library.info().symbol == lib && k.meta().name == name)
@@ -40,8 +36,10 @@ pub fn find<'a>(
         .as_ref()
 }
 
-/// Capture + simulate one configuration end to end (what one data
-/// point of Figures 2-5 costs).
+/// Trace + simulate one configuration end to end (what one data point
+/// of Figures 2-5 costs). Uses the streaming pipeline: the kernel
+/// executes under a sink driving the core model directly, with no
+/// materialized trace.
 pub fn measure_point(
     kernel: &dyn Kernel,
     imp: Impl,
@@ -49,9 +47,7 @@ pub fn measure_point(
     cfg: &CoreConfig,
     scale: Scale,
 ) -> Measurement {
-    let (tr, ops) = capture(kernel, imp, w, scale, 42);
-    let wf = if imp == Impl::Neon { w.factor() as f64 } else { 1.0 };
-    simulate_trace(&tr, cfg, wf, ops)
+    measure(kernel, imp, w, cfg, scale, 42)
 }
 
 #[cfg(test)]
@@ -73,7 +69,13 @@ mod tests {
     fn measure_point_round_trips() {
         let kernels = swan_kernels::all_kernels();
         let k = find(&kernels, "ZL", "adler32");
-        let m = measure_point(k, Impl::Neon, Width::W128, &CoreConfig::prime(), Scale::test());
+        let m = measure_point(
+            k,
+            Impl::Neon,
+            Width::W128,
+            &CoreConfig::prime(),
+            Scale::test(),
+        );
         assert!(m.sim.cycles > 0);
     }
 }

@@ -1,0 +1,174 @@
+//! Suite-level measurement campaign.
+//!
+//! [`measure_kernel`] produces every measurement the report generators
+//! need for one kernel through the streaming fan-out path: each traced
+//! kernel execution drives all the core configurations that share its
+//! instruction stream at once (Prime/Gold/Silver, plus the Figure 5(b)
+//! sweep for the representative kernels), instead of the batch flow's
+//! up-to-7 capture/replay round-trips per kernel.
+//!
+//! [`SuiteRunner`] shards kernels across `std::thread` workers. The
+//! tracer is thread-local and kernels are `Send + Sync`, so a
+//! per-kernel campaign parallelizes without shared mutable state; each
+//! kernel's measurements are identical to a serial run of that kernel.
+
+use crate::kernel::{Impl, Kernel, Scale};
+use crate::report::{KernelResults, SuiteResults, FIG5_KERNELS};
+use crate::runner::{measure_multi, Measurement};
+use std::sync::Mutex;
+use swan_simd::Width;
+use swan_uarch::CoreConfig;
+
+/// Produce the complete [`KernelResults`] for one kernel (the unit of
+/// work a campaign worker executes).
+pub fn measure_kernel(kernel: &dyn Kernel, scale: Scale, seed: u64) -> KernelResults {
+    let meta = kernel.meta();
+    let prime = CoreConfig::prime();
+    let base = [prime.clone(), CoreConfig::gold(), CoreConfig::silver()];
+    let prime_only = std::slice::from_ref(&prime);
+
+    // Scalar: one execution pair drives Prime, Gold, and Silver.
+    let mut sc = measure_multi(kernel, Impl::Scalar, Width::W128, &base, scale, seed);
+    let scalar_silver = sc.pop().expect("silver");
+    let scalar_gold = sc.pop().expect("gold");
+    let scalar = sc.pop().expect("prime");
+
+    let auto = measure_multi(kernel, Impl::Auto, Width::W128, prime_only, scale, seed)
+        .pop()
+        .expect("prime");
+
+    // Neon: the representatives also need the Figure 5(b) sweep, which
+    // shares the 128-bit instruction stream — fan it out in the same
+    // execution pair.
+    let is_rep = FIG5_KERNELS
+        .iter()
+        .any(|&(l, n)| meta.library.info().symbol == l && meta.name == n);
+    let mut neon_cfgs = base.to_vec();
+    if is_rep {
+        neon_cfgs.extend(CoreConfig::fig5b_sweep());
+    }
+    let mut ne = measure_multi(kernel, Impl::Neon, Width::W128, &neon_cfgs, scale, seed);
+    let sweep: Option<[Measurement; 6]> = is_rep.then(|| {
+        let s: Vec<Measurement> = ne.split_off(3);
+        s.try_into().expect("6 configs")
+    });
+    let neon_silver = ne.pop().expect("silver");
+    let neon_gold = ne.pop().expect("gold");
+    let neon = ne.pop().expect("prime");
+
+    let widths: Option<[Measurement; 4]> = is_rep.then(|| {
+        let mut ws: Vec<Measurement> = vec![neon.clone()];
+        for w in [Width::W256, Width::W512, Width::W1024] {
+            ws.extend(measure_multi(
+                kernel,
+                Impl::Neon,
+                w,
+                prime_only,
+                scale,
+                seed,
+            ));
+        }
+        ws.try_into().expect("4 widths")
+    });
+
+    KernelResults {
+        meta,
+        scalar,
+        auto,
+        neon,
+        scalar_gold,
+        neon_gold,
+        scalar_silver,
+        neon_silver,
+        widths,
+        sweep,
+    }
+}
+
+/// A campaign over a kernel inventory, optionally sharded across
+/// threads.
+#[derive(Clone, Debug)]
+pub struct SuiteRunner {
+    scale: Scale,
+    seed: u64,
+    threads: usize,
+}
+
+impl SuiteRunner {
+    /// A serial campaign at the given input scale and seed.
+    pub fn new(scale: Scale, seed: u64) -> SuiteRunner {
+        SuiteRunner {
+            scale,
+            seed,
+            threads: 1,
+        }
+    }
+
+    /// Shard kernels across `n` worker threads (1 = serial).
+    pub fn threads(mut self, n: usize) -> SuiteRunner {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Run the campaign serially on the calling thread (the form
+    /// `report::run_suite` delegates to; accepts a plain `FnMut`
+    /// progress callback).
+    pub fn run_serial(
+        &self,
+        kernels: &[Box<dyn Kernel>],
+        mut progress: impl FnMut(&str),
+    ) -> SuiteResults {
+        let out = kernels
+            .iter()
+            .map(|k| {
+                progress(&format!("measuring {}", k.meta().id()));
+                measure_kernel(k.as_ref(), self.scale, self.seed)
+            })
+            .collect();
+        SuiteResults {
+            kernels: out,
+            scale: self.scale,
+        }
+    }
+
+    /// Run the campaign. `progress` receives one status line per
+    /// kernel (from whichever worker picks it up).
+    pub fn run(
+        &self,
+        kernels: &[Box<dyn Kernel>],
+        progress: impl Fn(&str) + Send + Sync,
+    ) -> SuiteResults {
+        let n = kernels.len();
+        let workers = self.threads.min(n.max(1));
+        if workers <= 1 {
+            return self.run_serial(kernels, progress);
+        }
+
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<KernelResults>>> = Mutex::new((0..n).map(|_| None).collect());
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let k = &kernels[i];
+                    progress(&format!("measuring {}", k.meta().id()));
+                    let r = measure_kernel(k.as_ref(), self.scale, self.seed);
+                    results.lock().expect("campaign worker panicked")[i] = Some(r);
+                });
+            }
+        });
+        let out = results
+            .into_inner()
+            .expect("campaign worker panicked")
+            .into_iter()
+            .map(|r| r.expect("every kernel measured"))
+            .collect();
+        SuiteResults {
+            kernels: out,
+            scale: self.scale,
+        }
+    }
+}

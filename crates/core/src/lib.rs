@@ -1,21 +1,23 @@
 //! # swan-core — benchmark harness for the Swan suite
 //!
 //! Defines the [`Kernel`] abstraction the 59 Swan kernels implement,
-//! the measurement [`runner`] that traces a kernel and replays it
-//! through the `swan-uarch` timing model, and the [`report`] generators
-//! that regenerate every table and figure of the paper from a kernel
-//! inventory.
+//! the streaming measurement [`runner`] that executes a kernel under a
+//! fan-out trace sink driving the `swan-uarch` timing models, the
+//! [`campaign`] module that shards the full-suite measurement across
+//! threads, and the [`report`] generators that regenerate every table
+//! and figure of the paper from a kernel inventory.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod campaign;
 pub mod kernel;
 pub mod report;
 pub mod runner;
 pub mod stats;
 
+pub use campaign::{measure_kernel, SuiteRunner};
 pub use kernel::{
-    AutoObstacle, AutoOutcome, Impl, Kernel, KernelMeta, Library, Pattern, Runnable,
-    Scale, VsNeon,
+    AutoObstacle, AutoOutcome, Impl, Kernel, KernelMeta, Library, Pattern, Runnable, Scale, VsNeon,
 };
-pub use runner::{capture, measure, simulate_trace, verify_kernel, Measurement};
+pub use runner::{capture, measure, measure_multi, simulate_trace, verify_kernel, Measurement};

@@ -9,7 +9,7 @@
 use crate::kernel::{
     AutoObstacle, AutoOutcome, Impl, Kernel, KernelMeta, Library, Pattern, Scale, VsNeon,
 };
-use crate::runner::{capture, simulate_trace, Measurement};
+use crate::runner::{measure, Measurement};
 use crate::stats::{geomean, mean};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -68,73 +68,19 @@ pub struct SuiteResults {
 }
 
 /// Run the complete measurement campaign (the expensive step: every
-/// kernel is traced for Scalar/Auto/Neon and replayed through the
-/// timing model on every core configuration the figures need).
+/// kernel is traced for Scalar/Auto/Neon, each traced execution
+/// streaming into every core configuration that shares its
+/// instruction stream).
 ///
-/// `progress` is invoked with a status line per kernel.
+/// Serial form of [`crate::campaign::SuiteRunner`]; `progress` is
+/// invoked with a status line per kernel.
 pub fn run_suite(
     kernels: &[Box<dyn Kernel>],
     scale: Scale,
     seed: u64,
-    mut progress: impl FnMut(&str),
+    progress: impl FnMut(&str),
 ) -> SuiteResults {
-    let prime = CoreConfig::prime();
-    let gold = CoreConfig::gold();
-    let silver = CoreConfig::silver();
-    let sweep_cfgs = CoreConfig::fig5b_sweep();
-    let mut out = Vec::with_capacity(kernels.len());
-    for k in kernels {
-        let meta = k.meta();
-        progress(&format!("measuring {}", meta.id()));
-        let (scalar_tr, ops) = capture(k.as_ref(), Impl::Scalar, Width::W128, scale, seed);
-        let scalar = simulate_trace(&scalar_tr, &prime, 1.0, ops);
-        let scalar_gold = simulate_trace(&scalar_tr, &gold, 1.0, ops);
-        let scalar_silver = simulate_trace(&scalar_tr, &silver, 1.0, ops);
-        drop(scalar_tr);
-
-        let (auto_tr, _) = capture(k.as_ref(), Impl::Auto, Width::W128, scale, seed);
-        let auto = simulate_trace(&auto_tr, &prime, 1.0, ops);
-        drop(auto_tr);
-
-        let (neon_tr, _) = capture(k.as_ref(), Impl::Neon, Width::W128, scale, seed);
-        let neon = simulate_trace(&neon_tr, &prime, 1.0, ops);
-        let neon_gold = simulate_trace(&neon_tr, &gold, 1.0, ops);
-        let neon_silver = simulate_trace(&neon_tr, &silver, 1.0, ops);
-
-        let is_rep = FIG5_KERNELS
-            .iter()
-            .any(|&(l, n)| meta.library.info().symbol == l && meta.name == n);
-        let (widths, sweep) = if is_rep {
-            let mut ws: Vec<Measurement> = vec![neon.clone()];
-            for w in [Width::W256, Width::W512, Width::W1024] {
-                let (tr, _) = capture(k.as_ref(), Impl::Neon, w, scale, seed);
-                ws.push(simulate_trace(&tr, &prime, w.factor() as f64, ops));
-            }
-            let sweep: Vec<Measurement> = sweep_cfgs
-                .iter()
-                .map(|cfg| simulate_trace(&neon_tr, cfg, 1.0, ops))
-                .collect();
-            (
-                Some(ws.try_into().expect("4 widths")),
-                Some(sweep.try_into().expect("6 configs")),
-            )
-        } else {
-            (None, None)
-        };
-        out.push(KernelResults {
-            meta,
-            scalar,
-            auto,
-            neon,
-            scalar_gold,
-            neon_gold,
-            scalar_silver,
-            neon_silver,
-            widths,
-            sweep,
-        });
-    }
-    SuiteResults { kernels: out, scale }
+    crate::campaign::SuiteRunner::new(scale, seed).run_serial(kernels, progress)
 }
 
 impl SuiteResults {
@@ -146,9 +92,9 @@ impl SuiteResults {
     }
 
     fn find(&self, lib: &str, name: &str) -> Option<&KernelResults> {
-        self.kernels.iter().find(|k| {
-            k.meta.library.info().symbol == lib && k.meta.name == name
-        })
+        self.kernels
+            .iter()
+            .find(|k| k.meta.library.info().symbol == lib && k.meta.name == name)
     }
 }
 
@@ -265,7 +211,11 @@ pub fn tab3() -> Report {
                 "{:.1}GHz, {} entry ROB, {}, {}-way decode, {}-way commit",
                 p.freq_ghz,
                 p.rob,
-                if p.in_order { "in-order" } else { "out-of-order" },
+                if p.in_order {
+                    "in-order"
+                } else {
+                    "out-of-order"
+                },
                 p.decode_width,
                 p.commit_width
             ),
@@ -313,11 +263,21 @@ pub fn tab3() -> Report {
 /// (percent) and the Scalar/Neon dynamic-instruction reduction.
 pub fn fig1(suite: &SuiteResults) -> Report {
     use swan_simd::trace::Class;
-    let header: Vec<String> = ["Lib", "S-Int%", "S-Flt%", "V-Ld%", "V-St%", "V-Int%",
-        "V-Flt%", "V-Crypto%", "V-Misc%", "InstrRed(x)"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "Lib",
+        "S-Int%",
+        "S-Flt%",
+        "V-Ld%",
+        "V-St%",
+        "V-Int%",
+        "V-Flt%",
+        "V-Crypto%",
+        "V-Misc%",
+        "InstrRed(x)",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     for lib in Library::ALL {
         let ks = suite.by_library(lib);
@@ -332,9 +292,10 @@ pub fn fig1(suite: &SuiteResults) -> Report {
         }
         let total: u64 = classes.iter().sum();
         let pct = |c: Class| 100.0 * classes[c as usize] as f64 / total.max(1) as f64;
-        let red = geomean(ks.iter().map(|k| {
-            k.scalar.trace.total() as f64 / k.neon.trace.total().max(1) as f64
-        }));
+        let red = geomean(
+            ks.iter()
+                .map(|k| k.scalar.trace.total() as f64 / k.neon.trace.total().max(1) as f64),
+        );
         rows.push(vec![
             lib.to_string(),
             format!("{:.1}", pct(Class::SInt)),
@@ -362,11 +323,16 @@ pub fn fig1(suite: &SuiteResults) -> Report {
 /// Figure 2 data: per library geomean performance and energy
 /// improvement of Auto and Neon over Scalar (Prime core).
 pub fn fig2(suite: &SuiteResults) -> Report {
-    let header: Vec<String> =
-        ["Lib", "Auto perf(x)", "Neon perf(x)", "Auto energy(x)", "Neon energy(x)"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+    let header: Vec<String> = [
+        "Lib",
+        "Auto perf(x)",
+        "Neon perf(x)",
+        "Auto energy(x)",
+        "Neon energy(x)",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     for lib in Library::ALL {
         let ks = suite.by_library(lib);
@@ -374,10 +340,16 @@ pub fn fig2(suite: &SuiteResults) -> Report {
             continue;
         }
         let perf = |sel: fn(&KernelResults) -> &Measurement| {
-            geomean(ks.iter().map(|k| k.scalar.seconds() / sel(k).seconds().max(1e-12)))
+            geomean(
+                ks.iter()
+                    .map(|k| k.scalar.seconds() / sel(k).seconds().max(1e-12)),
+            )
         };
         let energy = |sel: fn(&KernelResults) -> &Measurement| {
-            geomean(ks.iter().map(|k| k.scalar.energy_j / sel(k).energy_j.max(1e-18)))
+            geomean(
+                ks.iter()
+                    .map(|k| k.scalar.energy_j / sel(k).energy_j.max(1e-18)),
+            )
         };
         rows.push(vec![
             lib.to_string(),
@@ -484,7 +456,11 @@ pub fn tab4(suite: &SuiteResults) -> Report {
             count_obs(AutoObstacle::CostModel).to_string(),
         ],
     ];
-    make_report("Table 4: Auto performance w.r.t. Scalar and Neon", header, rows)
+    make_report(
+        "Table 4: Auto performance w.r.t. Scalar and Neon",
+        header,
+        rows,
+    )
 }
 
 // =====================================================================
@@ -493,11 +469,13 @@ pub fn tab4(suite: &SuiteResults) -> Report {
 
 /// Table 5: cache MPKI, stall shares and IPC, Scalar (S) vs Neon (V).
 pub fn tab5(suite: &SuiteResults) -> Report {
-    let header: Vec<String> = ["Lib", "L1D S", "L1D V", "L2 S", "L2 V", "LLC S",
-        "LLC V", "FE% S", "FE% V", "BE% S", "BE% V", "IPC S", "IPC V"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "Lib", "L1D S", "L1D V", "L2 S", "L2 V", "LLC S", "LLC V", "FE% S", "FE% V", "BE% S",
+        "BE% V", "IPC S", "IPC V",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     for lib in Library::ALL {
         let ks = suite.by_library(lib);
@@ -535,11 +513,18 @@ pub fn tab5(suite: &SuiteResults) -> Report {
 /// Figure 4 data: Neon performance and energy improvement over Scalar
 /// on the Silver, Gold and Prime cores.
 pub fn fig4(suite: &SuiteResults) -> Report {
-    let header: Vec<String> = ["Lib", "Silver perf", "Gold perf", "Prime perf",
-        "Silver energy", "Gold energy", "Prime energy"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "Lib",
+        "Silver perf",
+        "Gold perf",
+        "Prime perf",
+        "Silver energy",
+        "Gold energy",
+        "Prime energy",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     for lib in Library::ALL {
         let ks = suite.by_library(lib);
@@ -611,8 +596,10 @@ pub fn fig5a(suite: &SuiteResults) -> Report {
 /// Figure 5(b): speedup of the decode-way / ASIMD-unit sweep over the
 /// `4W-2V` baseline for the eight representative kernels.
 pub fn fig5b(suite: &SuiteResults) -> Report {
-    let cfg_names: Vec<String> =
-        CoreConfig::fig5b_sweep().iter().map(|c| c.name.clone()).collect();
+    let cfg_names: Vec<String> = CoreConfig::fig5b_sweep()
+        .iter()
+        .map(|c| c.name.clone())
+        .collect();
     let mut header = vec!["Kernel".to_string()];
     header.extend(cfg_names);
     let mut rows = Vec::new();
@@ -690,9 +677,7 @@ pub fn tab7(suite: &SuiteResults) -> Report {
     let nine: Vec<&KernelResults> = suite
         .kernels
         .iter()
-        .filter(|k| {
-            !k.meta.excluded_from_eval && !k.meta.library.info().gpu_offloaded
-        })
+        .filter(|k| !k.meta.excluded_from_eval && !k.meta.library.info().gpu_offloaded)
         .collect();
     // One suite invocation at the reduced simulation scale is a good
     // proxy for the paper's fine-grain per-API-call execution times
@@ -701,7 +686,10 @@ pub fn tab7(suite: &SuiteResults) -> Report {
     let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = times.iter().cloned().fold(0.0, f64::max);
     let avg = mean(times.iter().cloned());
-    let header: Vec<String> = ["Quantity", "Time (us)"].iter().map(|s| s.to_string()).collect();
+    let header: Vec<String> = ["Quantity", "Time (us)"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let rows = vec![
         vec![
             "Adreno 640 GPU kernel launch".into(),
@@ -711,9 +699,18 @@ pub fn tab7(suite: &SuiteResults) -> Report {
             "Hexagon 690 DSP kernel launch".into(),
             format!("{:.0}", dsp.launch_overhead_s * 1e6),
         ],
-        vec!["Neon kernel execution (min)".into(), format!("{:.1}", min * 1e6)],
-        vec!["Neon kernel execution (avg)".into(), format!("{:.1}", avg * 1e6)],
-        vec!["Neon kernel execution (max)".into(), format!("{:.1}", max * 1e6)],
+        vec![
+            "Neon kernel execution (min)".into(),
+            format!("{:.1}", min * 1e6),
+        ],
+        vec![
+            "Neon kernel execution (avg)".into(),
+            format!("{:.1}", avg * 1e6),
+        ],
+        vec![
+            "Neon kernel execution (max)".into(),
+            format!("{:.1}", max * 1e6),
+        ],
         vec![
             "GPU launch / avg Neon".into(),
             format!("{:.1}x", gpu.launch_overhead_s / avg.max(1e-12)),
@@ -760,9 +757,20 @@ pub fn fig6(
     for (i, &(m, k, n)) in layers.iter().enumerate().step_by(step) {
         progress(&format!("fig6 layer {i}: {m}x{k}x{n}"));
         for (is_spmm, pts) in [(false, &mut gemm_pts), (true, &mut spmm_pts)] {
-            let kernel = if is_spmm { spmm(m, k, n) } else { gemm(m, k, n) };
-            let (tr, ops) = capture(kernel.as_ref(), Impl::Neon, Width::W128, Scale(1.0), 7);
-            let meas = simulate_trace(&tr, &prime, 1.0, ops);
+            let kernel = if is_spmm {
+                spmm(m, k, n)
+            } else {
+                gemm(m, k, n)
+            };
+            let meas = measure(
+                kernel.as_ref(),
+                Impl::Neon,
+                Width::W128,
+                &prime,
+                Scale(1.0),
+                7,
+            );
+            let ops = meas.work_ops;
             let gpu_s = if is_spmm {
                 gpu.spmm_time(ops)
             } else {
@@ -801,7 +809,11 @@ pub fn fig6(
             ]);
         }
     }
-    let report = make_report("Figure 6: Neon vs GPU across operation counts", header, rows);
+    let report = make_report(
+        "Figure 6: Neon vs GPU across operation counts",
+        header,
+        rows,
+    );
     (gemm_pts, spmm_pts, report)
 }
 
@@ -814,7 +826,10 @@ pub fn patterns(kernels: &[Box<dyn Kernel>]) -> Report {
     let pats: [(Pattern, &str); 6] = [
         (Pattern::Reduction, "Reduction (§6.1)"),
         (Pattern::SequentialReduction, "Sequential reduction (§6.1)"),
-        (Pattern::RandomMemoryAccess, "Random memory access / LUT (§6.2)"),
+        (
+            Pattern::RandomMemoryAccess,
+            "Random memory access / LUT (§6.2)",
+        ),
         (Pattern::StridedMemoryAccess, "Strided memory access (§6.3)"),
         (Pattern::MatrixTransposition, "Matrix transposition (§6.4)"),
         (Pattern::VectorApi, "Portable vector APIs (§6.5)"),
@@ -835,11 +850,18 @@ pub fn patterns(kernels: &[Box<dyn Kernel>]) -> Report {
 
 /// Per-kernel detail dump (kernel-level companion to Figures 1-3).
 pub fn kernel_detail(suite: &SuiteResults) -> Report {
-    let header: Vec<String> = ["Kernel", "VRE", "Neon perf(x)", "Auto perf(x)",
-        "InstrRed(x)", "Neon IPC", "Neon power(W)"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "Kernel",
+        "VRE",
+        "Neon perf(x)",
+        "Auto perf(x)",
+        "InstrRed(x)",
+        "Neon IPC",
+        "Neon power(W)",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     for k in &suite.kernels {
         rows.push(vec![

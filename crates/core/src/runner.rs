@@ -1,10 +1,20 @@
-//! Measurement runner: trace a kernel invocation, replay it through
+//! Measurement runner: trace a kernel invocation, drive it through
 //! the timing model, and attach power/energy.
+//!
+//! The default path is *streaming*: the kernel executes under a
+//! [`swan_simd::trace::TraceSink`] that fans each dynamic instruction
+//! out to one incremental [`swan_uarch::CoreModel`] per core
+//! configuration, so N configurations are measured from a single pair
+//! of functional executions (one cache warm-up pass, one timed pass)
+//! with O(core window) resident memory — the trace is never
+//! materialized. [`capture`] + [`simulate_trace`] remain as the
+//! explicit batch path (and the two are bit-identical; see the
+//! `streaming_equivalence` integration tests).
 
 use crate::kernel::{Impl, Kernel, Scale};
-use swan_simd::trace::{Mode, Session};
+use swan_simd::trace::{stream_into, Mode, Session};
 use swan_simd::{TraceData, Width};
-use swan_uarch::{simulate, CoreConfig, EnergyModel, SimResult};
+use swan_uarch::{simulate, CoreConfig, EnergyModel, MultiCore, SimResult};
 
 /// One measured (kernel, implementation, width, core) point.
 #[derive(Clone, Debug)]
@@ -28,9 +38,35 @@ impl Measurement {
     }
 }
 
+/// Attach the energy model to a finished simulation.
+fn attach_energy(
+    histograms: TraceData,
+    sim: SimResult,
+    cfg: &CoreConfig,
+    width_factor: f64,
+    work_ops: u64,
+) -> Measurement {
+    let energy = EnergyModel::default().energy(&sim, cfg, width_factor);
+    let power_w = if sim.seconds > 0.0 {
+        energy.total_j() / sim.seconds
+    } else {
+        0.0
+    };
+    Measurement {
+        trace: histograms,
+        sim,
+        power_w,
+        energy_j: energy.total_j(),
+        work_ops,
+    }
+}
+
 /// Capture the full dynamic trace of one kernel configuration
 /// (functional execution under the tracer). Returns the trace and the
 /// kernel's useful-operation count.
+///
+/// This materializes the whole trace — O(dynamic instruction count)
+/// memory. Prefer [`measure`]/[`measure_multi`], which stream.
 pub fn capture(
     kernel: &dyn Kernel,
     imp: Impl,
@@ -54,29 +90,52 @@ pub fn simulate_trace(
     work_ops: u64,
 ) -> Measurement {
     let sim = simulate(trace, cfg);
-    let energy = EnergyModel::default().energy(&sim, cfg, width_factor);
-    let power_w = if sim.seconds > 0.0 {
-        energy.total_j() / sim.seconds
-    } else {
-        0.0
-    };
-    let mut histo = TraceData::default();
-    histo.by_op = trace.by_op;
-    histo.by_class = trace.by_class;
-    Measurement {
-        trace: histo,
-        sim,
-        power_w,
-        energy_j: energy.total_j(),
-        work_ops,
-    }
+    attach_energy(trace.histograms(), sim, cfg, width_factor, work_ops)
 }
 
-/// Measure one configuration of a kernel.
+/// Measure one kernel configuration on several core configurations at
+/// once, without materializing the trace.
 ///
-/// The instruction trace is captured functionally, then replayed twice
-/// through the core model — once to warm the caches (the paper warms
-/// caches before each measured iteration, §4.3) and once timed.
+/// The kernel instance executes twice under a fan-out sink driving one
+/// incremental core model per configuration: a first pass warms every
+/// model's caches (the paper warms caches before each measured
+/// iteration, §4.3) and a second pass is timed. Both passes run on the
+/// *same* instance, so buffer addresses — and therefore cache
+/// behavior — are identical between warm-up and measurement, exactly
+/// as in a batch capture-and-replay of one trace.
+///
+/// Returns one [`Measurement`] per entry of `cfgs`, in order.
+pub fn measure_multi(
+    kernel: &dyn Kernel,
+    imp: Impl,
+    w: Width,
+    cfgs: &[CoreConfig],
+    scale: Scale,
+    seed: u64,
+) -> Vec<Measurement> {
+    let width_factor = if imp == Impl::Neon {
+        w.factor() as f64
+    } else {
+        1.0
+    };
+    let mut inst = kernel.instantiate(scale, seed);
+
+    let mut multi = MultiCore::new(cfgs);
+    multi.begin_warm();
+    let (_, mut multi, ()) = stream_into(multi, || inst.run(imp, w));
+    multi.begin_timed();
+    let (data, mut multi, ()) = stream_into(multi, || inst.run(imp, w));
+    let work_ops = inst.work_ops();
+
+    let sims = multi.finalize();
+    cfgs.iter()
+        .zip(sims)
+        .map(|(cfg, sim)| attach_energy(data.histograms(), sim, cfg, width_factor, work_ops))
+        .collect()
+}
+
+/// Measure one configuration of a kernel (streaming; single-core
+/// convenience form of [`measure_multi`]).
 pub fn measure(
     kernel: &dyn Kernel,
     imp: Impl,
@@ -85,9 +144,9 @@ pub fn measure(
     scale: Scale,
     seed: u64,
 ) -> Measurement {
-    let (trace, ops) = capture(kernel, imp, w, scale, seed);
-    let width_factor = if imp == Impl::Neon { w.factor() as f64 } else { 1.0 };
-    simulate_trace(&trace, cfg, width_factor, ops)
+    measure_multi(kernel, imp, w, std::slice::from_ref(cfg), scale, seed)
+        .pop()
+        .expect("one config in, one measurement out")
 }
 
 /// Verify a kernel: run the Scalar and Neon implementations (every
@@ -101,7 +160,13 @@ pub fn verify_kernel(kernel: &dyn Kernel, scale: Scale, seed: u64) -> Result<(),
     for w in Width::ALL {
         let mut inst = kernel.instantiate(scale, seed);
         inst.run(Impl::Neon, w);
-        compare(&meta.id(), &format!("Neon@{w}"), &expect, &inst.output(), meta.tolerance)?;
+        compare(
+            &meta.id(),
+            &format!("Neon@{w}"),
+            &expect,
+            &inst.output(),
+            meta.tolerance,
+        )?;
     }
     let mut auto = kernel.instantiate(scale, seed);
     auto.run(Impl::Auto, Width::W128);
@@ -109,13 +174,7 @@ pub fn verify_kernel(kernel: &dyn Kernel, scale: Scale, seed: u64) -> Result<(),
     Ok(())
 }
 
-fn compare(
-    id: &str,
-    which: &str,
-    expect: &[f64],
-    got: &[f64],
-    tol: f64,
-) -> Result<(), String> {
+fn compare(id: &str, which: &str, expect: &[f64], got: &[f64], tol: f64) -> Result<(), String> {
     if expect.len() != got.len() {
         return Err(format!(
             "{id} {which}: output length {} != scalar {}",

@@ -8,7 +8,7 @@
 //! GHASH a 4-bit multiplication table — the look-up-table pattern of
 //! §6.2 that also defeats auto-vectorization.
 
-use crate::util::{gen_u8, gen_u32, rng, runnable, swan_kernel};
+use crate::util::{gen_u32, gen_u8, rng, runnable, swan_kernel};
 use swan_core::{AutoOutcome, Scale, VsNeon};
 use swan_simd::scalar::{self as sc, counted};
 use swan_simd::vreg::aes_sbox;
@@ -149,10 +149,7 @@ impl Aes128CtrState {
         let mut out_words = vec![0u32; self.blocks * 4];
         for b in counted(0..self.blocks) {
             let mut s: Vec<Tr<u32>> = (0..4)
-                .map(|c| {
-                    sc::load(&self.ctr_words, 4 * b + c)
-                        ^ sc::load(&self.rk_words, c)
-                })
+                .map(|c| sc::load(&self.ctr_words, 4 * b + c) ^ sc::load(&self.rk_words, c))
                 .collect();
             for round in counted(1..10) {
                 let mut t = Vec::with_capacity(4);
@@ -202,8 +199,7 @@ impl Aes128CtrState {
         let n = w.lanes::<u8>();
         let rks: Vec<Vreg<u8>> = (0..11)
             .map(|r| {
-                let rep: Vec<u8> =
-                    self.round_keys[r].iter().cycle().take(n).copied().collect();
+                let rep: Vec<u8> = self.round_keys[r].iter().cycle().take(n).copied().collect();
                 Vreg::<u8>::from_lanes(w, &rep)
             })
             .collect();
@@ -279,8 +275,7 @@ impl ChaCha20State {
 
     fn scalar(&mut self) {
         for b in counted(0..self.blocks) {
-            let mut x: Vec<Tr<u32>> =
-                (0..16).map(|i| sc::load(&self.init, 16 * b + i)).collect();
+            let mut x: Vec<Tr<u32>> = (0..16).map(|i| sc::load(&self.init, 16 * b + i)).collect();
             for _round in counted(0..10) {
                 // Column rounds then diagonal rounds.
                 for (a, bb, c, d) in [
@@ -317,10 +312,10 @@ impl ChaCha20State {
         // it to 128 bits (width-invariant, like real implementations).
         let w = Width::W128;
         for b in counted(0..self.blocks) {
-            let rows: Vec<Vreg<u32>> =
-                (0..4).map(|r| Vreg::<u32>::load(w, &self.init, 16 * b + 4 * r)).collect();
-            let (mut va, mut vb, mut vc, mut vd) =
-                (rows[0], rows[1], rows[2], rows[3]);
+            let rows: Vec<Vreg<u32>> = (0..4)
+                .map(|r| Vreg::<u32>::load(w, &self.init, 16 * b + 4 * r))
+                .collect();
+            let (mut va, mut vb, mut vc, mut vd) = (rows[0], rows[1], rows[2], rows[3]);
             let qr = |a: Vreg<u32>, b: Vreg<u32>, c: Vreg<u32>, d: Vreg<u32>| {
                 let a = a.add(b);
                 let d = d.xor(a).rotl(16);
@@ -379,23 +374,19 @@ swan_kernel!(
 
 /// SHA-256 round constants.
 const K256: [u32; 64] = [
-    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
-    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
-    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
-    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
-    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
-    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
-    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
-    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
-    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
-    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
-    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
 ];
 
 /// SHA-256 initial hash values.
 const H256: [u32; 8] = [
-    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c,
-    0x1f83d9ab, 0x5be0cd19,
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
 ];
 
 /// State for [`Sha256`].
@@ -418,14 +409,16 @@ impl Sha256State {
             bytes.push(0);
         }
         bytes.extend_from_slice(&bit_len.to_be_bytes());
-        Sha256State { msg: be_words(&bytes), out: [0; 8] }
+        Sha256State {
+            msg: be_words(&bytes),
+            out: [0; 8],
+        }
     }
 
     fn scalar(&mut self) {
         let mut h: Vec<Tr<u32>> = H256.iter().map(|&v| sc::lit(v)).collect();
         for blk in counted(0..self.msg.len() / 16) {
-            let mut w: Vec<Tr<u32>> =
-                (0..16).map(|t| sc::load(&self.msg, 16 * blk + t)).collect();
+            let mut w: Vec<Tr<u32>> = (0..16).map(|t| sc::load(&self.msg, 16 * blk + t)).collect();
             for t in counted(16..64) {
                 let s0 = w[t - 15].rotr(7) ^ w[t - 15].rotr(18) ^ (w[t - 15] >> 3);
                 let s1 = w[t - 2].rotr(17) ^ w[t - 2].rotr(19) ^ (w[t - 2] >> 10);
@@ -527,7 +520,11 @@ fn gf128_mul_ref(a: (u64, u64), b: (u64, u64)) -> (u64, u64) {
     let mut acc = (0u64, 0u64);
     let mut ax = a;
     for i in 0..128 {
-        let bit = if i < 64 { (b.0 >> i) & 1 } else { (b.1 >> (i - 64)) & 1 };
+        let bit = if i < 64 {
+            (b.0 >> i) & 1
+        } else {
+            (b.1 >> (i - 64)) & 1
+        };
         if bit == 1 {
             acc.0 ^= ax.0;
             acc.1 ^= ax.1;
@@ -645,7 +642,7 @@ impl GhashPmullState {
             // 256-bit product in two 128-bit halves.
             let low = a.xor(z.ext(mid, 1)); // + mid_lo << 64
             let high = c.xor(mid.ext(z, 1)); // + mid_hi
-            // Fold high 128 bits: * 0x87 at x^0 and x^64.
+                                             // Fold high 128 bits: * 0x87 at x^0 and x^64.
             let t_lo = high.pmull_lo(poly); // <= 72 bits
             let t_hi = high.pmull_hi(poly); // contributes at x^64
             let mut res = low.xor(t_lo).xor(z.ext(t_hi, 1));
@@ -722,7 +719,8 @@ mod tests {
             .extend_from_slice(&[0x61707865, 0x3320646e, 0x79622d32, 0x6b206574]);
         st.init.extend_from_slice(&key);
         st.init.push(1);
-        st.init.extend_from_slice(&[0x09000000, 0x4a000000, 0x00000000]);
+        st.init
+            .extend_from_slice(&[0x09000000, 0x4a000000, 0x00000000]);
         st.data = vec![0u32; 16];
         st.out = vec![0u32; 16];
         st.scalar();

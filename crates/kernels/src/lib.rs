@@ -17,10 +17,10 @@ pub mod lw;
 pub mod or;
 pub mod pf;
 pub mod sk;
-pub mod wa;
-pub mod zl;
-pub mod xp;
 pub(crate) mod util;
+pub mod wa;
+pub mod xp;
+pub mod zl;
 
 use swan_core::Kernel;
 
@@ -107,7 +107,9 @@ mod tests {
     fn obstacle_census_matches_section_5_2() {
         let ks = all_kernels();
         let count = |o: AutoObstacle| {
-            ks.iter().filter(|k| k.meta().obstacles.contains(&o)).count()
+            ks.iter()
+                .filter(|k| k.meta().obstacles.contains(&o))
+                .count()
         };
         // Paper §5.2: 8 uncountable, 8 indirect, 9 PHI, 10 other, 12 cost model.
         assert_eq!(count(AutoObstacle::UncountableLoop), 8);
@@ -127,8 +129,7 @@ mod tests {
     #[test]
     fn pattern_census_matches_section_6() {
         let ks = all_kernels();
-        let count =
-            |p: Pattern| ks.iter().filter(|k| k.meta().patterns.contains(&p)).count();
+        let count = |p: Pattern| ks.iter().filter(|k| k.meta().patterns.contains(&p)).count();
         // §6.1: 7 reduction kernels, 5 sequential reductions;
         // §6.2: 7 look-up-table kernels; §6.4: 6 transposition kernels.
         assert_eq!(count(Pattern::Reduction), 7);

@@ -115,15 +115,11 @@ impl RgbToYcbcrState {
             let r = sc::load(&self.rgb, 3 * i).cast::<i32>();
             let g = sc::load(&self.rgb, 3 * i + 1).cast::<i32>();
             let b = sc::load(&self.rgb, 3 * i + 2).cast::<i32>();
-            let y = (r * (C_Y_R as i32) + g * (C_Y_G as i32) + b * (C_Y_B as i32)
-                + 32768)
-                >> 16;
-            let cb = ((b * (C_HALF as i32) - r * (C_CB_R as i32) - g * (C_CB_G as i32))
-                >> 16)
-                + 128;
-            let cr = ((r * (C_HALF as i32) - g * (C_CR_G as i32) - b * (C_CR_B as i32))
-                >> 16)
-                + 128;
+            let y = (r * (C_Y_R as i32) + g * (C_Y_G as i32) + b * (C_Y_B as i32) + 32768) >> 16;
+            let cb =
+                ((b * (C_HALF as i32) - r * (C_CB_R as i32) - g * (C_CB_G as i32)) >> 16) + 128;
+            let cr =
+                ((r * (C_HALF as i32) - g * (C_CR_G as i32) - b * (C_CR_B as i32)) >> 16) + 128;
             sc::store(&mut self.out, 3 * i, y.cast::<u8>());
             sc::store(&mut self.out, 3 * i + 1, cb.cast::<u8>());
             sc::store(&mut self.out, 3 * i + 2, cr.cast::<u8>());
@@ -207,8 +203,7 @@ impl YcbcrToRgbState {
             let r = y + ((cr * C_R_CR) >> 16);
             let g = y - ((cb * C_G_CB + cr * C_G_CR) >> 16);
             let b = y + ((cb * C_B_CB) >> 16);
-            let clamp =
-                |v: swan_simd::Tr<i32>| v.max(sc::lit(0)).min(sc::lit(255)).cast::<u8>();
+            let clamp = |v: swan_simd::Tr<i32>| v.max(sc::lit(0)).min(sc::lit(255)).cast::<u8>();
             sc::store(&mut self.out, 3 * i, clamp(r));
             sc::store(&mut self.out, 3 * i + 1, clamp(g));
             sc::store(&mut self.out, 3 * i + 2, clamp(b));
@@ -222,8 +217,16 @@ impl YcbcrToRgbState {
             let off = Vreg::<u16>::splat(w, 128);
             // Per u16 half: y stays unsigned; chroma gets centered.
             let halves: Vec<(Vreg<u16>, Vreg<u16>, Vreg<u16>)> = vec![
-                (y8.widen_lo_u16(), cb8.widen_lo_u16().sub(off), cr8.widen_lo_u16().sub(off)),
-                (y8.widen_hi_u16(), cb8.widen_hi_u16().sub(off), cr8.widen_hi_u16().sub(off)),
+                (
+                    y8.widen_lo_u16(),
+                    cb8.widen_lo_u16().sub(off),
+                    cr8.widen_lo_u16().sub(off),
+                ),
+                (
+                    y8.widen_hi_u16(),
+                    cb8.widen_hi_u16().sub(off),
+                    cr8.widen_hi_u16().sub(off),
+                ),
             ];
             let mut rgb16: Vec<[Vreg<i16>; 3]> = Vec::with_capacity(2);
             for (y16, cb16, cr16) in halves {
@@ -237,8 +240,7 @@ impl YcbcrToRgbState {
                         s.widen_hi_i32()
                     }
                 };
-                let mut parts: [[Vreg<i32>; 2]; 3] =
-                    [[Vreg::<i32>::zero(w); 2]; 3];
+                let mut parts: [[Vreg<i32>; 2]; 3] = [[Vreg::<i32>::zero(w); 2]; 3];
                 for (k, lo) in [(0usize, true), (1usize, false)] {
                     let yq = q(y16, lo);
                     let cbq = q(cb16, lo);
@@ -347,9 +349,9 @@ impl<const V2: bool> DownsampleState<V2> {
         let ocols = cols / 2;
         let orows = if V2 { rows / 2 } else { rows };
         let n8 = w.lanes::<u8>(); // outputs per iteration
-        // Alternating bias as a constant vector (how the Neon kernels
-        // sidestep the PHI dependency). Lane counts are even, so both
-        // u16 halves see the same even/odd pattern.
+                                  // Alternating bias as a constant vector (how the Neon kernels
+                                  // sidestep the PHI dependency). Lane counts are even, so both
+                                  // u16 halves see the same even/odd pattern.
         let b0 = if V2 { 1u16 } else { 0 };
         let b1 = if V2 { 2u16 } else { 1 };
         let bias_pat: Vec<u16> = (0..w.lanes::<u16>())
@@ -360,10 +362,8 @@ impl<const V2: bool> DownsampleState<V2> {
         for r in counted(0..orows) {
             for c in counted((0..ocols).step_by(n8)) {
                 let sum = if V2 {
-                    let [e0, o0] =
-                        Vreg::<u8>::load2(w, &self.img, 2 * r * cols + 2 * c);
-                    let [e1, o1] =
-                        Vreg::<u8>::load2(w, &self.img, (2 * r + 1) * cols + 2 * c);
+                    let [e0, o0] = Vreg::<u8>::load2(w, &self.img, 2 * r * cols + 2 * c);
+                    let [e1, o1] = Vreg::<u8>::load2(w, &self.img, (2 * r + 1) * cols + 2 * c);
                     let s0 = e0.widen_lo_u16().add(o0.widen_lo_u16());
                     let s0h = e0.widen_hi_u16().add(o0.widen_hi_u16());
                     let s1 = e1.widen_lo_u16().add(o1.widen_lo_u16());
@@ -430,6 +430,11 @@ pub struct UpsampleState<const V2: bool> {
     cols: usize,
     img: Vec<u8>,
     out: Vec<u8>,
+    /// Scratch row for the Neon path's vertical pass. Lives in the
+    /// instance (not the run) so repeated runs touch identical
+    /// addresses — the streaming runner's warm-up and timed passes
+    /// must replay the exact same memory stream.
+    tmp: Vec<u16>,
 }
 
 impl<const V2: bool> UpsampleState<V2> {
@@ -442,6 +447,7 @@ impl<const V2: bool> UpsampleState<V2> {
             cols,
             img: gen_u8(&mut r, rows * cols),
             out: vec![0u8; rows * cols * 2],
+            tmp: vec![0u16; cols],
         }
     }
 
@@ -504,6 +510,7 @@ impl<const V2: bool> UpsampleState<V2> {
         let rnd1 = Vreg::<u16>::splat(w, r1v);
         let rnd2 = Vreg::<u16>::splat(w, r2v);
         let three = Vreg::<u16>::splat(w, 3);
+        let mut tmp = std::mem::take(&mut self.tmp);
         for r in counted(0..self.rows) {
             let base = r * cols;
             let nearb = if V2 {
@@ -512,7 +519,7 @@ impl<const V2: bool> UpsampleState<V2> {
                 base
             };
             // tmp row in u16: 3*cur + near (or cur for h2v1).
-            let mut tmp = vec![0u16; cols];
+            tmp.fill(0);
             for c in counted((0..cols).step_by(2 * n)) {
                 let cur = Vreg::<u8>::load(w, &self.img, base + c);
                 let near = Vreg::<u8>::load(w, &self.img, nearb + c);
@@ -552,6 +559,7 @@ impl<const V2: bool> UpsampleState<V2> {
                 zl.narrow_u8(zh).store(&mut self.out, r * ocols + 2 * c);
             }
         }
+        self.tmp = tmp;
     }
 
     fn out(&self) -> Vec<f64> {

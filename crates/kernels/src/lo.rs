@@ -394,9 +394,7 @@ mod tests {
     fn pitch_corr_lag_zero_is_energy() {
         let mut st = PitchCorrState::new(Scale::test(), 2);
         st.scalar();
-        let expect: i64 = (0..st.n)
-            .map(|i| st.x[i] as i64 * st.y[i] as i64)
-            .sum();
+        let expect: i64 = (0..st.n).map(|i| st.x[i] as i64 * st.y[i] as i64).sum();
         assert_eq!(st.out[0] as i64, expect);
     }
 

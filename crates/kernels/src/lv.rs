@@ -49,7 +49,10 @@ fn transpose8x8(r: [Vreg<i16>; 8]) -> [Vreg<i16>; 8] {
     }
     // 32-bit pairs (free bitcasts around 32-bit TRN).
     let mut s = [t[0]; 8];
-    let t32: Vec<_> = t.iter().map(|v| v.reinterpret_u16().bitcast_u32()).collect();
+    let t32: Vec<_> = t
+        .iter()
+        .map(|v| v.reinterpret_u16().bitcast_u32())
+        .collect();
     let pair32 = |a: usize, b: usize| {
         (
             t32[a].trn1(t32[b]).bitcast_u16().reinterpret_i16(),
@@ -61,7 +64,10 @@ fn transpose8x8(r: [Vreg<i16>; 8]) -> [Vreg<i16>; 8] {
     (s[4], s[6]) = pair32(4, 6);
     (s[5], s[7]) = pair32(5, 7);
     // 64-bit pairs.
-    let s64: Vec<_> = s.iter().map(|v| v.reinterpret_u16().bitcast_u64()).collect();
+    let s64: Vec<_> = s
+        .iter()
+        .map(|v| v.reinterpret_u16().bitcast_u64())
+        .collect();
     let pair64 = |a: usize, b: usize| {
         (
             s64[a].trn1(s64[b]).bitcast_u16().reinterpret_i16(),
@@ -135,8 +141,7 @@ impl<const INV: bool> DctState<INV> {
                     acc = inp[r * DCT + x].mul_add(sc::lit(self.mat[u][r] as i32), acc);
                 }
                 // Match the vector narrow's saturation.
-                out[u * DCT + x] =
-                    (acc >> 13).max(sc::lit(-32768)).min(sc::lit(32767));
+                out[u * DCT + x] = (acc >> 13).max(sc::lit(-32768)).min(sc::lit(32767));
             }
         }
         out
@@ -151,8 +156,7 @@ impl<const INV: bool> DctState<INV> {
             }
             let p1 = self.scalar_pass(&v);
             // Transpose (index permutation; no instructions).
-            let t1: [Tr<i32>; 64] =
-                std::array::from_fn(|i| p1[(i % DCT) * DCT + i / DCT]);
+            let t1: [Tr<i32>; 64] = std::array::from_fn(|i| p1[(i % DCT) * DCT + i / DCT]);
             let p2 = self.scalar_pass(&t1);
             for i in counted(0..64) {
                 let t = p2[(i % DCT) * DCT + i / DCT];
@@ -392,9 +396,9 @@ impl QuantizeState {
             for lane in 0..lanes {
                 let xv = x.get_lane(lane);
                 let qv = scaled.get_lane(lane);
-                let signed = xv
-                    .cast::<i32>()
-                    .select_le(sc::lit(-1), (-qv).cast::<i32>(), qv.cast::<i32>());
+                let signed =
+                    xv.cast::<i32>()
+                        .select_le(sc::lit(-1), (-qv).cast::<i32>(), qv.cast::<i32>());
                 scaled = scaled.set_lane(lane, signed.cast::<i16>());
             }
             keep.bsl(scaled, zero).store(&mut self.out, i);

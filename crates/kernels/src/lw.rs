@@ -268,8 +268,7 @@ impl<const HORIZ: bool> CopyPredictState<HORIZ> {
         for b in counted(0..ctx.blocks) {
             if HORIZ {
                 for y0 in counted((0..BLK).step_by(rows_per_iter)) {
-                    let fill =
-                        group_broadcast(&ctx.left, b * BLK + y0, rows_per_iter, w);
+                    let fill = group_broadcast(&ctx.left, b * BLK + y0, rows_per_iter, w);
                     fill.store(&mut ctx.out, (b * BLK + y0) * BLK);
                 }
             } else {
@@ -348,7 +347,12 @@ impl SharpYuvRowState {
             data.extend_from_slice(&row);
             data.push(row[cols - 1]); // replicate edge
         }
-        SharpYuvRowState { rows, cols, data, out: vec![0u16; rows / 2 * cols * 2] }
+        SharpYuvRowState {
+            rows,
+            cols,
+            data,
+            out: vec![0u16; rows / 2 * cols * 2],
+        }
     }
 
     fn row(&self, r: usize) -> usize {
@@ -364,10 +368,10 @@ impl SharpYuvRowState {
                 let a1 = sc::load(&self.data, ra + i + 1).cast::<u32>();
                 let b0 = sc::load(&self.data, rb + i).cast::<u32>();
                 let b1 = sc::load(&self.data, rb + i + 1).cast::<u32>();
-                let even =
-                    ((a0 * 9u32 + a1 * 3u32 + b0 * 3u32 + b1 + 8u32) >> 4).min(sc::lit(YUV_MAX as u32));
-                let odd =
-                    ((a0 * 3u32 + a1 * 9u32 + b0 + b1 * 3u32 + 8u32) >> 4).min(sc::lit(YUV_MAX as u32));
+                let even = ((a0 * 9u32 + a1 * 3u32 + b0 * 3u32 + b1 + 8u32) >> 4)
+                    .min(sc::lit(YUV_MAX as u32));
+                let odd = ((a0 * 3u32 + a1 * 9u32 + b0 + b1 * 3u32 + 8u32) >> 4)
+                    .min(sc::lit(YUV_MAX as u32));
                 sc::store(&mut self.out, p * 2 * cols + 2 * i, even.cast::<u16>());
                 sc::store(&mut self.out, p * 2 * cols + 2 * i + 1, odd.cast::<u16>());
             }
@@ -449,7 +453,9 @@ impl SharpYuvUpdateState {
         let len = scale.dim(720 * 640, 2048, 128);
         let mut r = rng(seed);
         let gen = |r: &mut rand::rngs::StdRng, n: usize| -> Vec<u16> {
-            (0..n).map(|_| rand::Rng::gen_range(r, 0..=YUV_MAX)).collect()
+            (0..n)
+                .map(|_| rand::Rng::gen_range(r, 0..=YUV_MAX))
+                .collect()
         };
         SharpYuvUpdateState {
             len,
@@ -462,8 +468,7 @@ impl SharpYuvUpdateState {
 
     fn scalar(&mut self) {
         for i in counted(0..self.len) {
-            let diff = sc::load(&self.src, i).cast::<i32>()
-                - sc::load(&self.dst, i).cast::<i32>();
+            let diff = sc::load(&self.src, i).cast::<i32>() - sc::load(&self.dst, i).cast::<i32>();
             let v = (sc::load(&self.reference, i).cast::<i32>() + diff)
                 .max(sc::lit(0))
                 .min(sc::lit(YUV_MAX as i32));
@@ -535,8 +540,8 @@ mod tests {
         st.scalar();
         let c = &st.0;
         for x in 0..BLK {
-            let expect = (c.left[0] as i32 + c.top[x] as i32 - c.topleft[0] as i32)
-                .clamp(0, 255) as u8;
+            let expect =
+                (c.left[0] as i32 + c.top[x] as i32 - c.topleft[0] as i32).clamp(0, 255) as u8;
             assert_eq!(c.out[x], expect);
         }
     }

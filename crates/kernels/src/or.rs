@@ -122,8 +122,9 @@ impl<const S: u8> SearchState<S> {
             }
             Search::Memchr => {
                 let needle = 0xA5u8;
-                let mut a: Vec<u8> =
-                    (0..len).map(|_| rand::Rng::gen_range(&mut r, 0..255u8)).collect();
+                let mut a: Vec<u8> = (0..len)
+                    .map(|_| rand::Rng::gen_range(&mut r, 0..255u8))
+                    .collect();
                 for v in a.iter_mut() {
                     if *v == needle {
                         *v = needle.wrapping_add(1);
@@ -133,13 +134,19 @@ impl<const S: u8> SearchState<S> {
                 (a, Vec::new(), needle)
             }
             Search::Strlen => {
-                let mut a: Vec<u8> =
-                    (0..len).map(|_| rand::Rng::gen_range(&mut r, 1..=255u8)).collect();
+                let mut a: Vec<u8> = (0..len)
+                    .map(|_| rand::Rng::gen_range(&mut r, 1..=255u8))
+                    .collect();
                 a[hit] = 0;
                 (a, Vec::new(), 0)
             }
         };
-        SearchState { a, b, needle, result: -1 }
+        SearchState {
+            a,
+            b,
+            needle,
+            result: -1,
+        }
     }
 
     fn scalar(&mut self) {
@@ -151,8 +158,11 @@ impl<const S: u8> SearchState<S> {
                     let x = sc::load(&self.a, i);
                     let y = sc::load(&self.b, i);
                     if !x.eq_branch(y) {
-                        self.result =
-                            if x.get() < y.get() { -(i as i64) } else { i as i64 };
+                        self.result = if x.get() < y.get() {
+                            -(i as i64)
+                        } else {
+                            i as i64
+                        };
                         break;
                     }
                 }

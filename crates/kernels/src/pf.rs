@@ -15,12 +15,7 @@ pub const FRAMES: usize = 8;
 fn fft_size(scale: Scale) -> usize {
     let target = scale.dim(4096, 256, 1);
     let n = target.next_power_of_two();
-    if n > target {
-        n / 2
-    } else {
-        n
-    }
-    .max(256)
+    if n > target { n / 2 } else { n }.max(256)
 }
 
 /// Shared FFT state: split re/im arrays per frame, precomputed
@@ -374,7 +369,11 @@ swan_kernel!(
 
 /// All three PFFFT kernels.
 pub fn kernels() -> Vec<Box<dyn swan_core::Kernel>> {
-    vec![Box::new(FftForward), Box::new(FftInverse), Box::new(Zconvolve)]
+    vec![
+        Box::new(FftForward),
+        Box::new(FftInverse),
+        Box::new(Zconvolve),
+    ]
 }
 
 #[cfg(test)]

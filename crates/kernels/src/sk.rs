@@ -6,7 +6,7 @@
 //! kernels: a pure row-streaming filter with near-perfect SIMD lane
 //! utilization at any register width.
 
-use crate::util::{gen_u8, gen_u32, rng, runnable, swan_kernel};
+use crate::util::{gen_u32, gen_u8, rng, runnable, swan_kernel};
 use swan_core::{AutoOutcome, Scale, VsNeon};
 use swan_simd::scalar::{self as sc, counted};
 use swan_simd::{Vreg, Width};
@@ -31,7 +31,9 @@ struct MacQuarters {
 
 impl MacQuarters {
     fn new(w: Width, init: u32) -> MacQuarters {
-        MacQuarters { q: [Vreg::<u32>::splat(w, init); 4] }
+        MacQuarters {
+            q: [Vreg::<u32>::splat(w, init); 4],
+        }
     }
 
     fn mac(&mut self, reg: Vreg<u8>, tap: Vreg<u16>) {
@@ -85,8 +87,7 @@ impl ConvolveHorizontalState {
                 for ch in counted(0..BPP) {
                     let mut acc = sc::lit(64u32); // rounding before >> 7
                     for (k, &t) in TAPS.iter().enumerate() {
-                        let v = sc::load(&self.src, r * srow + (c + k) * BPP + ch)
-                            .cast::<u32>();
+                        let v = sc::load(&self.src, r * srow + (c + k) * BPP + ch).cast::<u32>();
                         acc = acc + v * (t as u32);
                     }
                     sc::store(
@@ -103,20 +104,17 @@ impl ConvolveHorizontalState {
         let (rows, cols) = (self.rows, self.cols);
         let srow = (cols + 3) * BPP;
         let px = w.lanes::<u8>(); // pixels per iteration (via LD4)
-        let taps: Vec<Vreg<u16>> =
-            TAPS.iter().map(|&t| Vreg::<u16>::splat(w, t)).collect();
+        let taps: Vec<Vreg<u16>> = TAPS.iter().map(|&t| Vreg::<u16>::splat(w, t)).collect();
         for r in counted(0..rows) {
             for c in counted((0..cols).step_by(px)) {
                 let mut acc = [MacQuarters::new(w, 64); BPP];
                 for (k, tap) in taps.iter().enumerate() {
-                    let chans =
-                        Vreg::<u8>::load4(w, &self.src, r * srow + (c + k) * BPP);
+                    let chans = Vreg::<u8>::load4(w, &self.src, r * srow + (c + k) * BPP);
                     for (ch, reg) in chans.iter().enumerate() {
                         acc[ch].mac(*reg, *tap);
                     }
                 }
-                let outc: [Vreg<u8>; BPP] =
-                    std::array::from_fn(|ch| acc[ch].narrow_u8(7));
+                let outc: [Vreg<u8>; BPP] = std::array::from_fn(|ch| acc[ch].narrow_u8(7));
                 Vreg::store4(&outc, &mut self.out, (r * cols + c) * BPP);
             }
         }
@@ -187,8 +185,7 @@ impl ConvolveVerticalState {
     fn neon(&mut self, w: Width) {
         let (rows, rb) = (self.rows, self.rowbytes);
         let n = w.lanes::<u8>();
-        let taps: Vec<Vreg<u16>> =
-            TAPS.iter().map(|&t| Vreg::<u16>::splat(w, t)).collect();
+        let taps: Vec<Vreg<u16>> = TAPS.iter().map(|&t| Vreg::<u16>::splat(w, t)).collect();
         for r in counted(0..rows) {
             for i in counted((0..rb).step_by(n)) {
                 let mut acc = MacQuarters::new(w, 64);
@@ -269,12 +266,8 @@ impl BlitRowState {
             let d = Vreg::<u8>::load4(w, &self.dst, p * BPP);
             let inv = Vreg::<u8>::splat(w, 255).sub(s[3]);
             let outc: [Vreg<u8>; BPP] = std::array::from_fn(|ch| {
-                let lo = half
-                    .mla(d[ch].widen_lo_u16(), inv.widen_lo_u16())
-                    .shr(8);
-                let hi = half
-                    .mla(d[ch].widen_hi_u16(), inv.widen_hi_u16())
-                    .shr(8);
+                let lo = half.mla(d[ch].widen_lo_u16(), inv.widen_lo_u16()).shr(8);
+                let hi = half.mla(d[ch].widen_hi_u16(), inv.widen_hi_u16()).shr(8);
                 s[ch].sat_add(lo.narrow_u8(hi))
             });
             Vreg::store4(&outc, &mut self.out, p * BPP);
@@ -307,12 +300,8 @@ impl BlitRowState {
                 inv = inv.set_lane(lane, sc::lit(255u8).sat_sub(a));
             }
             let outc: [Vreg<u8>; BPP] = std::array::from_fn(|ch| {
-                let lo = half
-                    .mla(d[ch].widen_lo_u16(), inv.widen_lo_u16())
-                    .shr(8);
-                let hi = half
-                    .mla(d[ch].widen_hi_u16(), inv.widen_hi_u16())
-                    .shr(8);
+                let lo = half.mla(d[ch].widen_lo_u16(), inv.widen_lo_u16()).shr(8);
+                let hi = half.mla(d[ch].widen_hi_u16(), inv.widen_hi_u16()).shr(8);
                 s[ch].sat_add(lo.narrow_u8(hi))
             });
             Vreg::store4(&outc, &mut self.out, p * BPP);

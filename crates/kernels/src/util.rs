@@ -163,10 +163,8 @@ mod tests {
             let v = Vreg::<f32>::from_lanes(w, &vals);
             let expect: f32 = vals.iter().sum();
             assert_eq!(tree_reduce_add(v).get(), expect, "width {w}");
-            let iv = Vreg::<i32>::from_lanes(
-                w,
-                &vals.iter().map(|&x| x as i32).collect::<Vec<_>>(),
-            );
+            let iv =
+                Vreg::<i32>::from_lanes(w, &vals.iter().map(|&x| x as i32).collect::<Vec<_>>());
             assert_eq!(tree_reduce_add(iv).get(), expect as i32);
         }
     }

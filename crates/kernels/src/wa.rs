@@ -127,7 +127,9 @@ impl GainState {
         let lanes = w.lanes::<f32>();
         let g = Vreg::<f32>::splat(w, self.gain);
         for i in counted((0..self.n).step_by(lanes)) {
-            Vreg::<f32>::load(w, &self.input, i).mul(g).store(&mut self.out, i);
+            Vreg::<f32>::load(w, &self.input, i)
+                .mul(g)
+                .store(&mut self.out, i);
         }
     }
 

@@ -40,7 +40,11 @@ impl Shape {
         // 1568 = 28x28x2 spatial positions: deliberately NOT divisible
         // by the widest register tile, so wide-register utilization
         // drops on the column remainder (§7.1's GEMM observation).
-        Shape { m: 32, k: 128, n: scale.dim(1568, 416, 32) }
+        Shape {
+            m: 32,
+            k: 128,
+            n: scale.dim(1568, 416, 32),
+        }
     }
 }
 
@@ -54,7 +58,9 @@ pub fn conv_layers() -> Vec<Shape> {
             let macs = lo * (hi / lo).powf(i as f64 / 155.0);
             // Factor into a plausible layer: n grows with the layer,
             // m/k split the rest.
-            let n = ((macs / 64.0).sqrt() as usize).clamp(1, 4096).next_multiple_of(128);
+            let n = ((macs / 64.0).sqrt() as usize)
+                .clamp(1, 4096)
+                .next_multiple_of(128);
             let rest = (macs / n as f64).max(1.0);
             let m = (rest.sqrt() as usize).clamp(1, 512).max(1);
             let k = ((rest / m as f64) as usize).max(1);
@@ -228,7 +234,9 @@ impl GemmF16State {
         let shape = Shape::default_for(scale);
         let mut r = rng(seed);
         let gen = |r: &mut rand::rngs::StdRng, n: usize| -> Vec<Half> {
-            (0..n).map(|_| Half::from_f32(r.gen_range(-1.0..1.0))).collect()
+            (0..n)
+                .map(|_| Half::from_f32(r.gen_range(-1.0..1.0)))
+                .collect()
         };
         GemmF16State {
             shape,
@@ -267,14 +275,13 @@ impl GemmF16State {
                 w_cur = w_cur.narrower().expect("n is a multiple of 8 halves");
                 lanes = w_cur.lanes::<Half>();
             }
-            let cur_regs = ((n - j) / lanes).min(NR_REGS).max(1);
+            let cur_regs = ((n - j) / lanes).clamp(1, NR_REGS);
             for i in counted(0..m) {
                 let mut acc = vec![Vreg::<Half>::zero(w_cur); cur_regs];
                 for p in counted(0..k) {
                     let av = Vreg::<Half>::splat_tr(w_cur, sc::load(&self.a, i * k + p));
                     for (r, slot) in acc.iter_mut().enumerate() {
-                        let bv =
-                            Vreg::<Half>::load(w_cur, &self.b, p * n + j + r * lanes);
+                        let bv = Vreg::<Half>::load(w_cur, &self.b, p * n + j + r * lanes);
                         *slot = slot.mlah(bv, av);
                     }
                 }
@@ -325,8 +332,8 @@ impl<const UNSIGNED: bool> GemmQ8State<UNSIGNED> {
         let shape = Shape::default_for(scale);
         let mut r = rng(seed);
         // QU8 subtracts a 128 zero point; QS8 is symmetric. Either way
-        // the MAC stream is i16 x i16 -> i32.
-        let lim = if UNSIGNED { 127 } else { 127 };
+        // the MAC stream is i16 x i16 -> i32 with the same input range.
+        let lim = 127;
         let gen = |r: &mut rand::rngs::StdRng, n: usize| -> Vec<i16> {
             (0..n).map(|_| r.gen_range(-lim..=lim)).collect()
         };
@@ -375,8 +382,7 @@ impl<const UNSIGNED: bool> GemmQ8State<UNSIGNED> {
                 for p in counted(0..k) {
                     let av = Vreg::<i16>::splat_tr(w_cur, sc::load(&self.a, i * k + p));
                     for r in 0..cur_regs {
-                        let bv =
-                            Vreg::<i16>::load(w_cur, &self.b, p * n + j + r * lanes);
+                        let bv = Vreg::<i16>::load(w_cur, &self.b, p * n + j + r * lanes);
                         acc_lo[r] = acc_lo[r].mlal_lo_i16(bv, av);
                         acc_hi[r] = acc_hi[r].mlal_hi_i16(bv, av);
                     }
@@ -455,7 +461,11 @@ fn gen_csr_f32(r: &mut rand::rngs::StdRng, m: usize, k: usize) -> Csr<f32> {
         }
         row_ptr.push(col_idx.len() as u32);
     }
-    Csr { row_ptr, col_idx, values }
+    Csr {
+        row_ptr,
+        col_idx,
+        values,
+    }
 }
 
 /// State for the SpMM kernels; `P` selects precision behaviour:
@@ -526,8 +536,7 @@ impl<const P: u8> SpmmState<P> {
                     let col = sc::load(&self.w_f.col_idx, nz);
                     let v = sc::load(&self.w_f.values, nz);
                     for (c, slot) in acc.iter_mut().enumerate() {
-                        let b =
-                            sc::load_dep(&self.b_f, col.get() as usize * n + j + c, col);
+                        let b = sc::load_dep(&self.b_f, col.get() as usize * n + j + c, col);
                         *slot = v.mul_add(b, *slot);
                     }
                 }
@@ -678,12 +687,26 @@ mod tests {
     #[test]
     fn gemm_f32_identityish() {
         // A = all ones, B = all twos: out[i][j] = 2k exactly.
-        let mut st = GemmF32State::with_shape(Shape { m: 4, k: 16, n: 128 }, 1);
+        let mut st = GemmF32State::with_shape(
+            Shape {
+                m: 4,
+                k: 16,
+                n: 128,
+            },
+            1,
+        );
         st.a.fill(1.0);
         st.b.fill(2.0);
         st.scalar();
         assert!(st.out.iter().all(|&v| v == 32.0));
-        let mut st2 = GemmF32State::with_shape(Shape { m: 4, k: 16, n: 128 }, 1);
+        let mut st2 = GemmF32State::with_shape(
+            Shape {
+                m: 4,
+                k: 16,
+                n: 128,
+            },
+            1,
+        );
         st2.a.fill(1.0);
         st2.b.fill(2.0);
         st2.neon(Width::W256);
@@ -704,7 +727,14 @@ mod tests {
 
     #[test]
     fn spmm_matches_dense_reference() {
-        let mut st = SpmmState::<0>::with_shape(Shape { m: 4, k: 32, n: 128 }, 5);
+        let mut st = SpmmState::<0>::with_shape(
+            Shape {
+                m: 4,
+                k: 32,
+                n: 128,
+            },
+            5,
+        );
         st.scalar();
         // Dense reference from the CSR data.
         let Shape { m, k: _, n } = st.shape;

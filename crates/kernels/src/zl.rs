@@ -42,7 +42,10 @@ fn mod_adler(v: Tr<u32>) -> Tr<u32> {
 impl Adler32State {
     fn new(scale: Scale, seed: u64) -> Self {
         let mut r = rng(seed);
-        Adler32State { data: gen_u8(&mut r, data_len(scale)), out: 0 }
+        Adler32State {
+            data: gen_u8(&mut r, data_len(scale)),
+            out: 0,
+        }
     }
 
     fn scalar(&mut self) {
@@ -77,8 +80,7 @@ impl Adler32State {
                 // Loop-distributed form: s2 gains n*s1 plus the
                 // position-weighted byte sum.
                 s2 = s2 + s1 * (n as u32);
-                let weighted =
-                    d.mull_lo_u16(wv).addlv_u32() + d.mull_hi_u16(wv).addlv_u32();
+                let weighted = d.mull_lo_u16(wv).addlv_u32() + d.mull_hi_u16(wv).addlv_u32();
                 s2 = s2 + weighted;
                 s1 = s1 + d.addlv_u32();
             }
@@ -150,7 +152,11 @@ fn crc_table() -> Vec<u32> {
         .map(|i| {
             let mut c = i;
             for _ in 0..8 {
-                c = if c & 1 != 0 { (c >> 1) ^ POLY_REFLECTED } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    (c >> 1) ^ POLY_REFLECTED
+                } else {
+                    c >> 1
+                };
             }
             c
         })
@@ -166,12 +172,17 @@ pub struct Crc32State {
     k64: u64,
     k32: u64,
     mu: u64,
+    /// CRC initial-value mask (0xFFFFFFFF in the low bytes), kept in
+    /// the instance so repeated runs load it from the same address.
+    init: Vec<u8>,
     out: u32,
 }
 
 impl Crc32State {
     fn new(scale: Scale, seed: u64) -> Self {
         let mut r = rng(seed);
+        let mut init = vec![0u8; 16];
+        init[..4].fill(0xFF);
         Crc32State {
             data: gen_u8(&mut r, data_len(scale)),
             table: crc_table(),
@@ -179,6 +190,7 @@ impl Crc32State {
             k64: xpow_mod(64),
             k32: xpow_mod(32),
             mu: barrett_mu(),
+            init,
             out: 0,
         }
     }
@@ -208,11 +220,7 @@ impl Crc32State {
         let poly = consts(POLY_NORMAL);
         let lo_mask = Vreg::<u64>::from_lanes(w, &[u64::MAX, 0]);
         let mask32 = Vreg::<u64>::from_lanes(w, &[0xFFFF_FFFF, 0]);
-        let init = {
-            let mut lanes = vec![0u8; 16];
-            lanes[..4].fill(0xFF);
-            Vreg::<u8>::from_lanes(w, &lanes)
-        };
+        let init = Vreg::<u8>::from_lanes(w, &self.init);
         let z = Vreg::<u64>::zero(w);
         let mut r = Vreg::<u64>::zero(w); // state in lane 0, normal form
         let mut first = true;
@@ -225,11 +233,8 @@ impl Crc32State {
             // bitrev64 per 8-byte group: RBIT + byte reverse.
             let wreg = chunk.rbit().rev(8).bitcast_u64();
             // U = R*x^128 + C_hi*x^64 + C_lo  (mod-P congruent, <=96b).
-            let u = r
-                .pmull_lo(k128)
-                .xor(wreg.pmull_lo(k64))
-                .xor(wreg.ext(z, 1)); // C_lo into lane 0
-            // Fold bits 64..95: V = U_hi*x^64 + U_lo  (<= 64 bits).
+            let u = r.pmull_lo(k128).xor(wreg.pmull_lo(k64)).xor(wreg.ext(z, 1)); // C_lo into lane 0
+                                                                                  // Fold bits 64..95: V = U_hi*x^64 + U_lo  (<= 64 bits).
             let v = u.pmull_hi(k64).xor(u.and(lo_mask));
             // Barrett: q = (V >> 32) * mu >> 32; R = V ^ q*P (32 bits).
             let q = v.shr(32).pmull_lo(mu).shr(32);

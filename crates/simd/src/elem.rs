@@ -471,7 +471,7 @@ mod tests {
 
     #[test]
     fn half_round_trip_simple_values() {
-        for v in [0.0f32, 1.0, -1.0, 0.5, 65504.0, 1e-4, 3.14159] {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 65504.0, 1e-4, std::f32::consts::PI] {
             let h = Half::from_f32(v);
             let back = h.to_f32();
             let rel = if v == 0.0 {

@@ -51,6 +51,6 @@ pub mod width;
 
 pub use elem::{Elem, Half};
 pub use scalar::Tr;
-pub use trace::{Class, Mode, Op, Session, TraceData, TraceInstr};
+pub use trace::{stream_into, Class, Mode, Op, Session, TraceData, TraceInstr, TraceSink, VecSink};
 pub use vreg::Vreg;
 pub use width::Width;

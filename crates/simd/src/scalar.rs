@@ -44,7 +44,11 @@ impl<T: Elem> Tr<T> {
 
     #[inline]
     fn alu2(self, o: Tr<T>, v: T, op: Op) -> Tr<T> {
-        let class = if T::IS_FLOAT { Class::SFloat } else { Class::SInt };
+        let class = if T::IS_FLOAT {
+            Class::SFloat
+        } else {
+            Class::SInt
+        };
         let id = trace::emit(op, class, &[self.id, o.id], None);
         Tr { v, id }
     }
@@ -80,7 +84,10 @@ impl<T: Elem> Tr<T> {
     }
 
     /// Division (emits a scalar divide, ~12 cycles on the A76).
+    /// Deliberately a plain method, not `std::ops::Div`: kernels call
+    /// it explicitly because it emits an expensive `SDiv`/`SFDiv`.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, o: Tr<T>) -> Tr<T> {
         let op = if T::IS_FLOAT { Op::SFDiv } else { Op::SDiv };
         self.alu2(o, self.v.ediv(o.v), op)
@@ -90,7 +97,10 @@ impl<T: Elem> Tr<T> {
     #[inline]
     pub fn shr_round(self, imm: u32) -> Tr<T> {
         let id = trace::emit(Op::SAlu, Class::SInt, &[self.id], None);
-        Tr { v: self.v.shr_round(imm), id }
+        Tr {
+            v: self.v.shr_round(imm),
+            id,
+        }
     }
 
     /// Fused multiply-add: `self * a + b` as one instruction (scalar
@@ -103,7 +113,10 @@ impl<T: Elem> Tr<T> {
             (Op::SMul, Class::SInt)
         };
         let id = trace::emit(op, class, &[self.id, a.id, b.id], None);
-        Tr { v: self.v.wmul(a.v).wadd(b.v), id }
+        Tr {
+            v: self.v.wmul(a.v).wadd(b.v),
+            id,
+        }
     }
 
     /// Rotate left by an immediate (one `ROR`-class instruction;
@@ -117,7 +130,11 @@ impl<T: Elem> Tr<T> {
         assert!(!T::IS_FLOAT, "rotate on float");
         let bits = (T::BYTES * 8) as u32;
         let imm = imm % bits;
-        let mask = if T::BYTES == 8 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mask = if T::BYTES == 8 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
         let b = self.v.to_bits() & mask;
         let v = T::from_bits(((b << imm) | (b >> ((bits - imm) % bits))) & mask);
         let id = trace::emit(Op::SAlu, Class::SInt, &[self.id], None);
@@ -145,7 +162,11 @@ impl<T: Elem> Tr<T> {
         } else {
             U::from_f64(self.v.to_f64())
         };
-        let class = if T::IS_FLOAT || U::IS_FLOAT { Class::SFloat } else { Class::SInt };
+        let class = if T::IS_FLOAT || U::IS_FLOAT {
+            Class::SFloat
+        } else {
+            Class::SInt
+        };
         let id = trace::emit(Op::SAlu, class, &[self.id], None);
         Tr { v, id }
     }
@@ -181,7 +202,10 @@ impl<T: Elem> Tr<T> {
     pub fn select_le(self, o: Tr<T>, a: Tr<T>, b: Tr<T>) -> Tr<T> {
         let c = trace::emit(Op::SAlu, Class::SInt, &[self.id, o.id], None);
         let id = trace::emit(Op::SAlu, Class::SInt, &[c, a.id, b.id], None);
-        Tr { v: if self.v <= o.v { a.v } else { b.v }, id }
+        Tr {
+            v: if self.v <= o.v { a.v } else { b.v },
+            id,
+        }
     }
 }
 
@@ -219,7 +243,11 @@ pub fn load<T: Elem>(src: &[T], i: usize) -> Tr<T> {
     let v = src[i];
     let id = trace::emit(
         Op::SLoad,
-        if T::IS_FLOAT { Class::SFloat } else { Class::SInt },
+        if T::IS_FLOAT {
+            Class::SFloat
+        } else {
+            Class::SInt
+        },
         &[],
         Some(MemRef {
             addr: &src[i] as *const T as u64,
@@ -241,7 +269,11 @@ pub fn load_dep<T: Elem, U: Elem>(src: &[T], i: usize, dep: Tr<U>) -> Tr<T> {
     let v = src[i];
     let id = trace::emit(
         Op::SLoad,
-        if T::IS_FLOAT { Class::SFloat } else { Class::SInt },
+        if T::IS_FLOAT {
+            Class::SFloat
+        } else {
+            Class::SInt
+        },
         &[dep.id],
         Some(MemRef {
             addr: &src[i] as *const T as u64,
@@ -262,9 +294,16 @@ pub fn store<T: Elem>(dst: &mut [T], i: usize, t: Tr<T>) {
     dst[i] = t.v;
     trace::emit(
         Op::SStore,
-        if T::IS_FLOAT { Class::SFloat } else { Class::SInt },
+        if T::IS_FLOAT {
+            Class::SFloat
+        } else {
+            Class::SInt
+        },
         &[t.id],
-        Some(MemRef { addr, bytes: T::BYTES as u32 }),
+        Some(MemRef {
+            addr,
+            bytes: T::BYTES as u32,
+        }),
     );
 }
 
@@ -358,7 +397,10 @@ impl<T: Elem> Shl<u32> for Tr<T> {
     #[inline]
     fn shl(self, imm: u32) -> Tr<T> {
         let id = trace::emit(Op::SAlu, Class::SInt, &[self.id], None);
-        Tr { v: self.v.shl(imm), id }
+        Tr {
+            v: self.v.shl(imm),
+            id,
+        }
     }
 }
 
@@ -367,7 +409,10 @@ impl<T: Elem> Shr<u32> for Tr<T> {
     #[inline]
     fn shr(self, imm: u32) -> Tr<T> {
         let id = trace::emit(Op::SAlu, Class::SInt, &[self.id], None);
-        Tr { v: self.v.shr(imm), id }
+        Tr {
+            v: self.v.shr(imm),
+            id,
+        }
     }
 }
 
@@ -424,11 +469,7 @@ mod tests {
         assert_eq!(data.op_count(Op::SStore), 3);
         assert_eq!(data.op_count(Op::SBranch), 3);
         // Store depends on the add result.
-        let st = data
-            .instrs
-            .iter()
-            .find(|i| i.op == Op::SStore)
-            .unwrap();
+        let st = data.instrs.iter().find(|i| i.op == Op::SStore).unwrap();
         assert_ne!(st.srcs[0], 0);
     }
 

@@ -5,10 +5,18 @@
 //! kernel invocation; finishing it yields [`TraceData`] containing the
 //! per-class/per-op histograms and — in [`Mode::Full`] — the complete
 //! dynamic trace with dataflow edges (value ids) and memory references.
-//! This is the hand-off point to the `swan-uarch` trace-driven core
-//! model, mirroring the paper's DynamoRIO → Ramulator flow.
+//!
+//! Consumption is a *stream*: a [`TraceSink`] receives each dynamic
+//! instruction as it is emitted ([`Session::begin_with`] /
+//! [`stream_into`]), so a timing model can consume the trace with O(1)
+//! memory while the kernel executes — mirroring the paper's
+//! DynamoRIO → Ramulator pipe. [`Mode::Full`] is the back-compat
+//! batch path: it routes the same stream into an internal [`VecSink`]
+//! and hands the materialized trace back at [`Session::finish`].
 
+use std::any::Any;
 use std::cell::RefCell;
+use std::collections::HashMap;
 
 /// Instruction classes, matching the Figure 1 breakdown of the paper.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -110,18 +118,12 @@ ops! {
 impl Op {
     /// Whether this op reads memory.
     pub fn is_load(self) -> bool {
-        matches!(
-            self,
-            Op::SLoad | Op::VLd1 | Op::VLd2 | Op::VLd3 | Op::VLd4
-        )
+        matches!(self, Op::SLoad | Op::VLd1 | Op::VLd2 | Op::VLd3 | Op::VLd4)
     }
 
     /// Whether this op writes memory.
     pub fn is_store(self) -> bool {
-        matches!(
-            self,
-            Op::SStore | Op::VSt1 | Op::VSt2 | Op::VSt3 | Op::VSt4
-        )
+        matches!(self, Op::SStore | Op::VSt1 | Op::VSt2 | Op::VSt3 | Op::VSt4)
     }
 
     /// Interleave stride for multi-register structure loads/stores
@@ -147,7 +149,7 @@ pub struct MemRef {
 }
 
 /// One dynamic instruction.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TraceInstr {
     /// Operation tag.
     pub op: Op,
@@ -164,6 +166,81 @@ pub struct TraceInstr {
     pub mem: Option<MemRef>,
 }
 
+/// Successor of a value id: increments, skipping the 0 sentinel ("no
+/// value") on wraparound so a wrapped id can never alias an untracked
+/// operand and corrupt dataflow edges.
+#[inline]
+pub fn next_value_id(id: u32) -> u32 {
+    match id.wrapping_add(1) {
+        0 => 1,
+        v => v,
+    }
+}
+
+/// `next_value_id` applied `n` times, in O(1): value ids cycle through
+/// `1..=u32::MAX` (period `2^32 - 1`).
+#[inline]
+pub fn advance_value_id(id: u32, n: u64) -> u32 {
+    const PERIOD: u64 = u32::MAX as u64;
+    debug_assert!(id != 0, "value ids start at 1");
+    let z = (id as u64 - 1 + n % PERIOD) % PERIOD;
+    (z + 1) as u32
+}
+
+/// Consumer of a streamed dynamic-instruction trace.
+///
+/// A sink receives every dynamic instruction the moment it is emitted,
+/// so a timing model can simulate a kernel *while it executes* without
+/// the trace ever being materialized (peak memory O(model window)
+/// instead of O(dynamic instruction count)).
+///
+/// Sinks must not themselves execute traced operations (`Vreg`/`Tr`
+/// intrinsics): emission happens with the tracer borrowed, so a
+/// re-entrant emit panics.
+///
+/// The `Any` supertrait lets [`stream_into`] hand a concrete sink
+/// back to the caller after the session.
+pub trait TraceSink: Any {
+    /// One dynamic instruction.
+    fn on_instr(&mut self, ins: &TraceInstr);
+
+    /// `n` repeated bookkeeping instructions of the same op (loop
+    /// control overhead), with consecutive destination value ids
+    /// starting at `first_id`. The default expands to `on_instr`
+    /// calls, which keeps bulk emission bit-identical to per-op
+    /// emission; sinks that only count may override it with an O(1)
+    /// update.
+    fn on_overhead(&mut self, op: Op, class: Class, first_id: u32, n: u64) {
+        let mut id = first_id;
+        for _ in 0..n {
+            self.on_instr(&TraceInstr {
+                op,
+                class,
+                dst: id,
+                srcs: [0; 4],
+                nsrc: 0,
+                mem: None,
+            });
+            id = next_value_id(id);
+        }
+    }
+}
+
+/// The batch sink: appends every instruction to a `Vec`. This is what
+/// [`Mode::Full`] routes into internally, and the bridge from the
+/// streaming world back to [`TraceData::instrs`].
+#[derive(Debug, Default)]
+pub struct VecSink {
+    /// The materialized dynamic trace.
+    pub instrs: Vec<TraceInstr>,
+}
+
+impl TraceSink for VecSink {
+    fn on_instr(&mut self, ins: &TraceInstr) {
+        self.instrs.push(*ins);
+    }
+}
+
 /// Tracing mode.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Mode {
@@ -176,13 +253,29 @@ pub enum Mode {
     Full,
 }
 
+/// Synthetic base address of the per-session literal pool (far above
+/// any userspace host address, so pool lines never alias real
+/// buffers in the cache model).
+const LITERAL_POOL_BASE: u64 = 0xFFFF_F000_0000_0000;
+
 struct Tracer {
     mode: Mode,
     active: bool,
     next_id: u32,
     by_op: [u64; OP_COUNT],
     by_class: [u64; CLASS_COUNT],
-    instrs: Vec<TraceInstr>,
+    /// `Mode::Full` storage when no external sink is installed.
+    vec: VecSink,
+    /// External streaming sink (a sink session routes here instead).
+    ext: Option<Box<dyn TraceSink>>,
+    /// Literal pool: content → synthetic address. Constant
+    /// materializations (`Vreg::from_lanes`) are addressed here so
+    /// traces never depend on where a caller's staging buffer happens
+    /// to live (stack frame, allocator state) — a requirement for
+    /// streamed and batch captures of the same execution to be
+    /// bit-identical.
+    lit_pool: HashMap<Vec<u8>, u64>,
+    lit_next: u64,
 }
 
 impl Default for Tracer {
@@ -193,7 +286,10 @@ impl Default for Tracer {
             next_id: 1,
             by_op: [0; OP_COUNT],
             by_class: [0; CLASS_COUNT],
-            instrs: Vec::new(),
+            vec: VecSink::default(),
+            ext: None,
+            lit_pool: HashMap::new(),
+            lit_next: LITERAL_POOL_BASE,
         }
     }
 }
@@ -209,7 +305,8 @@ pub struct TraceData {
     pub by_op: [u64; OP_COUNT],
     /// Per-class dynamic instruction counts, indexed by `Class as usize`.
     pub by_class: [u64; CLASS_COUNT],
-    /// Full dynamic trace (empty unless the session ran in [`Mode::Full`]).
+    /// Full dynamic trace (empty unless the session ran in [`Mode::Full`]
+    /// without an external sink).
     pub instrs: Vec<TraceInstr>,
 }
 
@@ -248,6 +345,25 @@ impl TraceData {
             .sum()
     }
 
+    /// Histograms only (drop the materialized trace). Used where a
+    /// `Measurement` keeps the mix but not the O(n) instruction list.
+    pub fn histograms(&self) -> TraceData {
+        TraceData {
+            by_op: self.by_op,
+            by_class: self.by_class,
+            instrs: Vec::new(),
+        }
+    }
+
+    /// Replay the materialized trace into a sink, instruction by
+    /// instruction — the bridge from a batch capture to any streaming
+    /// consumer.
+    pub fn replay_into(&self, sink: &mut dyn TraceSink) {
+        for ins in &self.instrs {
+            sink.on_instr(ins);
+        }
+    }
+
     /// Merge another trace's histograms (used when a measurement spans
     /// several invocations). Full traces are concatenated.
     pub fn merge(&mut self, other: &TraceData) {
@@ -272,12 +388,7 @@ pub struct Session {
 }
 
 impl Session {
-    /// Start tracing on the current thread.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a session is already active on this thread.
-    pub fn begin(mode: Mode) -> Session {
+    fn begin_inner(mode: Mode, ext: Option<Box<dyn TraceSink>>) -> Session {
         TRACER.with(|t| {
             let mut t = t.borrow_mut();
             assert!(!t.active, "a trace session is already active");
@@ -286,9 +397,34 @@ impl Session {
             t.next_id = 1;
             t.by_op = [0; OP_COUNT];
             t.by_class = [0; CLASS_COUNT];
-            t.instrs.clear();
+            t.vec.instrs.clear();
+            t.ext = ext;
+            t.lit_pool.clear();
+            t.lit_next = LITERAL_POOL_BASE;
         });
         Session { done: false }
+    }
+
+    /// Start tracing on the current thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a session is already active on this thread.
+    pub fn begin(mode: Mode) -> Session {
+        Session::begin_inner(mode, None)
+    }
+
+    /// Start a streaming session: every dynamic instruction is routed
+    /// into `sink` as it is emitted, and nothing is materialized.
+    /// Histogram counts are still accumulated and returned by
+    /// [`Session::finish`]. Recover the sink with
+    /// [`Session::finish_with`] (or use the [`stream_into`] wrapper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a session is already active on this thread.
+    pub fn begin_with(sink: Box<dyn TraceSink>) -> Session {
+        Session::begin_inner(Mode::Full, Some(sink))
     }
 
     /// Stop tracing and return the collected data.
@@ -298,11 +434,31 @@ impl Session {
             let mut t = t.borrow_mut();
             t.active = false;
             t.mode = Mode::Off;
+            t.ext = None;
             TraceData {
                 by_op: t.by_op,
                 by_class: t.by_class,
-                instrs: std::mem::take(&mut t.instrs),
+                instrs: std::mem::take(&mut t.vec.instrs),
             }
+        })
+    }
+
+    /// Stop tracing and return the collected data together with the
+    /// external sink installed by [`Session::begin_with`] (`None` for
+    /// plain sessions).
+    pub fn finish_with(mut self) -> (TraceData, Option<Box<dyn TraceSink>>) {
+        self.done = true;
+        TRACER.with(|t| {
+            let mut t = t.borrow_mut();
+            t.active = false;
+            t.mode = Mode::Off;
+            let sink = t.ext.take();
+            let data = TraceData {
+                by_op: t.by_op,
+                by_class: t.by_class,
+                instrs: std::mem::take(&mut t.vec.instrs),
+            };
+            (data, sink)
         })
     }
 }
@@ -314,10 +470,71 @@ impl Drop for Session {
                 let mut t = t.borrow_mut();
                 t.active = false;
                 t.mode = Mode::Off;
-                t.instrs.clear();
+                t.vec.instrs.clear();
+                t.ext = None;
             });
         }
     }
+}
+
+/// Run `f` with every emitted dynamic instruction streamed into
+/// `sink`, then hand the sink back: `(histograms, sink, f's result)`.
+///
+/// This is the one-shot form of [`Session::begin_with`] — the sink
+/// type survives the trip through the tracer, so callers keep working
+/// with the concrete model they passed in:
+///
+/// ```
+/// use swan_simd::trace::{stream_into, Class, Op, TraceInstr, TraceSink};
+///
+/// #[derive(Default)]
+/// struct Count(u64);
+/// impl TraceSink for Count {
+///     fn on_instr(&mut self, _: &TraceInstr) { self.0 += 1; }
+/// }
+///
+/// let (data, count, sum) = stream_into(Count::default(), || {
+///     use swan_simd::{Vreg, Width};
+///     let v = Vreg::<u8>::splat(Width::W128, 3);
+///     v.add(v).lane_value(0) as u64
+/// });
+/// assert_eq!(count.0, data.total());
+/// assert_eq!(sum, 6);
+/// ```
+pub fn stream_into<S: TraceSink, R>(sink: S, f: impl FnOnce() -> R) -> (TraceData, S, R) {
+    let sess = Session::begin_with(Box::new(sink));
+    let out = f();
+    let (data, sink) = sess.finish_with();
+    let sink: Box<dyn Any> = sink.expect("sink session always holds a sink");
+    let sink = *sink
+        .downcast::<S>()
+        .expect("finish_with returns the sink passed to begin_with");
+    (data, sink, out)
+}
+
+fn emit_inner(t: &mut Tracer, op: Op, class: Class, srcs: &[u32], mem: Option<MemRef>) -> u32 {
+    t.by_op[op as usize] += 1;
+    t.by_class[class as usize] += 1;
+    let id = t.next_id;
+    t.next_id = next_value_id(id);
+    if t.mode == Mode::Full {
+        let mut s = [0u32; 4];
+        let n = srcs.len().min(4);
+        s[..n].copy_from_slice(&srcs[..n]);
+        let ins = TraceInstr {
+            op,
+            class,
+            dst: id,
+            srcs: s,
+            nsrc: n as u8,
+            mem,
+        };
+        match t.ext.as_mut() {
+            Some(sink) => sink.on_instr(&ins),
+            None => t.vec.on_instr(&ins),
+        }
+    }
+    id
 }
 
 /// Emit one dynamic instruction; returns the fresh destination value id
@@ -329,24 +546,36 @@ pub(crate) fn emit(op: Op, class: Class, srcs: &[u32], mem: Option<MemRef>) -> u
         if t.mode == Mode::Off {
             return 0;
         }
-        t.by_op[op as usize] += 1;
-        t.by_class[class as usize] += 1;
-        let id = t.next_id;
-        t.next_id = t.next_id.wrapping_add(1);
-        if t.mode == Mode::Full {
-            let mut s = [0u32; 4];
-            let n = srcs.len().min(4);
-            s[..n].copy_from_slice(&srcs[..n]);
-            t.instrs.push(TraceInstr {
-                op,
-                class,
-                dst: id,
-                srcs: s,
-                nsrc: n as u8,
-                mem,
-            });
+        emit_inner(&mut t, op, class, srcs, mem)
+    })
+}
+
+/// Emit a constant-materialization load (`Vreg::from_lanes`): the
+/// memory reference points into the session's synthetic literal pool,
+/// interned by content, so the traced address is deterministic —
+/// independent of where the caller staged the lane values. Repeated
+/// materialization of the same constant hits the same pool line, as a
+/// real literal pool would.
+pub(crate) fn emit_literal(op: Op, class: Class, content: &[u8]) -> u32 {
+    TRACER.with(|t| {
+        let mut t = t.borrow_mut();
+        if t.mode == Mode::Off {
+            return 0;
         }
-        id
+        let t = &mut *t;
+        let mem = if t.mode == Mode::Full {
+            let bytes = content.len() as u32;
+            let lit_next = &mut t.lit_next;
+            let addr = *t.lit_pool.entry(content.to_vec()).or_insert_with(|| {
+                let a = *lit_next;
+                *lit_next += bytes as u64;
+                a
+            });
+            Some(MemRef { addr, bytes })
+        } else {
+            None
+        };
+        emit_inner(t, op, class, &[], mem)
     })
 }
 
@@ -362,20 +591,16 @@ pub(crate) fn emit_overhead(op: Op, class: Class, n: u64) {
         if t.mode == Mode::Off {
             return;
         }
+        let t = &mut *t;
         t.by_op[op as usize] += n;
         t.by_class[class as usize] += n;
         if t.mode == Mode::Full {
-            for _ in 0..n {
-                let id = t.next_id;
-                t.next_id = t.next_id.wrapping_add(1);
-                t.instrs.push(TraceInstr {
-                    op,
-                    class,
-                    dst: id,
-                    srcs: [0; 4],
-                    nsrc: 0,
-                    mem: None,
-                });
+            let first = t.next_id;
+            t.next_id = advance_value_id(first, n);
+            let t = &mut *t;
+            match t.ext.as_mut() {
+                Some(sink) => sink.on_overhead(op, class, first, n),
+                None => t.vec.on_overhead(op, class, first, n),
             }
         }
     })
@@ -394,7 +619,12 @@ mod tests {
     fn session_counts_and_resets() {
         let s = Session::begin(Mode::Count);
         emit(Op::VAlu, Class::VInt, &[1, 2], None);
-        emit(Op::SLoad, Class::SInt, &[], Some(MemRef { addr: 64, bytes: 4 }));
+        emit(
+            Op::SLoad,
+            Class::SInt,
+            &[],
+            Some(MemRef { addr: 64, bytes: 4 }),
+        );
         let d = s.finish();
         assert_eq!(d.total(), 2);
         assert_eq!(d.class_count(Class::VInt), 1);
@@ -406,9 +636,22 @@ mod tests {
     #[test]
     fn full_mode_records_dataflow() {
         let s = Session::begin(Mode::Full);
-        let a = emit(Op::VLd1, Class::VLoad, &[], Some(MemRef { addr: 0, bytes: 16 }));
+        let a = emit(
+            Op::VLd1,
+            Class::VLoad,
+            &[],
+            Some(MemRef { addr: 0, bytes: 16 }),
+        );
         let b = emit(Op::VAlu, Class::VInt, &[a, a], None);
-        emit(Op::VSt1, Class::VStore, &[b], Some(MemRef { addr: 64, bytes: 16 }));
+        emit(
+            Op::VSt1,
+            Class::VStore,
+            &[b],
+            Some(MemRef {
+                addr: 64,
+                bytes: 16,
+            }),
+        );
         let d = s.finish();
         assert_eq!(d.instrs.len(), 3);
         assert_eq!(d.instrs[1].srcs[0], a);
@@ -452,5 +695,131 @@ mod tests {
         assert!(Op::VLd3.is_load());
         assert!(Op::VSt3.is_store());
         assert!(!Op::VAlu.is_load());
+    }
+
+    #[test]
+    fn value_ids_skip_zero_on_wrap() {
+        assert_eq!(next_value_id(1), 2);
+        assert_eq!(next_value_id(u32::MAX), 1, "0 is the no-value sentinel");
+        assert_eq!(advance_value_id(1, 0), 1);
+        assert_eq!(advance_value_id(u32::MAX - 1, 3), 2);
+        // Closed form matches iterated stepping across the wrap.
+        let mut id = u32::MAX - 2;
+        for n in 0..6u64 {
+            assert_eq!(advance_value_id(u32::MAX - 2, n), id);
+            id = next_value_id(id);
+        }
+        // Full period returns to the start.
+        assert_eq!(advance_value_id(7, u32::MAX as u64), 7);
+    }
+
+    #[test]
+    fn emit_wraparound_never_hands_out_zero() {
+        let s = Session::begin(Mode::Full);
+        TRACER.with(|t| t.borrow_mut().next_id = u32::MAX);
+        let a = emit(Op::VAlu, Class::VInt, &[], None);
+        let b = emit(Op::VAlu, Class::VInt, &[a], None);
+        let c = emit(Op::VAlu, Class::VInt, &[b], None);
+        let d = s.finish();
+        assert_eq!(a, u32::MAX);
+        assert_eq!(b, 1, "id 0 must be skipped on wrap");
+        assert_eq!(c, 2);
+        assert_eq!(d.instrs[1].srcs[0], a);
+        assert_eq!(d.instrs[2].srcs[0], b);
+    }
+
+    #[test]
+    fn emit_overhead_wraps_like_emit() {
+        let s = Session::begin(Mode::Full);
+        TRACER.with(|t| t.borrow_mut().next_id = u32::MAX - 1);
+        emit_overhead(Op::SAlu, Class::SInt, 4);
+        let next = emit(Op::VAlu, Class::VInt, &[], None);
+        let d = s.finish();
+        let dsts: Vec<u32> = d.instrs.iter().map(|i| i.dst).collect();
+        assert_eq!(dsts, vec![u32::MAX - 1, u32::MAX, 1, 2, 3]);
+        assert_eq!(next, 3);
+    }
+
+    #[test]
+    fn sink_session_streams_without_materializing() {
+        #[derive(Default)]
+        struct Probe {
+            instrs: Vec<TraceInstr>,
+            overheads: Vec<(Op, u64)>,
+        }
+        impl TraceSink for Probe {
+            fn on_instr(&mut self, ins: &TraceInstr) {
+                self.instrs.push(*ins);
+            }
+            fn on_overhead(&mut self, op: Op, _c: Class, _first: u32, n: u64) {
+                self.overheads.push((op, n));
+            }
+        }
+
+        let (data, probe, ()) = stream_into(Probe::default(), || {
+            let a = emit(
+                Op::VLd1,
+                Class::VLoad,
+                &[],
+                Some(MemRef { addr: 0, bytes: 16 }),
+            );
+            emit(Op::VAlu, Class::VInt, &[a], None);
+            emit_overhead(Op::SAlu, Class::SInt, 10);
+        });
+        assert_eq!(data.total(), 12);
+        assert!(data.instrs.is_empty(), "sink sessions materialize nothing");
+        assert_eq!(probe.instrs.len(), 2);
+        assert_eq!(probe.instrs[1].srcs[0], probe.instrs[0].dst);
+        assert_eq!(probe.overheads, vec![(Op::SAlu, 10)]);
+    }
+
+    #[test]
+    fn vec_sink_matches_full_mode_exactly() {
+        let run = || {
+            let a = emit(
+                Op::VLd1,
+                Class::VLoad,
+                &[],
+                Some(MemRef {
+                    addr: 128,
+                    bytes: 16,
+                }),
+            );
+            let b = emit(Op::VMul, Class::VInt, &[a, a], None);
+            emit_overhead(Op::SBranch, Class::SInt, 7);
+            emit(
+                Op::VSt1,
+                Class::VStore,
+                &[b],
+                Some(MemRef {
+                    addr: 256,
+                    bytes: 16,
+                }),
+            );
+        };
+        let s = Session::begin(Mode::Full);
+        run();
+        let batch = s.finish();
+        let (streamed, sink, ()) = stream_into(VecSink::default(), run);
+        assert_eq!(batch.instrs, sink.instrs);
+        assert_eq!(batch.by_op, streamed.by_op);
+        assert_eq!(batch.by_class, streamed.by_class);
+    }
+
+    #[test]
+    fn replay_into_reproduces_the_stream() {
+        let s = Session::begin(Mode::Full);
+        let a = emit(
+            Op::VLd1,
+            Class::VLoad,
+            &[],
+            Some(MemRef { addr: 0, bytes: 16 }),
+        );
+        emit(Op::VAlu, Class::VInt, &[a], None);
+        emit_overhead(Op::SAlu, Class::SInt, 3);
+        let d = s.finish();
+        let mut replayed = VecSink::default();
+        d.replay_into(&mut replayed);
+        assert_eq!(replayed.instrs, d.instrs);
     }
 }

@@ -47,11 +47,12 @@ widen_ops!(i16, i32, widen_lo_i32, widen_hi_i32);
 widen_ops!(u32, u64, widen_lo_u64, widen_hi_u64);
 widen_ops!(i32, i64, widen_lo_i64, widen_hi_i64);
 
+#[rustfmt::skip] // rustfmt oscillates on the #[doc = concat!] lines
 macro_rules! narrow_ops {
     ($src:ty, $dst:ty, $trunc:ident, $sat:ident, $satf:expr) => {
         impl Vreg<$src> {
             #[doc = concat!("Truncating narrow of `self:hi` to `", stringify!($dst),
-                "` (`XTN` + `XTN2`, two instructions).")]
+                                                "` (`XTN` + `XTN2`, two instructions).")]
             pub fn $trunc(&self, hi: Vreg<$src>) -> Vreg<$dst> {
                 assert_eq!(self.n, hi.n);
                 let h = self.n();
@@ -66,7 +67,7 @@ macro_rules! narrow_ops {
             }
 
             #[doc = concat!("Saturating narrow of `self:hi` to `", stringify!($dst),
-                "` (`QXTN` pair, two instructions).")]
+                                                "` (`QXTN` pair, two instructions).")]
             pub fn $sat(&self, hi: Vreg<$src>) -> Vreg<$dst> {
                 assert_eq!(self.n, hi.n);
                 let h = self.n();
@@ -101,11 +102,12 @@ narrow_ops!(i64, i32, narrow_i32, narrow_sat_i32, |x: i64| {
     x.clamp(i32::MIN as i64, i32::MAX as i64) as i32
 });
 
+#[rustfmt::skip] // rustfmt oscillates on the #[doc = concat!] lines
 macro_rules! narrow_unsigned_ops {
     ($src:ty, $dst:ty, $sat:ident, $rshrn:ident, $max:expr) => {
         impl Vreg<$src> {
             #[doc = concat!("Saturating narrow of signed `self:hi` to unsigned `",
-                stringify!($dst), "` (`SQXTUN` pair, two instructions).")]
+                                        stringify!($dst), "` (`SQXTUN` pair, two instructions).")]
             pub fn $sat(&self, hi: Vreg<$src>) -> Vreg<$dst> {
                 assert_eq!(self.n, hi.n);
                 let h = self.n();
@@ -120,7 +122,7 @@ macro_rules! narrow_unsigned_ops {
             }
 
             #[doc = concat!("Rounding shift-right + unsigned-saturating narrow of ",
-                "`self:hi` (`SQRSHRUN` pair, two instructions).")]
+                                        "`self:hi` (`SQRSHRUN` pair, two instructions).")]
             pub fn $rshrn(&self, hi: Vreg<$src>, imm: u32) -> Vreg<$dst> {
                 assert_eq!(self.n, hi.n);
                 let h = self.n();
@@ -140,12 +142,13 @@ macro_rules! narrow_unsigned_ops {
 narrow_unsigned_ops!(i16, u8, narrow_sat_u8_from_i16, rshrn_sat_u8, 255);
 narrow_unsigned_ops!(i32, u16, narrow_sat_u16_from_i32, rshrn_sat_u16, 65535);
 
+#[rustfmt::skip] // rustfmt oscillates on the #[doc = concat!] lines
 macro_rules! mull_ops {
     ($src:ty, $dst:ty, $lo:ident, $hi:ident, $mlal_lo:ident, $mlal_hi:ident,
      $mlsl_lo:ident, $mlsl_hi:ident, $paddl:ident, $padal:ident, $addlv:ident, $lvty:ty) => {
         impl Vreg<$src> {
             #[doc = concat!("Widening multiply of the low lane halves (`MULL`): `",
-                stringify!($dst), "` product lanes.")]
+                                                stringify!($dst), "` product lanes.")]
             pub fn $lo(&self, o: Vreg<$src>) -> Vreg<$dst> {
                 assert_eq!(self.n, o.n);
                 let h = self.n() / 2;
@@ -163,8 +166,7 @@ macro_rules! mull_ops {
                 let h = self.n() / 2;
                 let (mut l, n) = Vreg::<$dst>::empty(h);
                 for i in 0..h {
-                    l[i] =
-                        (self.lanes[h + i] as $dst).wrapping_mul(o.lanes[h + i] as $dst);
+                    l[i] = (self.lanes[h + i] as $dst).wrapping_mul(o.lanes[h + i] as $dst);
                 }
                 let id = trace::emit(Op::VMull, Class::VInt, &[self.id, o.id], None);
                 Vreg::raw(l, n, id)
@@ -175,15 +177,14 @@ macro_rules! mull_ops {
                 let h = self.n() / 2;
                 let (mut l, n) = Vreg::<$dst>::empty(h);
                 for i in 0..h {
-                    l[i] = (self.lanes[2 * i] as $dst)
-                        .wrapping_add(self.lanes[2 * i + 1] as $dst);
+                    l[i] = (self.lanes[2 * i] as $dst).wrapping_add(self.lanes[2 * i + 1] as $dst);
                 }
                 let id = trace::emit(Op::VPadd, Class::VInt, &[self.id], None);
                 Vreg::raw(l, n, id)
             }
 
             #[doc = concat!("Widening sum of all lanes (`ADDLV`-style reduction) to a tracked `",
-                stringify!($lvty), "` scalar.")]
+                                                stringify!($lvty), "` scalar.")]
             pub fn $addlv(&self) -> crate::scalar::Tr<$lvty> {
                 let mut acc: $lvty = 0;
                 for i in 0..self.n() {
@@ -202,12 +203,10 @@ macro_rules! mull_ops {
                 let h = self.n();
                 let (mut l, n) = Vreg::<$dst>::empty(h);
                 for i in 0..h {
-                    l[i] = self.lanes[i].wrapping_add(
-                        (a.lanes[i] as $dst).wrapping_mul(b.lanes[i] as $dst),
-                    );
+                    l[i] = self.lanes[i]
+                        .wrapping_add((a.lanes[i] as $dst).wrapping_mul(b.lanes[i] as $dst));
                 }
-                let id =
-                    trace::emit(Op::VMla, Class::VInt, &[self.id, a.id, b.id], None);
+                let id = trace::emit(Op::VMla, Class::VInt, &[self.id, a.id, b.id], None);
                 Vreg::raw(l, n, id)
             }
 
@@ -222,8 +221,7 @@ macro_rules! mull_ops {
                         (a.lanes[h + i] as $dst).wrapping_mul(b.lanes[h + i] as $dst),
                     );
                 }
-                let id =
-                    trace::emit(Op::VMla, Class::VInt, &[self.id, a.id, b.id], None);
+                let id = trace::emit(Op::VMla, Class::VInt, &[self.id, a.id, b.id], None);
                 Vreg::raw(l, n, id)
             }
 
@@ -234,12 +232,10 @@ macro_rules! mull_ops {
                 let h = self.n();
                 let (mut l, n) = Vreg::<$dst>::empty(h);
                 for i in 0..h {
-                    l[i] = self.lanes[i].wrapping_sub(
-                        (a.lanes[i] as $dst).wrapping_mul(b.lanes[i] as $dst),
-                    );
+                    l[i] = self.lanes[i]
+                        .wrapping_sub((a.lanes[i] as $dst).wrapping_mul(b.lanes[i] as $dst));
                 }
-                let id =
-                    trace::emit(Op::VMla, Class::VInt, &[self.id, a.id, b.id], None);
+                let id = trace::emit(Op::VMla, Class::VInt, &[self.id, a.id, b.id], None);
                 Vreg::raw(l, n, id)
             }
 
@@ -254,8 +250,7 @@ macro_rules! mull_ops {
                         (a.lanes[h + i] as $dst).wrapping_mul(b.lanes[h + i] as $dst),
                     );
                 }
-                let id =
-                    trace::emit(Op::VMla, Class::VInt, &[self.id, a.id, b.id], None);
+                let id = trace::emit(Op::VMla, Class::VInt, &[self.id, a.id, b.id], None);
                 Vreg::raw(l, n, id)
             }
 
@@ -276,18 +271,90 @@ macro_rules! mull_ops {
     };
 }
 
-mull_ops!(u8, u16, mull_lo_u16, mull_hi_u16, mlal_lo_u8, mlal_hi_u8, mlsl_lo_u8, mlsl_hi_u8,
-    paddl_u16, padal_u8, addlv_u32_from_u8_wide, u32);
-mull_ops!(i8, i16, mull_lo_i16, mull_hi_i16, mlal_lo_i8, mlal_hi_i8, mlsl_lo_i8, mlsl_hi_i8,
-    paddl_i16, padal_i8, addlv_i32_from_i8_wide, i32);
-mull_ops!(u16, u32, mull_lo_u32, mull_hi_u32, mlal_lo_u16, mlal_hi_u16, mlsl_lo_u16, mlsl_hi_u16,
-    paddl_u32, padal_u16, addlv_u32, u32);
-mull_ops!(i16, i32, mull_lo_i32, mull_hi_i32, mlal_lo_i16, mlal_hi_i16, mlsl_lo_i16, mlsl_hi_i16,
-    paddl_i32, padal_i16, addlv_i32, i32);
-mull_ops!(u32, u64, mull_lo_u64, mull_hi_u64, mlal_lo_u32, mlal_hi_u32, mlsl_lo_u32, mlsl_hi_u32,
-    paddl_u64, padal_u32, addlv_u64, u64);
-mull_ops!(i32, i64, mull_lo_i64, mull_hi_i64, mlal_lo_i32, mlal_hi_i32, mlsl_lo_i32, mlsl_hi_i32,
-    paddl_i64, padal_i32, addlv_i64, i64);
+mull_ops!(
+    u8,
+    u16,
+    mull_lo_u16,
+    mull_hi_u16,
+    mlal_lo_u8,
+    mlal_hi_u8,
+    mlsl_lo_u8,
+    mlsl_hi_u8,
+    paddl_u16,
+    padal_u8,
+    addlv_u32_from_u8_wide,
+    u32
+);
+mull_ops!(
+    i8,
+    i16,
+    mull_lo_i16,
+    mull_hi_i16,
+    mlal_lo_i8,
+    mlal_hi_i8,
+    mlsl_lo_i8,
+    mlsl_hi_i8,
+    paddl_i16,
+    padal_i8,
+    addlv_i32_from_i8_wide,
+    i32
+);
+mull_ops!(
+    u16,
+    u32,
+    mull_lo_u32,
+    mull_hi_u32,
+    mlal_lo_u16,
+    mlal_hi_u16,
+    mlsl_lo_u16,
+    mlsl_hi_u16,
+    paddl_u32,
+    padal_u16,
+    addlv_u32,
+    u32
+);
+mull_ops!(
+    i16,
+    i32,
+    mull_lo_i32,
+    mull_hi_i32,
+    mlal_lo_i16,
+    mlal_hi_i16,
+    mlsl_lo_i16,
+    mlsl_hi_i16,
+    paddl_i32,
+    padal_i16,
+    addlv_i32,
+    i32
+);
+mull_ops!(
+    u32,
+    u64,
+    mull_lo_u64,
+    mull_hi_u64,
+    mlal_lo_u32,
+    mlal_hi_u32,
+    mlsl_lo_u32,
+    mlsl_hi_u32,
+    paddl_u64,
+    padal_u32,
+    addlv_u64,
+    u64
+);
+mull_ops!(
+    i32,
+    i64,
+    mull_lo_i64,
+    mull_hi_i64,
+    mlal_lo_i32,
+    mlal_hi_i32,
+    mlsl_lo_i32,
+    mlsl_hi_i32,
+    paddl_i64,
+    padal_i32,
+    addlv_i64,
+    i64
+);
 
 impl Vreg<u8> {
     /// Widening sum of all `u8` lanes to a `u32` scalar (`UADDLV`).

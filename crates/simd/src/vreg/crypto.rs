@@ -99,8 +99,7 @@ impl Vreg<u8> {
         let (mut l, n) = Self::empty(self.n());
         for blk in (0..self.n()).step_by(16) {
             for col in 0..4 {
-                let a: [u8; 4] =
-                    std::array::from_fn(|r| self.lanes[blk + 4 * col + r]);
+                let a: [u8; 4] = std::array::from_fn(|r| self.lanes[blk + 4 * col + r]);
                 l[blk + 4 * col] = xtime(a[0]) ^ (xtime(a[1]) ^ a[1]) ^ a[2] ^ a[3];
                 l[blk + 4 * col + 1] = a[0] ^ xtime(a[1]) ^ (xtime(a[2]) ^ a[2]) ^ a[3];
                 l[blk + 4 * col + 2] = a[0] ^ a[1] ^ xtime(a[2]) ^ (xtime(a[3]) ^ a[3]);
@@ -165,8 +164,7 @@ impl Vreg<u32> {
         assert_eq!(self.n, wk.n);
         let (mut l, n) = Self::empty(self.n());
         for blk in (0..self.n()).step_by(4) {
-            let (abcd, _) =
-                sha256_rounds4(self.chunk4(blk), efgh.chunk4(blk), wk.chunk4(blk));
+            let (abcd, _) = sha256_rounds4(self.chunk4(blk), efgh.chunk4(blk), wk.chunk4(blk));
             l[blk..blk + 4].copy_from_slice(&abcd);
         }
         let id = trace::emit(Op::VSha, Class::VCrypto, &[self.id, efgh.id, wk.id], None);
@@ -180,8 +178,7 @@ impl Vreg<u32> {
         assert_eq!(self.n, wk.n);
         let (mut l, n) = Self::empty(self.n());
         for blk in (0..self.n()).step_by(4) {
-            let (_, efgh) =
-                sha256_rounds4(abcd.chunk4(blk), self.chunk4(blk), wk.chunk4(blk));
+            let (_, efgh) = sha256_rounds4(abcd.chunk4(blk), self.chunk4(blk), wk.chunk4(blk));
             l[blk..blk + 4].copy_from_slice(&efgh);
         }
         let id = trace::emit(Op::VSha, Class::VCrypto, &[self.id, abcd.id, wk.id], None);
@@ -216,12 +213,8 @@ impl Vreg<u32> {
             let t = self.chunk4(blk);
             let w8 = w8_11.chunk4(blk);
             let w12 = w12_15.chunk4(blk);
-            let r0 = t[0]
-                .wrapping_add(small_sigma1(w12[2]))
-                .wrapping_add(w8[1]);
-            let r1 = t[1]
-                .wrapping_add(small_sigma1(w12[3]))
-                .wrapping_add(w8[2]);
+            let r0 = t[0].wrapping_add(small_sigma1(w12[2])).wrapping_add(w8[1]);
+            let r1 = t[1].wrapping_add(small_sigma1(w12[3])).wrapping_add(w8[2]);
             let r2 = t[2].wrapping_add(small_sigma1(r0)).wrapping_add(w8[3]);
             let r3 = t[3].wrapping_add(small_sigma1(r1)).wrapping_add(w12[0]);
             l[blk..blk + 4].copy_from_slice(&[r0, r1, r2, r3]);
@@ -331,12 +324,12 @@ mod tests {
         // FIPS-197 Appendix C.1.
         let key: [u8; 16] = std::array::from_fn(|i| i as u8);
         let pt: [u8; 16] = [
-            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb,
-            0xcc, 0xdd, 0xee, 0xff,
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
         ];
         let expect: [u8; 16] = [
-            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80,
-            0x70, 0xb4, 0xc5, 0x5a,
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
         ];
         let rks = key_expand(key);
         let mut st = Vreg::<u8>::from_lanes(W, &pt);
@@ -364,17 +357,16 @@ mod tests {
 
     /// SHA-256 round constants.
     pub(super) const K: [u32; 64] = [
-        0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
-        0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
-        0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
-        0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
-        0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
-        0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
-        0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
-        0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
-        0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
-        0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
-        0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+        0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+        0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+        0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+        0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+        0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+        0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+        0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+        0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+        0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+        0xc67178f2,
     ];
 
     #[test]
@@ -388,19 +380,13 @@ mod tests {
             .map(|i| Vreg::from_lanes(W, &block[4 * i..4 * i + 4]))
             .collect();
         for t in 4..16 {
-            let next = w[t - 4]
-                .sha256su0(w[t - 3])
-                .sha256su1(w[t - 2], w[t - 1]);
+            let next = w[t - 4].sha256su0(w[t - 3]).sha256su1(w[t - 2], w[t - 1]);
             w.push(next);
         }
-        let mut abcd = Vreg::<u32>::from_lanes(
-            W,
-            &[0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a],
-        );
-        let mut efgh = Vreg::<u32>::from_lanes(
-            W,
-            &[0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19],
-        );
+        let mut abcd =
+            Vreg::<u32>::from_lanes(W, &[0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a]);
+        let mut efgh =
+            Vreg::<u32>::from_lanes(W, &[0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19]);
         let (h0, h1) = (abcd, efgh);
         for t in 0..16 {
             let k = Vreg::<u32>::from_lanes(W, &K[4 * t..4 * t + 4]);
@@ -531,27 +517,75 @@ mod debug_tests2 {
 
 #[cfg(test)]
 mod debug_tests3 {
+    use super::tests::K;
     use super::*;
     use crate::width::Width;
-    use super::tests::K;
 
     const STATES: [[u32; 8]; 16] = [
-        [0xd550f666,0xc8c347a7,0x5a6ad9ad,0x5d6aebcd,0x24e00850,0xf92939eb,0x78ce7989,0xfa2a4622],
-        [0x85a07b5f,0xe5030380,0x2b4209f5,0x4409a6a,0xc657a79,0x9b27a401,0x714260ad,0x43ada245],
-        [0xf71fc5a9,0x4798a3f4,0x8c87346b,0x8e04ecb9,0x816fd6e9,0x436b23e8,0x1cc92596,0x32ca2d8c],
-        [0xb0fa238e,0xc0645fde,0xd932eb16,0x87912990,0x7590dcd,0xb92f20c,0x745a48de,0x1e578218],
-        [0xe1f20c33,0xfe777bbf,0xc2fbd9d1,0x21da9a9b,0xb0638179,0xcc899961,0x846ee454,0x8034229c],
-        [0xc5d53d8d,0xa7a3623f,0xc2606d6d,0x9dc68b63,0xaa47c347,0x49f5114a,0xe1257970,0x8ada8930],
-        [0x77d37528,0xb62ec4bc,0xcde8037d,0x1c2c2838,0xedffbff8,0xc74c6516,0x14383d8e,0x2823ef91],
-        [0x73b33bf5,0xea992a22,0xa0060b30,0x363482c9,0xba591112,0x109ab3a,0xade79437,0x6112a3b7],
-        [0x65a0cfe4,0xa9a7738c,0xfe604df5,0x98e12507,0xf4b002d6,0x85f3833,0x59249dd3,0x9cd9f5f6],
-        [0x79ea687a,0x6dc57a8a,0x34df1604,0x41a65cb1,0x1efbc0a0,0xf0781bc8,0xa507a53d,0x772a26b],
-        [0x9d4baf93,0x17aa0dfe,0xdf46652f,0xd6670766,0xfda24c2e,0xdecd4715,0x838b2711,0x26352d63],
-        [0x4172328d,0xa14c14b0,0x72ab4b91,0x26628815,0xfecf0bc6,0xd57b94a9,0xb7755da1,0xa80f11f0],
-        [0x886e7a22,0x7a0508a1,0xf11bfaa8,0x5757ceb,0x49231c1e,0x52f1ccf7,0x6e5c390c,0xbd714038],
-        [0x38cc9913,0x3ec45cdb,0xf5702fdb,0x101fd28f,0x54cb266b,0xe50e1b4f,0x9f4787c3,0x529e7d00],
-        [0xb6ae8fff,0xffb70472,0xc062d46f,0xfcd1887b,0xb21bad3d,0x6d83bfc6,0x7e44008e,0x9b5e906c],
-        [0x506e3058,0xd39a2165,0x4d24d6c,0xb85e2ce9,0x5ef50f24,0xfb121210,0x948d25b6,0x961f4894],
+        [
+            0xd550f666, 0xc8c347a7, 0x5a6ad9ad, 0x5d6aebcd, 0x24e00850, 0xf92939eb, 0x78ce7989,
+            0xfa2a4622,
+        ],
+        [
+            0x85a07b5f, 0xe5030380, 0x2b4209f5, 0x4409a6a, 0xc657a79, 0x9b27a401, 0x714260ad,
+            0x43ada245,
+        ],
+        [
+            0xf71fc5a9, 0x4798a3f4, 0x8c87346b, 0x8e04ecb9, 0x816fd6e9, 0x436b23e8, 0x1cc92596,
+            0x32ca2d8c,
+        ],
+        [
+            0xb0fa238e, 0xc0645fde, 0xd932eb16, 0x87912990, 0x7590dcd, 0xb92f20c, 0x745a48de,
+            0x1e578218,
+        ],
+        [
+            0xe1f20c33, 0xfe777bbf, 0xc2fbd9d1, 0x21da9a9b, 0xb0638179, 0xcc899961, 0x846ee454,
+            0x8034229c,
+        ],
+        [
+            0xc5d53d8d, 0xa7a3623f, 0xc2606d6d, 0x9dc68b63, 0xaa47c347, 0x49f5114a, 0xe1257970,
+            0x8ada8930,
+        ],
+        [
+            0x77d37528, 0xb62ec4bc, 0xcde8037d, 0x1c2c2838, 0xedffbff8, 0xc74c6516, 0x14383d8e,
+            0x2823ef91,
+        ],
+        [
+            0x73b33bf5, 0xea992a22, 0xa0060b30, 0x363482c9, 0xba591112, 0x109ab3a, 0xade79437,
+            0x6112a3b7,
+        ],
+        [
+            0x65a0cfe4, 0xa9a7738c, 0xfe604df5, 0x98e12507, 0xf4b002d6, 0x85f3833, 0x59249dd3,
+            0x9cd9f5f6,
+        ],
+        [
+            0x79ea687a, 0x6dc57a8a, 0x34df1604, 0x41a65cb1, 0x1efbc0a0, 0xf0781bc8, 0xa507a53d,
+            0x772a26b,
+        ],
+        [
+            0x9d4baf93, 0x17aa0dfe, 0xdf46652f, 0xd6670766, 0xfda24c2e, 0xdecd4715, 0x838b2711,
+            0x26352d63,
+        ],
+        [
+            0x4172328d, 0xa14c14b0, 0x72ab4b91, 0x26628815, 0xfecf0bc6, 0xd57b94a9, 0xb7755da1,
+            0xa80f11f0,
+        ],
+        [
+            0x886e7a22, 0x7a0508a1, 0xf11bfaa8, 0x5757ceb, 0x49231c1e, 0x52f1ccf7, 0x6e5c390c,
+            0xbd714038,
+        ],
+        [
+            0x38cc9913, 0x3ec45cdb, 0xf5702fdb, 0x101fd28f, 0x54cb266b, 0xe50e1b4f, 0x9f4787c3,
+            0x529e7d00,
+        ],
+        [
+            0xb6ae8fff, 0xffb70472, 0xc062d46f, 0xfcd1887b, 0xb21bad3d, 0x6d83bfc6, 0x7e44008e,
+            0x9b5e906c,
+        ],
+        [
+            0x506e3058, 0xd39a2165, 0x4d24d6c, 0xb85e2ce9, 0x5ef50f24, 0xfb121210, 0x948d25b6,
+            0x961f4894,
+        ],
     ];
 
     #[test]

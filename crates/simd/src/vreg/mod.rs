@@ -120,19 +120,24 @@ impl<T: Elem> Vreg<T> {
 
     /// Build a register from explicit lane values (models a constant
     /// table materialization: one load from the literal pool).
+    ///
+    /// The traced memory reference is a synthetic, content-interned
+    /// literal-pool address — not the address of `vals` — so callers
+    /// may stage lane values in stack or heap temporaries without
+    /// making the trace depend on where those temporaries live.
     pub fn from_lanes(w: Width, vals: &[T]) -> Vreg<T> {
         let (mut l, n) = Self::empty(w.lanes::<T>());
         assert_eq!(vals.len(), n as usize, "lane count mismatch");
         l[..n as usize].copy_from_slice(vals);
-        let id = trace::emit(
-            Op::VLd1,
-            Class::VLoad,
-            &[],
-            Some(MemRef {
-                addr: vals.as_ptr() as u64,
-                bytes: (n as usize * T::BYTES) as u32,
-            }),
-        );
+        let id = if trace::is_tracing() {
+            let mut content = Vec::with_capacity(vals.len() * T::BYTES);
+            for v in vals {
+                content.extend_from_slice(&v.to_bits().to_le_bytes()[..T::BYTES]);
+            }
+            trace::emit_literal(Op::VLd1, Class::VLoad, &content)
+        } else {
+            0
+        };
         Vreg { lanes: l, n, id }
     }
 
@@ -179,7 +184,10 @@ impl<T: Elem> Vreg<T> {
             Op::VSt1,
             Class::VStore,
             &[self.id],
-            Some(MemRef { addr, bytes: (nn * T::BYTES) as u32 }),
+            Some(MemRef {
+                addr,
+                bytes: (nn * T::BYTES) as u32,
+            }),
         );
     }
 
@@ -203,7 +211,11 @@ impl<T: Elem> Vreg<T> {
             for e in 0..n {
                 l[e] = src[off + e * R + r];
             }
-            Vreg { lanes: l, n: nn, id }
+            Vreg {
+                lanes: l,
+                n: nn,
+                id,
+            }
         })
     }
 
@@ -225,7 +237,10 @@ impl<T: Elem> Vreg<T> {
             op,
             Class::VStore,
             &srcs,
-            Some(MemRef { addr, bytes: (n * R * T::BYTES) as u32 }),
+            Some(MemRef {
+                addr,
+                bytes: (n * R * T::BYTES) as u32,
+            }),
         );
     }
 
@@ -277,7 +292,11 @@ impl<T: Elem> Vreg<T> {
         let mut l = self.lanes;
         l[i] = v.get();
         let id = trace::emit(Op::VSetLane, Class::VMisc, &[self.id, v.id()], None);
-        Vreg { lanes: l, n: self.n, id }
+        Vreg {
+            lanes: l,
+            n: self.n,
+            id,
+        }
     }
 
     /// Broadcast lane `i` to every lane (`DUP Vd, Vn[i]`).
@@ -418,7 +437,9 @@ impl<T: Elem> Vreg<T> {
 
     /// Lane absolute value (`VABS`).
     pub fn abs(&self) -> Vreg<T> {
-        self.un_op(Op::VAlu, vclass::<T>(), |a| T::zero().emax(a).emax(T::zero().wsub(a)))
+        self.un_op(Op::VAlu, vclass::<T>(), |a| {
+            T::zero().emax(a).emax(T::zero().wsub(a))
+        })
     }
 
     /// Lane-wise division (`FDIV`, float only in real Neon).
@@ -688,7 +709,7 @@ impl<T: Elem> Vreg<T> {
     /// `REV`: reverse lanes within groups of `group` lanes
     /// (`REV16/32/64` depending on `group * lane size`).
     pub fn rev(&self, group: usize) -> Vreg<T> {
-        assert!(group >= 2 && self.n() % group == 0);
+        assert!(group >= 2 && self.n().is_multiple_of(group));
         let (mut l, n) = Self::empty(self.n());
         for g in (0..self.n()).step_by(group) {
             for i in 0..group {
@@ -722,7 +743,10 @@ impl Vreg<u8> {
     ///
     /// Panics if `tables` is empty or longer than four registers.
     pub fn tbl(tables: &[Vreg<u8>], idx: Vreg<u8>) -> Vreg<u8> {
-        assert!(!tables.is_empty() && tables.len() <= 4, "TBL takes 1-4 table registers");
+        assert!(
+            !tables.is_empty() && tables.len() <= 4,
+            "TBL takes 1-4 table registers"
+        );
         let n = idx.n();
         let (mut l, nn) = Self::empty(n);
         let tn = tables[0].n();
@@ -737,7 +761,11 @@ impl Vreg<u8> {
         let mut srcs: Vec<u32> = tables.iter().map(|t| t.id).collect();
         srcs.push(idx.id);
         let id = trace::emit(Op::VTbl, Class::VMisc, &srcs, None);
-        Vreg { lanes: l, n: nn, id }
+        Vreg {
+            lanes: l,
+            n: nn,
+            id,
+        }
     }
 }
 
@@ -812,7 +840,9 @@ mod tests {
 
     #[test]
     fn compare_and_bsl_if_conversion() {
-        let a = v8(&[1, 200, 3, 200, 5, 200, 7, 200, 9, 200, 11, 200, 13, 200, 15, 200]);
+        let a = v8(&[
+            1, 200, 3, 200, 5, 200, 7, 200, 9, 200, 11, 200, 13, 200, 15, 200,
+        ]);
         let hi = Vreg::<u8>::splat(W, 100);
         let mask = a.gt_mask(hi);
         let sel = mask.bsl(hi, a); // clamp to 100
@@ -824,7 +854,9 @@ mod tests {
     #[test]
     fn zip_uzp_inverse() {
         let a = v8(&[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15]);
-        let b = v8(&[16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31]);
+        let b = v8(&[
+            16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31,
+        ]);
         let lo = a.zip_lo(b);
         let hi = a.zip_hi(b);
         assert_eq!(lo.lanes()[..4], [0, 16, 1, 17]);
@@ -846,7 +878,9 @@ mod tests {
 
     #[test]
     fn tbl_out_of_range_is_zero() {
-        let table = v8(&[10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25]);
+        let table = v8(&[
+            10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25,
+        ]);
         let idx = v8(&[0, 15, 16, 255, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12]);
         let r = Vreg::tbl(&[table], idx);
         assert_eq!(r.lane_value(0), 10);

@@ -42,9 +42,24 @@ impl MemConfig {
     /// LLC 2 MiB/8-way/31 cycles.
     pub fn snapdragon855() -> MemConfig {
         MemConfig {
-            l1d: CacheConfig { size: 64 << 10, ways: 4, line: 64, latency: 4 },
-            l2: CacheConfig { size: 512 << 10, ways: 8, line: 64, latency: 9 },
-            llc: CacheConfig { size: 2 << 20, ways: 8, line: 64, latency: 31 },
+            l1d: CacheConfig {
+                size: 64 << 10,
+                ways: 4,
+                line: 64,
+                latency: 4,
+            },
+            l2: CacheConfig {
+                size: 512 << 10,
+                ways: 8,
+                line: 64,
+                latency: 9,
+            },
+            llc: CacheConfig {
+                size: 2 << 20,
+                ways: 8,
+                line: 64,
+                latency: 31,
+            },
             dram_latency: 130,
             prefetch_degree: 3,
         }
@@ -92,7 +107,11 @@ struct Level {
 impl Level {
     fn new(cfg: CacheConfig) -> Level {
         let sets = vec![Vec::new(); cfg.sets()];
-        Level { cfg, sets, stats: CacheStats::default() }
+        Level {
+            cfg,
+            sets,
+            stats: CacheStats::default(),
+        }
     }
 
     fn set_index(&self, line_addr: u64) -> usize {
@@ -266,9 +285,24 @@ mod tests {
     fn tiny() -> CacheHierarchy {
         // 4 lines of 64B, direct-ish: L1 2 sets x 2 ways.
         CacheHierarchy::new(&MemConfig {
-            l1d: CacheConfig { size: 256, ways: 2, line: 64, latency: 4 },
-            l2: CacheConfig { size: 1024, ways: 2, line: 64, latency: 9 },
-            llc: CacheConfig { size: 4096, ways: 4, line: 64, latency: 31 },
+            l1d: CacheConfig {
+                size: 256,
+                ways: 2,
+                line: 64,
+                latency: 4,
+            },
+            l2: CacheConfig {
+                size: 1024,
+                ways: 2,
+                line: 64,
+                latency: 9,
+            },
+            llc: CacheConfig {
+                size: 4096,
+                ways: 4,
+                line: 64,
+                latency: 31,
+            },
             dram_latency: 100,
             prefetch_degree: 0,
         })
@@ -349,9 +383,24 @@ mod tests {
     fn inclusive_llc_eviction_invalidates_inner() {
         // LLC with 1 set x 2 ways so evictions are easy to force.
         let mut h = CacheHierarchy::new(&MemConfig {
-            l1d: CacheConfig { size: 128, ways: 2, line: 64, latency: 4 },
-            l2: CacheConfig { size: 128, ways: 2, line: 64, latency: 9 },
-            llc: CacheConfig { size: 128, ways: 2, line: 64, latency: 31 },
+            l1d: CacheConfig {
+                size: 128,
+                ways: 2,
+                line: 64,
+                latency: 4,
+            },
+            l2: CacheConfig {
+                size: 128,
+                ways: 2,
+                line: 64,
+                latency: 9,
+            },
+            llc: CacheConfig {
+                size: 128,
+                ways: 2,
+                line: 64,
+                latency: 31,
+            },
             dram_latency: 100,
             prefetch_degree: 0,
         });
@@ -373,7 +422,10 @@ mod tests {
 
     #[test]
     fn mpki_math() {
-        let s = CacheStats { accesses: 100, misses: 10 };
+        let s = CacheStats {
+            accesses: 100,
+            misses: 10,
+        };
         assert!((s.miss_rate() - 0.1).abs() < 1e-12);
         assert!((s.mpki(10_000) - 1.0).abs() < 1e-12);
     }

@@ -12,7 +12,8 @@
 
 use crate::cache::{CacheHierarchy, CacheStats};
 use crate::config::CoreConfig;
-use swan_simd::{Op, TraceData};
+use swan_simd::trace::{CLASS_COUNT, OP_COUNT};
+use swan_simd::{Op, TraceData, TraceInstr, TraceSink};
 
 /// Functional-unit pools.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -68,22 +69,37 @@ fn op_cost(op: Op) -> (Fu, u32, bool) {
 
 /// Ring buffer mapping value ids to completion cycles. Ids are
 /// monotonically increasing; entries older than the ring are treated
-/// as long-since complete, which is exact for any dependence distance
-/// below the ring size (far larger than any ROB).
+/// as long-since complete. This is exact as long as the ring covers
+/// the ROB window: dispatch of instruction `i` waits for the commit
+/// of instruction `i - rob` (the `rob_ring` below), commit is
+/// monotone and bounds completion, so any producer more than `rob`
+/// instructions back has completed before `i` can dispatch and its
+/// exact completion time cannot matter. Ids advance by one per
+/// instruction, so a ring of a few multiples of `rob` is
+/// collision-free over that window — O(core window) state instead of
+/// the megabyte-scale table a trace-length ring would need.
 struct ReadyRing {
     times: Vec<u64>,
     ids: Vec<u32>,
+    mask: usize,
 }
 
-const RING: usize = 1 << 20;
-
 impl ReadyRing {
-    fn new() -> ReadyRing {
-        ReadyRing { times: vec![0; RING], ids: vec![0; RING] }
+    fn new(rob: usize) -> ReadyRing {
+        ReadyRing::with_size((rob * 4).next_power_of_two().max(1024))
+    }
+
+    fn with_size(size: usize) -> ReadyRing {
+        debug_assert!(size.is_power_of_two());
+        ReadyRing {
+            times: vec![0; size],
+            ids: vec![0; size],
+            mask: size - 1,
+        }
     }
 
     fn set(&mut self, id: u32, t: u64) {
-        let slot = id as usize & (RING - 1);
+        let slot = id as usize & self.mask;
         self.times[slot] = t;
         self.ids[slot] = id;
     }
@@ -92,7 +108,7 @@ impl ReadyRing {
         if id == 0 {
             return 0;
         }
-        let slot = id as usize & (RING - 1);
+        let slot = id as usize & self.mask;
         if self.ids[slot] == id {
             self.times[slot]
         } else {
@@ -102,7 +118,11 @@ impl ReadyRing {
 }
 
 /// Result of simulating one trace on one core.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares all fields exactly; the simulator is
+/// deterministic, so streaming and batch runs of the same instruction
+/// stream must compare equal.
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimResult {
     /// Total cycles from first fetch to last commit.
     pub cycles: u64,
@@ -155,173 +175,395 @@ impl SimResult {
     }
 }
 
+/// Per-run scheduler state of the incremental core model. Reset by
+/// [`CoreModel::begin_timed`]; advanced one instruction at a time by
+/// [`CoreModel::step`]. This is the entire O(core window) resident
+/// state of a measurement — the trace itself is never materialized.
+struct Sched {
+    ready: ReadyRing,
+    // Functional-unit pools: next-free cycle per unit.
+    alu: Vec<u64>,
+    asimd: Vec<u64>,
+    ld: Vec<u64>,
+    st: Vec<u64>,
+    // Fetch group accounting.
+    fetch_cycle: u64,
+    fetched_in_cycle: u32,
+    // Commit accounting (in order).
+    commit_cycle: u64,
+    committed_in_cycle: u32,
+    last_commit: u64,
+    // ROB occupancy: commit cycles of the last `rob` instructions.
+    rob_ring: Vec<u64>,
+    idx: usize,
+    last_issue: u64,
+    fe_stalls: u64,
+    be_stalls: u64,
+    be_mark: u64,
+    branch_seed: u64,
+    // Dynamic-instruction histograms accumulated from the stream.
+    by_op: [u64; OP_COUNT],
+    by_class: [u64; CLASS_COUNT],
+}
+
+impl Sched {
+    fn new(cfg: &CoreConfig) -> Sched {
+        Sched {
+            ready: ReadyRing::new(cfg.rob as usize),
+            alu: vec![0; cfg.scalar_alus as usize],
+            asimd: vec![0; cfg.asimd_units as usize],
+            ld: vec![0; cfg.load_units as usize],
+            st: vec![0; cfg.store_units as usize],
+            fetch_cycle: 0,
+            fetched_in_cycle: 0,
+            commit_cycle: 0,
+            committed_in_cycle: 0,
+            last_commit: 0,
+            rob_ring: vec![0; cfg.rob as usize],
+            idx: 0,
+            last_issue: 0,
+            fe_stalls: 0,
+            be_stalls: 0,
+            be_mark: 0,
+            branch_seed: 0x9e3779b97f4a7c15,
+            by_op: [0; OP_COUNT],
+            by_class: [0; CLASS_COUNT],
+        }
+    }
+
+    fn reset(&mut self) {
+        self.ready.times.fill(0);
+        self.ready.ids.fill(0);
+        self.alu.fill(0);
+        self.asimd.fill(0);
+        self.ld.fill(0);
+        self.st.fill(0);
+        self.fetch_cycle = 0;
+        self.fetched_in_cycle = 0;
+        self.commit_cycle = 0;
+        self.committed_in_cycle = 0;
+        self.last_commit = 0;
+        self.rob_ring.fill(0);
+        self.idx = 0;
+        self.last_issue = 0;
+        self.fe_stalls = 0;
+        self.be_stalls = 0;
+        self.be_mark = 0;
+        self.branch_seed = 0x9e3779b97f4a7c15;
+        self.by_op = [0; OP_COUNT];
+        self.by_class = [0; CLASS_COUNT];
+    }
+}
+
+/// Simulation phase of an incremental model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Only the memory reference stream touches the caches (the
+    /// paper's pre-measurement cache warming, §4.3).
+    Warm,
+    /// Full timed scheduling.
+    Timed,
+}
+
 /// The trace-driven core model (caches persist across runs so a warm-up
-/// replay can precede the timed run).
-#[derive(Debug)]
+/// pass can precede the timed run).
+///
+/// The model is *incremental*: it implements [`TraceSink`], consuming
+/// dynamic instructions one at a time as a kernel executes under
+/// [`swan_simd::trace::stream_into`]. The classic batch entry points
+/// ([`CoreModel::warm`], [`CoreModel::run`]) are thin wrappers that
+/// replay a materialized [`TraceData`] through the same incremental
+/// path, so streaming and batch simulation are bit-identical.
 pub struct CoreModel {
     cfg: CoreConfig,
     caches: CacheHierarchy,
+    phase: Phase,
+    sched: Sched,
+}
+
+impl std::fmt::Debug for CoreModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoreModel")
+            .field("cfg", &self.cfg.name)
+            .field("phase", &self.phase)
+            .field("instrs", &self.sched.idx)
+            .finish()
+    }
 }
 
 impl CoreModel {
-    /// Create a model with cold caches.
+    /// Create a model with cold caches, ready for a timed run.
     pub fn new(cfg: CoreConfig) -> CoreModel {
         let caches = CacheHierarchy::new(&cfg.mem);
-        CoreModel { cfg, caches }
+        let sched = Sched::new(&cfg);
+        CoreModel {
+            cfg,
+            caches,
+            phase: Phase::Timed,
+            sched,
+        }
     }
 
-    /// Replay only the memory reference stream to warm the caches
-    /// (no timing, no statistics).
-    pub fn warm(&mut self, trace: &TraceData) {
-        for ins in &trace.instrs {
+    /// The configuration this model simulates.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Test hook: a model with an explicitly sized ready ring, for
+    /// checking that the ROB-bounded default ring is exact.
+    #[cfg(test)]
+    fn with_ready_ring(cfg: CoreConfig, size: usize) -> CoreModel {
+        let mut m = CoreModel::new(cfg);
+        m.sched.ready = ReadyRing::with_size(size);
+        m
+    }
+
+    /// Enter the warm-up phase: subsequent [`CoreModel::step`]s replay
+    /// only the memory reference stream into the caches (no timing).
+    pub fn begin_warm(&mut self) {
+        self.phase = Phase::Warm;
+    }
+
+    /// Enter (or restart) the timed phase: scheduler state and cache
+    /// *statistics* are reset; cache *contents* persist, so a completed
+    /// warm-up pass carries over exactly as in the batch flow.
+    pub fn begin_timed(&mut self) {
+        self.sched.reset();
+        self.caches.reset_stats();
+        self.phase = Phase::Timed;
+    }
+
+    /// Consume one dynamic instruction (warm or timed, per phase).
+    #[inline]
+    pub fn step(&mut self, ins: &TraceInstr) {
+        if self.phase == Phase::Warm {
             if let Some(m) = ins.mem {
                 self.caches.access(m.addr, m.bytes);
             }
+            return;
         }
-        self.caches.reset_stats();
+        let cfg = &self.cfg;
+        let s = &mut self.sched;
+        s.by_op[ins.op as usize] += 1;
+        s.by_class[ins.class as usize] += 1;
+
+        // --- fetch/decode ---
+        if s.fetched_in_cycle >= cfg.decode_width {
+            s.fetch_cycle += 1;
+            s.fetched_in_cycle = 0;
+        }
+        s.fetched_in_cycle += 1;
+
+        // --- dispatch: ROB space ---
+        let rob = s.rob_ring.len();
+        let rob_free = s.rob_ring[s.idx % rob];
+        let mut dispatch = s.fetch_cycle;
+        if rob_free > dispatch {
+            // Attribute the blocked interval once (intervals are
+            // monotone in program order, so `be_mark` dedups).
+            let start = dispatch.max(s.be_mark);
+            if rob_free > start {
+                s.be_stalls += rob_free - start;
+            }
+            s.be_mark = s.be_mark.max(rob_free);
+            dispatch = rob_free;
+            // Fetch stream also pauses while dispatch is blocked.
+            s.fetch_cycle = dispatch;
+            s.fetched_in_cycle = 1;
+        }
+
+        // --- operand readiness ---
+        let mut ready_at = dispatch;
+        for i in 0..ins.nsrc as usize {
+            ready_at = ready_at.max(s.ready.get(ins.srcs[i]));
+        }
+
+        // --- issue: structural hazard on the unit pool ---
+        let (fu, lat, blocking) = op_cost(ins.op);
+        if cfg.in_order {
+            ready_at = ready_at.max(s.last_issue);
+        }
+        let pool: &mut Vec<u64> = match fu {
+            Fu::Alu => &mut s.alu,
+            Fu::Asimd => &mut s.asimd,
+            Fu::Load => &mut s.ld,
+            Fu::Store => &mut s.st,
+        };
+        let (ui, unit_free) = pool
+            .iter()
+            .enumerate()
+            .map(|(u, &t)| (u, t))
+            .min_by_key(|&(_, t)| t)
+            .expect("unit pool is never empty");
+        let issue = ready_at.max(unit_free);
+        s.last_issue = issue;
+
+        // --- execute ---
+        let exec_lat = if ins.op.is_load() {
+            let m = ins.mem.expect("load without memory reference");
+            lat + self.caches.access(m.addr, m.bytes)
+        } else if ins.op.is_store() {
+            let m = ins.mem.expect("store without memory reference");
+            self.caches.access(m.addr, m.bytes);
+            lat // store buffer hides the cache latency
+        } else {
+            lat.max(1)
+        };
+        pool[ui] = issue + if blocking { exec_lat as u64 } else { 1 };
+        let complete = issue + exec_lat as u64;
+        s.ready.set(ins.dst, complete);
+
+        // --- branch misprediction: front-end bubble ---
+        if ins.op == Op::SBranch && ins.nsrc > 0 {
+            s.branch_seed = s
+                .branch_seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if (s.branch_seed >> 33) % 1000 < cfg.mispredict_per_mille as u64 {
+                let redirect = complete + cfg.mispredict_penalty as u64;
+                if redirect > s.fetch_cycle {
+                    s.fe_stalls += redirect - s.fetch_cycle;
+                    s.fetch_cycle = redirect;
+                    s.fetched_in_cycle = 0;
+                }
+            }
+        }
+
+        // --- commit: in order, width-limited ---
+        let mut c = complete.max(s.commit_cycle);
+        if c == s.commit_cycle && s.committed_in_cycle >= cfg.commit_width {
+            c += 1;
+        }
+        if c > s.commit_cycle {
+            s.commit_cycle = c;
+            s.committed_in_cycle = 0;
+        }
+        s.committed_in_cycle += 1;
+        s.rob_ring[s.idx % rob] = c;
+        s.last_commit = c;
+        s.idx += 1;
     }
 
-    /// Timed simulation of the trace. Returns aggregate statistics;
-    /// cache contents persist for subsequent runs.
-    pub fn run(&mut self, trace: &TraceData) -> SimResult {
-        let cfg = self.cfg.clone();
-        let mut ready = ReadyRing::new();
-
-        // Functional-unit pools: next-free cycle per unit.
-        let mut alu = vec![0u64; cfg.scalar_alus as usize];
-        let mut asimd = vec![0u64; cfg.asimd_units as usize];
-        let mut ld = vec![0u64; cfg.load_units as usize];
-        let mut st = vec![0u64; cfg.store_units as usize];
-
-        // Fetch group accounting.
-        let mut fetch_cycle = 0u64;
-        let mut fetched_in_cycle = 0u32;
-        // Commit accounting (in order).
-        let mut commit_cycle = 0u64;
-        let mut committed_in_cycle = 0u32;
-        let mut last_commit = 0u64;
-        // ROB occupancy: commit cycles of the last `rob` instructions.
-        let rob = cfg.rob as usize;
-        let mut rob_ring = vec![0u64; rob];
-        let mut last_issue = 0u64;
-        let mut fe_stalls = 0u64;
-        let mut be_stalls = 0u64;
-        let mut be_mark = 0u64;
-        let mut branch_seed = 0x9e3779b97f4a7c15u64;
-
-        for (i, ins) in trace.instrs.iter().enumerate() {
-            // --- fetch/decode ---
-            if fetched_in_cycle >= cfg.decode_width {
-                fetch_cycle += 1;
-                fetched_in_cycle = 0;
-            }
-            fetched_in_cycle += 1;
-
-            // --- dispatch: ROB space ---
-            let rob_free = rob_ring[i % rob];
-            let mut dispatch = fetch_cycle;
-            if rob_free > dispatch {
-                // Attribute the blocked interval once (intervals are
-                // monotone in program order, so `be_mark` dedups).
-                let start = dispatch.max(be_mark);
-                if rob_free > start {
-                    be_stalls += rob_free - start;
-                }
-                be_mark = be_mark.max(rob_free);
-                dispatch = rob_free;
-                // Fetch stream also pauses while dispatch is blocked.
-                fetch_cycle = dispatch;
-                fetched_in_cycle = 1;
-            }
-
-            // --- operand readiness ---
-            let mut ready_at = dispatch;
-            for s in 0..ins.nsrc as usize {
-                ready_at = ready_at.max(ready.get(ins.srcs[s]));
-            }
-
-            // --- issue: structural hazard on the unit pool ---
-            let (fu, lat, blocking) = op_cost(ins.op);
-            if cfg.in_order {
-                ready_at = ready_at.max(last_issue);
-            }
-            let pool: &mut Vec<u64> = match fu {
-                Fu::Alu => &mut alu,
-                Fu::Asimd => &mut asimd,
-                Fu::Load => &mut ld,
-                Fu::Store => &mut st,
-            };
-            let (ui, unit_free) = pool
-                .iter()
-                .enumerate()
-                .map(|(u, &t)| (u, t))
-                .min_by_key(|&(_, t)| t)
-                .expect("unit pool is never empty");
-            let issue = ready_at.max(unit_free);
-            last_issue = issue;
-
-            // --- execute ---
-            let exec_lat = if ins.op.is_load() {
-                let m = ins.mem.expect("load without memory reference");
-                lat + self.caches.access(m.addr, m.bytes)
-            } else if ins.op.is_store() {
-                let m = ins.mem.expect("store without memory reference");
-                self.caches.access(m.addr, m.bytes);
-                lat // store buffer hides the cache latency
-            } else {
-                lat.max(1)
-            };
-            pool[ui] = issue + if blocking { exec_lat as u64 } else { 1 };
-            let complete = issue + exec_lat as u64;
-            ready.set(ins.dst, complete);
-
-            // --- branch misprediction: front-end bubble ---
-            if ins.op == Op::SBranch && ins.nsrc > 0 {
-                branch_seed = branch_seed
-                    .wrapping_mul(6364136223846793005)
-                    .wrapping_add(1442695040888963407);
-                if (branch_seed >> 33) % 1000 < cfg.mispredict_per_mille as u64 {
-                    let redirect = complete + cfg.mispredict_penalty as u64;
-                    if redirect > fetch_cycle {
-                        fe_stalls += redirect - fetch_cycle;
-                        fetch_cycle = redirect;
-                        fetched_in_cycle = 0;
-                    }
-                }
-            }
-
-            // --- commit: in order, width-limited ---
-            let mut c = complete.max(commit_cycle);
-            if c == commit_cycle {
-                if committed_in_cycle >= cfg.commit_width {
-                    c += 1;
-                }
-            }
-            if c > commit_cycle {
-                commit_cycle = c;
-                committed_in_cycle = 0;
-            }
-            committed_in_cycle += 1;
-            rob_ring[i % rob] = c;
-            last_commit = c;
-        }
-
-        let cycles = last_commit + 1;
+    /// Finish a timed run: aggregate statistics, reset the scheduler
+    /// and cache statistics for the next run. Cache contents persist.
+    pub fn finalize(&mut self) -> SimResult {
+        let s = &self.sched;
+        let cycles = s.last_commit + 1;
         let (l1d, l2, llc) = self.caches.stats();
         let dram = self.caches.dram_accesses();
-        self.caches.reset_stats();
-        SimResult {
+        let result = SimResult {
             cycles,
-            instrs: trace.instrs.len() as u64,
-            fe_stall_cycles: fe_stalls.min(cycles),
-            be_stall_cycles: be_stalls.min(cycles),
+            instrs: s.idx as u64,
+            fe_stall_cycles: s.fe_stalls.min(cycles),
+            be_stall_cycles: s.be_stalls.min(cycles),
             l1d,
             l2,
             llc,
             dram_accesses: dram,
-            seconds: cfg.cycles_to_seconds(cycles),
-            by_op: trace.by_op,
-            by_class: trace.by_class,
+            seconds: self.cfg.cycles_to_seconds(cycles),
+            by_op: s.by_op,
+            by_class: s.by_class,
+        };
+        self.caches.reset_stats();
+        self.sched.reset();
+        self.phase = Phase::Timed;
+        result
+    }
+
+    /// Replay only the memory reference stream of a materialized trace
+    /// to warm the caches (no timing, no statistics).
+    pub fn warm(&mut self, trace: &TraceData) {
+        self.begin_warm();
+        for ins in &trace.instrs {
+            self.step(ins);
+        }
+    }
+
+    /// Timed batch simulation of a materialized trace: a thin wrapper
+    /// over the incremental path ([`CoreModel::begin_timed`] +
+    /// [`CoreModel::step`] + [`CoreModel::finalize`]).
+    pub fn run(&mut self, trace: &TraceData) -> SimResult {
+        self.begin_timed();
+        for ins in &trace.instrs {
+            self.step(ins);
+        }
+        self.finalize()
+    }
+}
+
+impl TraceSink for CoreModel {
+    fn on_instr(&mut self, ins: &TraceInstr) {
+        self.step(ins);
+    }
+}
+
+/// Fan-out sink driving several core models from one functional
+/// execution: each dynamic instruction is stepped through every model,
+/// so N core configurations are measured from a single traced kernel
+/// run instead of N capture/replay round-trips.
+#[derive(Debug)]
+pub struct MultiCore {
+    models: Vec<CoreModel>,
+}
+
+impl MultiCore {
+    /// Build one cold model per configuration.
+    pub fn new(cfgs: &[CoreConfig]) -> MultiCore {
+        MultiCore {
+            models: cfgs.iter().map(|c| CoreModel::new(c.clone())).collect(),
+        }
+    }
+
+    /// Wrap existing models (cache state preserved).
+    pub fn from_models(models: Vec<CoreModel>) -> MultiCore {
+        MultiCore { models }
+    }
+
+    /// Number of driven models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the fan-out is empty.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Enter the cache warm-up phase on every model.
+    pub fn begin_warm(&mut self) {
+        for m in &mut self.models {
+            m.begin_warm();
+        }
+    }
+
+    /// Enter the timed phase on every model.
+    pub fn begin_timed(&mut self) {
+        for m in &mut self.models {
+            m.begin_timed();
+        }
+    }
+
+    /// Finish the timed run on every model, in configuration order.
+    pub fn finalize(&mut self) -> Vec<SimResult> {
+        self.models.iter_mut().map(|m| m.finalize()).collect()
+    }
+
+    /// Take the models back out.
+    pub fn into_models(self) -> Vec<CoreModel> {
+        self.models
+    }
+}
+
+impl TraceSink for MultiCore {
+    fn on_instr(&mut self, ins: &TraceInstr) {
+        for m in &mut self.models {
+            m.step(ins);
+        }
+    }
+
+    fn on_overhead(&mut self, op: Op, class: swan_simd::Class, first_id: u32, n: u64) {
+        for m in &mut self.models {
+            m.on_overhead(op, class, first_id, n);
         }
     }
 }
@@ -488,7 +730,10 @@ mod tests {
         let prime = crate::simulate(&t, &CoreConfig::prime());
         let gold = crate::simulate(&t, &CoreConfig::gold());
         assert_eq!(prime.cycles, gold.cycles, "same uarch, same cycles");
-        assert!(prime.seconds < gold.seconds, "2.8GHz beats 2.4GHz wall-clock");
+        assert!(
+            prime.seconds < gold.seconds,
+            "2.8GHz beats 2.4GHz wall-clock"
+        );
     }
 
     #[test]
@@ -528,5 +773,113 @@ mod tests {
             nsrc: 0,
             mem: Some(MemRef { addr, bytes: 4 }),
         }
+    }
+
+    /// A mixed trace exercising dependences, memory, branches, and
+    /// every structural hazard path.
+    fn mixed_trace() -> TraceData {
+        let data: Vec<i32> = (0..8192).collect();
+        let mut out = vec![0i32; 8192];
+        trace_of(|| {
+            let w = Width::W128;
+            let mut acc = Vreg::<i32>::zero(w);
+            for off in (0..8192).step_by(4) {
+                let v = Vreg::load(w, &data, off);
+                acc = acc.add(v.mul(v));
+                v.store(&mut out, off);
+                let i = swan_simd::scalar::lit(off as u32);
+                let _ = i + 4u32;
+            }
+            std::hint::black_box(acc.lane_value(0));
+        })
+    }
+
+    #[test]
+    fn streaming_steps_match_batch_run_bit_for_bit() {
+        let t = mixed_trace();
+        for cfg in [
+            CoreConfig::prime(),
+            CoreConfig::silver(),
+            CoreConfig::sweep(8, 8),
+        ] {
+            // Batch: warm replay + timed replay.
+            let batch = crate::simulate(&t, &cfg);
+            // Streaming: the same instructions stepped through the
+            // sink interface, warm phase then timed phase.
+            let mut m = CoreModel::new(cfg.clone());
+            m.begin_warm();
+            t.replay_into(&mut m);
+            m.begin_timed();
+            t.replay_into(&mut m);
+            let streamed = m.finalize();
+            assert_eq!(batch, streamed, "cfg {}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn multicore_fanout_matches_independent_models() {
+        let t = mixed_trace();
+        let cfgs = [
+            CoreConfig::prime(),
+            CoreConfig::gold(),
+            CoreConfig::silver(),
+        ];
+        let solo: Vec<SimResult> = cfgs.iter().map(|c| crate::simulate(&t, c)).collect();
+        let mut multi = MultiCore::new(&cfgs);
+        multi.begin_warm();
+        t.replay_into(&mut multi);
+        multi.begin_timed();
+        t.replay_into(&mut multi);
+        let fanned = multi.finalize();
+        assert_eq!(solo, fanned);
+    }
+
+    #[test]
+    fn rob_bounded_ready_ring_is_exact() {
+        // Dependence distances far beyond the ring: a splat constant
+        // referenced by every instruction of a long chain, plus the
+        // mixed trace. The ROB-sized ring must reproduce a
+        // trace-length ring bit for bit (producers older than the ROB
+        // window have always completed by dispatch).
+        let data: Vec<i32> = (0..4096).collect();
+        let long_range = trace_of(|| {
+            let w = Width::W128;
+            let one = Vreg::<i32>::splat(w, 1);
+            let mut a = Vreg::<i32>::zero(w);
+            for off in (0..40_000).step_by(4) {
+                let v = Vreg::load(w, &data, off % 4096);
+                a = a.add(one).add(v);
+            }
+            std::hint::black_box(a.lane_value(0));
+        });
+        for t in [&long_range, &mixed_trace()] {
+            for cfg in [CoreConfig::prime(), CoreConfig::silver()] {
+                let small = crate::simulate(t, &cfg);
+                let mut big = CoreModel::with_ready_ring(cfg.clone(), 1 << 20);
+                big.warm(t);
+                let big_r = big.run(t);
+                assert_eq!(small, big_r, "cfg {}", cfg.name);
+            }
+        }
+    }
+
+    #[test]
+    fn model_is_reusable_after_finalize() {
+        let t = mixed_trace();
+        let mut m = CoreModel::new(CoreConfig::prime());
+        let first = m.run(&t);
+        // Second run on a warmed cache: deterministic, and not slower
+        // bookkeeping-wise (same instruction count).
+        let second = m.run(&t);
+        assert_eq!(first.instrs, second.instrs);
+        assert!(
+            second.cycles <= first.cycles,
+            "warmed rerun can't be slower"
+        );
+        // A cold model warmed explicitly reproduces the warmed rerun.
+        let mut fresh = CoreModel::new(CoreConfig::prime());
+        fresh.warm(&t);
+        let warmed = fresh.run(&t);
+        assert_eq!(warmed, second);
     }
 }

@@ -69,20 +69,19 @@ impl EnergyBreakdown {
 impl EnergyModel {
     /// Energy for a simulated run on `cfg` with average active vector
     /// width `width_factor` (1.0 = 128-bit registers).
-    pub fn energy(
-        &self,
-        res: &SimResult,
-        cfg: &CoreConfig,
-        width_factor: f64,
-    ) -> EnergyBreakdown {
+    pub fn energy(&self, res: &SimResult, cfg: &CoreConfig, width_factor: f64) -> EnergyBreakdown {
         let mut core_pj = 0.0;
         for c in Class::ALL {
             let n = res.by_class[c as usize] as f64;
             core_pj += n * match c {
                 Class::SInt => self.scalar_pj,
                 Class::SFloat => self.scalar_fp_pj,
-                Class::VLoad | Class::VStore | Class::VInt | Class::VFloat
-                | Class::VCrypto | Class::VMisc => self.vector_pj * width_factor,
+                Class::VLoad
+                | Class::VStore
+                | Class::VInt
+                | Class::VFloat
+                | Class::VCrypto
+                | Class::VMisc => self.vector_pj * width_factor,
             };
         }
         debug_assert_eq!(CLASS_COUNT, 8);
@@ -100,12 +99,7 @@ impl EnergyModel {
     }
 
     /// Average chip power in watts for a simulated run.
-    pub fn power_watts(
-        &self,
-        res: &SimResult,
-        cfg: &CoreConfig,
-        width_factor: f64,
-    ) -> f64 {
+    pub fn power_watts(&self, res: &SimResult, cfg: &CoreConfig, width_factor: f64) -> f64 {
         if res.seconds == 0.0 {
             return 0.0;
         }
@@ -140,7 +134,10 @@ mod tests {
         });
         let m = EnergyModel::default();
         let p = m.power_watts(&r, &CoreConfig::prime(), 1.0);
-        assert!(p > 0.3 && p < 4.0, "power {p} W outside plausible mobile band");
+        assert!(
+            p > 0.3 && p < 4.0,
+            "power {p} W outside plausible mobile band"
+        );
     }
 
     #[test]

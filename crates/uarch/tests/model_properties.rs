@@ -13,7 +13,10 @@ fn synth_trace(n: u32, loads: bool, chain: bool) -> TraceData {
             (
                 Op::SLoad,
                 Class::SInt,
-                Some(MemRef { addr: (i as u64 % 256) * 64, bytes: 4 }),
+                Some(MemRef {
+                    addr: (i as u64 % 256) * 64,
+                    bytes: 4,
+                }),
             )
         } else {
             (Op::SAlu, Class::SInt, None)

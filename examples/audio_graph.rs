@@ -14,7 +14,13 @@ use swan_core::Library;
 fn main() {
     let scale = Scale::quick();
     let prime = CoreConfig::prime();
-    let graph = ["merge_channels", "gain", "convolve_fir", "vector_clip", "audible"];
+    let graph = [
+        "merge_channels",
+        "gain",
+        "convolve_fir",
+        "vector_clip",
+        "audible",
+    ];
     let kernels = swan::suite();
     let gpu = GpuModel::default();
     let dsp = DspModel::default();

@@ -1,0 +1,43 @@
+//! Parallel suite campaign: measure a kernel subset across worker
+//! threads with [`SuiteRunner`] and print the per-library speedup
+//! summary — the multi-threaded path `swan-report --threads N` uses
+//! for the full 59-kernel campaign.
+//!
+//! ```text
+//! cargo run --release --example campaign [threads]
+//! ```
+
+use std::collections::BTreeMap;
+use swan::prelude::*;
+use swan_core::report::library_speedups;
+
+fn main() {
+    let threads: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("thread count"))
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let kernels = swan::suite();
+    println!(
+        "campaign over {} kernels on {threads} thread{}...",
+        kernels.len(),
+        if threads == 1 { "" } else { "s" }
+    );
+
+    let t0 = std::time::Instant::now();
+    let done = std::sync::atomic::AtomicUsize::new(0);
+    let suite = SuiteRunner::new(Scale::test(), 42)
+        .threads(threads)
+        .run(&kernels, |msg| {
+            let n = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+            eprintln!("  [{n:>2}/{}] {msg}", kernels.len());
+        });
+    println!("campaign finished in {:.1}s\n", t0.elapsed().as_secs_f32());
+
+    let speedups: BTreeMap<Library, f64> = library_speedups(&suite);
+    println!("{:<6} {:>14}", "lib", "Neon perf(x)");
+    for (lib, s) in &speedups {
+        println!("{:<6} {:>14.2}", lib.to_string(), s);
+    }
+    let geomean = speedups.values().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64;
+    println!("\nsuite geomean speedup: {:.2}x", geomean.exp());
+}

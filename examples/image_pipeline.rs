@@ -23,11 +23,16 @@ fn main() {
     let mut total_scalar = 0.0;
     let mut total_neon = 0.0;
     println!("image pipeline (HD-width rows, scaled inputs):\n");
-    println!("{:<24} {:>12} {:>12} {:>9}", "stage", "scalar(us)", "neon(us)", "speedup");
+    println!(
+        "{:<24} {:>12} {:>12} {:>9}",
+        "stage", "scalar(us)", "neon(us)", "speedup"
+    );
     for (lib, name) in pipeline {
         let k = kernels
             .iter()
-            .find(|k| k.meta().library == Library::from_symbol(lib).unwrap() && k.meta().name == name)
+            .find(|k| {
+                k.meta().library == Library::from_symbol(lib).unwrap() && k.meta().name == name
+            })
             .expect("pipeline kernel exists");
         let s = measure(k.as_ref(), Impl::Scalar, Width::W128, &prime, scale, 7);
         let v = measure(k.as_ref(), Impl::Neon, Width::W128, &prime, scale, 7);

@@ -18,17 +18,25 @@ fn main() {
     let layers = conv_layers();
     println!("CNN layer offload advisor (dense FP32 GEMM):\n");
     println!(
-        "{:>4} {:>22} {:>10} {:>11} {:>11}  {}",
-        "#", "layer (MxKxN)", "MACs", "Neon (us)", "GPU (us)", "advice"
+        "{:>4} {:>22} {:>10} {:>11} {:>11}  advice",
+        "#", "layer (MxKxN)", "MACs", "Neon (us)", "GPU (us)"
     );
     let mut crossover: Option<u64> = None;
     // Measure a denser ladder for the crossover, print sparsely.
     for (i, s) in layers.iter().enumerate().step_by(13) {
-        let kernel = GemmF32::with_shape(Shape { m: s.m, k: s.k, n: s.n });
+        let kernel = GemmF32::with_shape(Shape {
+            m: s.m,
+            k: s.k,
+            n: s.n,
+        });
         let (tr, macs) = capture(&kernel, Impl::Neon, Width::W128, Scale(1.0), 9);
         let neon = simulate_trace(&tr, &prime, 1.0, macs);
         let gpu_t = gpu.gemm_time(macs).seconds().unwrap();
-        let advice = if neon.seconds() <= gpu_t { "keep on Neon" } else { "offload to GPU" };
+        let advice = if neon.seconds() <= gpu_t {
+            "keep on Neon"
+        } else {
+            "offload to GPU"
+        };
         if gpu_t < neon.seconds() && crossover.is_none() {
             // Refine: effective Neon rate is ~constant, so solve
             // overhead = m*(1/neon_rate - 1/gpu_rate).

@@ -7,7 +7,9 @@
 use swan::prelude::*;
 
 fn main() {
-    let target = std::env::args().nth(1).unwrap_or_else(|| "ZL.adler32".into());
+    let target = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "ZL.adler32".into());
     let kernels = swan::suite();
     let kernel = kernels
         .iter()
@@ -21,7 +23,11 @@ fn main() {
         });
     let meta = kernel.meta();
     println!("kernel     : {} ({})", meta.id(), meta.library.info().name);
-    println!("precision  : {} bits (VRE at 128-bit = {})", meta.precision_bits, meta.vre(Width::W128));
+    println!(
+        "precision  : {} bits (VRE at 128-bit = {})",
+        meta.precision_bits,
+        meta.vre(Width::W128)
+    );
 
     // Correctness first: Scalar and every Neon width must agree.
     verify_kernel(kernel.as_ref(), Scale::test(), 42).expect("outputs match");
@@ -29,11 +35,21 @@ fn main() {
 
     let prime = CoreConfig::prime();
     let scale = Scale::quick();
-    let scalar = measure(kernel.as_ref(), Impl::Scalar, Width::W128, &prime, scale, 42);
+    let scalar = measure(
+        kernel.as_ref(),
+        Impl::Scalar,
+        Width::W128,
+        &prime,
+        scale,
+        42,
+    );
     let auto = measure(kernel.as_ref(), Impl::Auto, Width::W128, &prime, scale, 42);
     let neon = measure(kernel.as_ref(), Impl::Neon, Width::W128, &prime, scale, 42);
 
-    println!("\n{:<8} {:>12} {:>10} {:>8} {:>10} {:>10}", "impl", "instrs", "cycles", "IPC", "time(us)", "power(W)");
+    println!(
+        "\n{:<8} {:>12} {:>10} {:>8} {:>10} {:>10}",
+        "impl", "instrs", "cycles", "IPC", "time(us)", "power(W)"
+    );
     for (name, m) in [("Scalar", &scalar), ("Auto", &auto), ("Neon", &neon)] {
         println!(
             "{:<8} {:>12} {:>10} {:>8.2} {:>10.1} {:>10.2}",
@@ -51,4 +67,23 @@ fn main() {
         scalar.trace.total() as f64 / neon.trace.total() as f64,
         scalar.energy_j / neon.energy_j
     );
+
+    // The streaming fan-out: one traced execution pair drives several
+    // core models at once (no materialized trace, no re-capture).
+    let cores = [
+        CoreConfig::prime(),
+        CoreConfig::gold(),
+        CoreConfig::silver(),
+    ];
+    let multi = measure_multi(kernel.as_ref(), Impl::Neon, Width::W128, &cores, scale, 42);
+    println!("\nNeon across cores (single traced execution):");
+    for (cfg, m) in cores.iter().zip(&multi) {
+        println!(
+            "  {:<28} {:>10} cycles {:>9.1} us {:>7.2} W",
+            cfg.name,
+            m.sim.cycles,
+            m.seconds() * 1e6,
+            m.power_w
+        );
+    }
 }

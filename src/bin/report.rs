@@ -3,22 +3,24 @@
 //! Usage:
 //!
 //! ```text
-//! swan-report [--quick | --scale F] [--seed N] <what>...
+//! swan-report [--quick | --scale F] [--seed N] [--threads N] <what>...
 //! ```
 //!
 //! where `<what>` is any of `tab2 tab3 fig1 fig2 fig3 tab4 tab5 fig4
 //! fig5a fig5b tab6 tab7 fig6 patterns detail all`. The default scale
 //! is the report scale (0.4 of paper-size inputs, preserving the
 //! cache-pressure regimes); `--quick` runs a much smaller scale for a
-//! fast smoke pass.
+//! fast smoke pass. `--threads N` shards the measurement campaign
+//! across N worker threads (default: all available cores).
 
 use swan_core::report::{self, SuiteResults};
-use swan_core::Scale;
+use swan_core::{Scale, SuiteRunner};
 use swan_kernels::xp::{conv_layers, GemmF32, Shape, SpmmF32};
 
 fn main() {
     let mut scale = Scale::sim();
     let mut seed = 42u64;
+    let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut wants: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -38,6 +40,14 @@ fn main() {
                     .expect("--seed needs a value")
                     .parse()
                     .expect("invalid seed");
+            }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .expect("--threads needs a value")
+                    .parse::<usize>()
+                    .expect("invalid thread count")
+                    .max(1);
             }
             other => wants.push(other.to_string()),
         }
@@ -60,16 +70,23 @@ fn main() {
         println!("{}", report::patterns(&kernels));
     }
 
-    let needs_suite = ["fig1", "fig2", "fig3", "tab4", "tab5", "fig4", "fig5a",
-        "fig5b", "tab6", "tab7", "detail"]
-        .iter()
-        .any(|w| want(w));
+    let needs_suite = [
+        "fig1", "fig2", "fig3", "tab4", "tab5", "fig4", "fig5a", "fig5b", "tab6", "tab7", "detail",
+    ]
+    .iter()
+    .any(|w| want(w));
     let suite: Option<SuiteResults> = if needs_suite {
-        eprintln!("running suite at scale {:.3} (seed {seed})...", scale.0);
+        eprintln!(
+            "running suite at scale {:.3} (seed {seed}, {threads} thread{})...",
+            scale.0,
+            if threads == 1 { "" } else { "s" }
+        );
         let t0 = std::time::Instant::now();
-        let s = report::run_suite(&kernels, scale, seed, |msg| {
-            eprintln!("  [{:6.1}s] {msg}", t0.elapsed().as_secs_f32());
-        });
+        let s = SuiteRunner::new(scale, seed)
+            .threads(threads)
+            .run(&kernels, |msg| {
+                eprintln!("  [{:6.1}s] {msg}", t0.elapsed().as_secs_f32());
+            });
         eprintln!("suite done in {:.1}s", t0.elapsed().as_secs_f32());
         Some(s)
     } else {

@@ -38,7 +38,8 @@ pub fn suite() -> Vec<Box<dyn swan_core::Kernel>> {
 /// Convenient re-exports for examples and downstream users.
 pub mod prelude {
     pub use swan_core::{
-        measure, verify_kernel, Impl, Kernel, KernelMeta, Library, Measurement, Scale,
+        measure, measure_multi, verify_kernel, Impl, Kernel, KernelMeta, Library, Measurement,
+        Scale, SuiteRunner,
     };
     pub use swan_simd::{Vreg, Width};
     pub use swan_uarch::CoreConfig;

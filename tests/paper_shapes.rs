@@ -25,8 +25,22 @@ fn crypto_libraries_have_highest_instruction_reduction() {
     let kernels = swan::suite();
     let red = |lib: &str, name: &str| {
         let k = &kernels[find(&kernels, lib, name)];
-        let s = measure(k.as_ref(), Impl::Scalar, Width::W128, &prime, Scale::test(), 2);
-        let v = measure(k.as_ref(), Impl::Neon, Width::W128, &prime, Scale::test(), 2);
+        let s = measure(
+            k.as_ref(),
+            Impl::Scalar,
+            Width::W128,
+            &prime,
+            Scale::test(),
+            2,
+        );
+        let v = measure(
+            k.as_ref(),
+            Impl::Neon,
+            Width::W128,
+            &prime,
+            Scale::test(),
+            2,
+        );
         s.trace.total() as f64 / v.trace.total() as f64
     };
     let aes = red("BS", "aes128_ctr");
@@ -34,7 +48,10 @@ fn crypto_libraries_have_highest_instruction_reduction() {
     let audio = red("WA", "gain");
     assert!(aes > 8.0, "AES reduction {aes:.1}");
     assert!(fft < 4.0, "FFT reduction {fft:.1} (scalar-heavy library)");
-    assert!(aes > 1.5 * audio, "crypto {aes:.1} vs vector-API {audio:.1}");
+    assert!(
+        aes > 1.5 * audio,
+        "crypto {aes:.1} vs vector-API {audio:.1}"
+    );
 }
 
 #[test]
@@ -45,8 +62,22 @@ fn lower_precision_means_higher_reduction() {
     let kernels = swan::suite();
     let red = |lib: &str, name: &str| {
         let k = &kernels[find(&kernels, lib, name)];
-        let s = measure(k.as_ref(), Impl::Scalar, Width::W128, &prime, Scale::test(), 2);
-        let v = measure(k.as_ref(), Impl::Neon, Width::W128, &prime, Scale::test(), 2);
+        let s = measure(
+            k.as_ref(),
+            Impl::Scalar,
+            Width::W128,
+            &prime,
+            Scale::test(),
+            2,
+        );
+        let v = measure(
+            k.as_ref(),
+            Impl::Neon,
+            Width::W128,
+            &prime,
+            Scale::test(),
+            2,
+        );
         s.trace.total() as f64 / v.trace.total() as f64
     };
     let image8 = red("SK", "convolve_vertical");
@@ -86,7 +117,11 @@ fn gpu_crossover_is_in_the_mflop_range() {
     // MFLOP range (the paper reports ~4M).
     let prime = CoreConfig::prime();
     let gpu = GpuModel::default();
-    let shape = Shape { m: 64, k: 64, n: 512 };
+    let shape = Shape {
+        m: 64,
+        k: 64,
+        n: 512,
+    };
     let kernel = GemmF32::with_shape(shape);
     let (tr, macs) = capture(&kernel, Impl::Neon, Width::W128, Scale(1.0), 3);
     let m = simulate_trace(&tr, &prime, 1.0, macs);
@@ -105,7 +140,10 @@ fn gpu_crossover_is_in_the_mflop_range() {
 #[test]
 fn table4_counts_and_fig5_kernels_exist() {
     let kernels = swan::suite();
-    let rep = report::tab4(&report::SuiteResults { kernels: vec![], scale: Scale::test() });
+    let rep = report::tab4(&report::SuiteResults {
+        kernels: vec![],
+        scale: Scale::test(),
+    });
     // tab4 on an empty suite trivially prints zeros; the real counts
     // come from metadata, so check them directly here.
     drop(rep);
@@ -121,8 +159,32 @@ fn vectorization_raises_power_but_saves_energy() {
     let prime = CoreConfig::prime();
     let kernels = swan::suite();
     let k = &kernels[find(&kernels, "LJ", "rgb_to_ycbcr")];
-    let s = measure(k.as_ref(), Impl::Scalar, Width::W128, &prime, Scale::test(), 2);
-    let v = measure(k.as_ref(), Impl::Neon, Width::W128, &prime, Scale::test(), 2);
-    assert!(v.power_w > s.power_w, "Neon power {} vs {}", v.power_w, s.power_w);
-    assert!(v.energy_j < s.energy_j, "Neon energy {} vs {}", v.energy_j, s.energy_j);
+    let s = measure(
+        k.as_ref(),
+        Impl::Scalar,
+        Width::W128,
+        &prime,
+        Scale::test(),
+        2,
+    );
+    let v = measure(
+        k.as_ref(),
+        Impl::Neon,
+        Width::W128,
+        &prime,
+        Scale::test(),
+        2,
+    );
+    assert!(
+        v.power_w > s.power_w,
+        "Neon power {} vs {}",
+        v.power_w,
+        s.power_w
+    );
+    assert!(
+        v.energy_j < s.energy_j,
+        "Neon energy {} vs {}",
+        v.energy_j,
+        s.energy_j
+    );
 }

@@ -1,0 +1,201 @@
+//! Streaming/batch equivalence: the sink-based measurement pipeline
+//! must produce bit-identical results to materialize-then-replay.
+//!
+//! The streaming runner executes one kernel instance twice (cache
+//! warm-up pass + timed pass) instead of capturing a trace and
+//! replaying it twice, so these tests pin down the two facts that make
+//! that equivalent: (1) re-running an instance reproduces its dynamic
+//! trace exactly (same buffers, same addresses, same control flow),
+//! and (2) the incremental core model consumes a stream identically to
+//! a batch replay.
+
+use swan::prelude::*;
+use swan_simd::trace::{stream_into, Mode, Session};
+use swan_uarch::MultiCore;
+
+const SEED: u64 = 7;
+
+fn trace_of(inst: &mut dyn swan_core::Runnable, imp: Impl, w: Width) -> swan_simd::TraceData {
+    let sess = Session::begin(Mode::Full);
+    inst.run(imp, w);
+    sess.finish()
+}
+
+/// (1) Re-running the same instance reproduces the dynamic trace
+/// bit-for-bit — for every kernel and implementation in the suite,
+/// and across *capture modes*: the first run is a batch capture
+/// (`Mode::Full`, whose growing instruction `Vec` perturbs the
+/// allocator mid-run) and the second streams into a sink through a
+/// closure (different call stack, no materialization). Any traced
+/// address that depends on a run-local temporary's location — stack
+/// frame or heap chunk — fails here.
+#[test]
+fn every_kernel_rerun_reproduces_its_trace() {
+    for kernel in swan::suite() {
+        for imp in [Impl::Scalar, Impl::Auto, Impl::Neon] {
+            let mut inst = kernel.instantiate(Scale::test(), SEED);
+            let batch = trace_of(inst.as_mut(), imp, Width::W128);
+            let (streamed, sink, ()) =
+                stream_into(swan_simd::VecSink::default(), || inst.run(imp, Width::W128));
+            assert_eq!(
+                batch.by_op,
+                streamed.by_op,
+                "{} {imp:?}",
+                kernel.meta().id()
+            );
+            assert_eq!(
+                batch.instrs,
+                sink.instrs,
+                "{} {imp:?}: streamed rerun must replay the identical stream \
+                 (a mismatch usually means a traced address depends on a \
+                 run-local temporary — hoist the buffer into instance state)",
+                kernel.meta().id()
+            );
+        }
+    }
+}
+
+/// (2) Streaming a kernel into fan-out core models equals capturing
+/// once and batch-replaying, bit for bit, across implementations,
+/// widths, and core configurations.
+#[test]
+fn streaming_measurement_equals_batch_replay() {
+    let kernels = swan::suite();
+    // Includes the two kernels that needed scratch buffers hoisted
+    // into instance state (upsample_h2v1, crc32) — regression guards
+    // for address-stable reruns.
+    let reps = [
+        ("ZL", "adler32"),
+        ("ZL", "crc32"),
+        ("LJ", "rgb_to_ycbcr"),
+        ("LJ", "upsample_h2v1"),
+        ("XP", "gemm_f32"),
+    ];
+    let cfgs = [
+        CoreConfig::prime(),
+        CoreConfig::gold(),
+        CoreConfig::silver(),
+    ];
+    for (lib, name) in reps {
+        let kernel = kernels
+            .iter()
+            .find(|k| k.meta().library.info().symbol == lib && k.meta().name == name)
+            .expect("representative kernel");
+        for (imp, w) in [
+            (Impl::Scalar, Width::W128),
+            (Impl::Neon, Width::W128),
+            (Impl::Neon, Width::W512),
+        ] {
+            let mut inst = kernel.instantiate(Scale::test(), SEED);
+
+            // Batch reference: capture one run, warm + timed replay.
+            let tr = trace_of(inst.as_mut(), imp, w);
+            let batch: Vec<_> = cfgs.iter().map(|c| swan_uarch::simulate(&tr, c)).collect();
+
+            // Streaming: two more executions of the same instance
+            // drive all three models through the fan-out sink.
+            let mut multi = MultiCore::new(&cfgs);
+            multi.begin_warm();
+            let (_, mut multi, ()) = stream_into(multi, || inst.run(imp, w));
+            multi.begin_timed();
+            let (data, mut multi, ()) = stream_into(multi, || inst.run(imp, w));
+            let streamed = multi.finalize();
+
+            assert_eq!(
+                batch, streamed,
+                "{lib}.{name} {imp:?}@{w}: streaming != batch"
+            );
+            assert_eq!(data.by_op, tr.by_op, "{lib}.{name} {imp:?}@{w}: histograms");
+            assert!(data.instrs.is_empty(), "streaming must not materialize");
+        }
+    }
+}
+
+/// The public `measure` (streaming) agrees with the explicit batch
+/// pipeline on histograms and instruction counts, and `measure_multi`
+/// fans out to per-config results that match single-config calls'
+/// mix-level data for every configuration.
+#[test]
+fn measure_multi_is_consistent_with_single_measures() {
+    let kernels = swan::suite();
+    let kernel = kernels
+        .iter()
+        .find(|k| k.meta().id() == "ZL.adler32")
+        .expect("ZL.adler32");
+    let cfgs = [
+        CoreConfig::prime(),
+        CoreConfig::gold(),
+        CoreConfig::silver(),
+    ];
+    let multi = swan_core::measure_multi(
+        kernel.as_ref(),
+        Impl::Neon,
+        Width::W128,
+        &cfgs,
+        Scale::test(),
+        SEED,
+    );
+    assert_eq!(multi.len(), 3);
+    // Prime and Gold share the microarchitecture: identical cycles,
+    // different wall-clock (frequency) — exactly as in the batch flow.
+    assert_eq!(multi[0].sim.cycles, multi[1].sim.cycles);
+    assert!(multi[0].seconds() < multi[1].seconds());
+    // Silver (in-order, narrow) must be slower in cycles.
+    assert!(multi[2].sim.cycles > multi[0].sim.cycles);
+    for m in &multi {
+        assert_eq!(m.trace.total(), multi[0].trace.total());
+        assert_eq!(m.sim.instrs, m.trace.total());
+        assert!(
+            m.trace.instrs.is_empty(),
+            "measurements keep histograms only"
+        );
+    }
+
+    let single = measure(
+        kernel.as_ref(),
+        Impl::Neon,
+        Width::W128,
+        &CoreConfig::prime(),
+        Scale::test(),
+        SEED,
+    );
+    assert_eq!(single.trace.by_op, multi[0].trace.by_op);
+    assert_eq!(single.sim.instrs, multi[0].sim.instrs);
+    assert_eq!(single.work_ops, multi[0].work_ops);
+}
+
+/// Suite level: the parallel campaign produces the same per-kernel
+/// dynamic-instruction data as the serial one, in the same order.
+/// (Timing-side fields depend on host buffer addresses, which differ
+/// between instantiations; the address-independent fields must agree
+/// exactly.)
+#[test]
+fn parallel_campaign_matches_serial_run_suite() {
+    let kernels: Vec<_> = swan::suite().into_iter().take(8).collect();
+    let serial = swan_core::report::run_suite(&kernels, Scale::test(), SEED, |_| {});
+    let parallel = swan_core::SuiteRunner::new(Scale::test(), SEED)
+        .threads(4)
+        .run(&kernels, |_| {});
+    assert_eq!(serial.kernels.len(), parallel.kernels.len());
+    for (s, p) in serial.kernels.iter().zip(parallel.kernels.iter()) {
+        assert_eq!(s.meta.id(), p.meta.id(), "kernel order must be stable");
+        for (which, a, b) in [
+            ("scalar", &s.scalar, &p.scalar),
+            ("auto", &s.auto, &p.auto),
+            ("neon", &s.neon, &p.neon),
+            ("neon_gold", &s.neon_gold, &p.neon_gold),
+            ("scalar_silver", &s.scalar_silver, &p.scalar_silver),
+        ] {
+            assert_eq!(a.trace.by_op, b.trace.by_op, "{} {which}", s.meta.id());
+            assert_eq!(a.sim.instrs, b.sim.instrs, "{} {which}", s.meta.id());
+            assert_eq!(a.work_ops, b.work_ops, "{} {which}", s.meta.id());
+            let (ca, cb) = (a.sim.cycles as f64, b.sim.cycles as f64);
+            let rel = (ca - cb).abs() / ca.max(1.0);
+            assert!(
+                rel < 0.05,
+                "{} {which}: cycles diverge {rel:.4} ({ca} vs {cb})",
+                s.meta.id()
+            );
+        }
+    }
+}

@@ -17,8 +17,22 @@ fn every_kernel_verifies_at_two_seeds() {
 fn neon_reduces_instructions_for_every_kernel() {
     let prime = CoreConfig::prime();
     for kernel in swan::suite() {
-        let s = measure(kernel.as_ref(), Impl::Scalar, Width::W128, &prime, Scale::test(), 5);
-        let v = measure(kernel.as_ref(), Impl::Neon, Width::W128, &prime, Scale::test(), 5);
+        let s = measure(
+            kernel.as_ref(),
+            Impl::Scalar,
+            Width::W128,
+            &prime,
+            Scale::test(),
+            5,
+        );
+        let v = measure(
+            kernel.as_ref(),
+            Impl::Neon,
+            Width::W128,
+            &prime,
+            Scale::test(),
+            5,
+        );
         let red = s.trace.total() as f64 / v.trace.total() as f64;
         assert!(
             red > 1.0,
@@ -45,8 +59,22 @@ fn neon_is_faster_than_scalar_for_nearly_every_kernel() {
     let prime = CoreConfig::prime();
     let mut slower = Vec::new();
     for kernel in swan::suite() {
-        let s = measure(kernel.as_ref(), Impl::Scalar, Width::W128, &prime, Scale::test(), 5);
-        let v = measure(kernel.as_ref(), Impl::Neon, Width::W128, &prime, Scale::test(), 5);
+        let s = measure(
+            kernel.as_ref(),
+            Impl::Scalar,
+            Width::W128,
+            &prime,
+            Scale::test(),
+            5,
+        );
+        let v = measure(
+            kernel.as_ref(),
+            Impl::Neon,
+            Width::W128,
+            &prime,
+            Scale::test(),
+            5,
+        );
         if v.seconds() >= s.seconds() {
             slower.push(kernel.meta().id());
         }
@@ -80,8 +108,22 @@ fn silver_core_is_slower_than_prime() {
     let prime = CoreConfig::prime();
     let silver = CoreConfig::silver();
     for kernel in swan::suite().iter().take(6) {
-        let p = measure(kernel.as_ref(), Impl::Neon, Width::W128, &prime, Scale::test(), 3);
-        let s = measure(kernel.as_ref(), Impl::Neon, Width::W128, &silver, Scale::test(), 3);
+        let p = measure(
+            kernel.as_ref(),
+            Impl::Neon,
+            Width::W128,
+            &prime,
+            Scale::test(),
+            3,
+        );
+        let s = measure(
+            kernel.as_ref(),
+            Impl::Neon,
+            Width::W128,
+            &silver,
+            Scale::test(),
+            3,
+        );
         assert!(
             s.seconds() > p.seconds(),
             "{}: silver {} vs prime {}",

@@ -1,0 +1,146 @@
+//! Offline shim of the `criterion` crate API subset the workspace uses.
+//!
+//! Provides `Criterion`, benchmark groups, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros. Each benchmark is timed
+//! with `std::time::Instant` over a fixed number of warm-up and sample
+//! iterations and reported as a plain-text median line — enough to
+//! track relative perf trajectories without the real crate's
+//! statistics machinery.
+
+use std::time::{Duration, Instant};
+
+/// Per-invocation timer handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Time `f`, once per sample, after one warm-up call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warm-up
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.sort();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_count: self.sample_size,
+        };
+        f(&mut b);
+        println!(
+            "bench: {}/{:<40} {}",
+            self.name,
+            id.as_ref(),
+            fmt_duration(b.median())
+        );
+        self
+    }
+
+    /// Finish the group (no-op; provided for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_count: 10,
+        };
+        f(&mut b);
+        println!("bench: {:<40} {}", id.as_ref(), fmt_duration(b.median()));
+        self
+    }
+}
+
+/// Opaque-value helper (re-exported for parity with the real crate).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($f:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($f(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
