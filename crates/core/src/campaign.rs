@@ -15,9 +15,82 @@
 use crate::kernel::{Impl, Kernel, Scale};
 use crate::report::{KernelResults, SuiteResults, FIG5_KERNELS};
 use crate::runner::{measure_multi, Measurement};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 use swan_simd::Width;
 use swan_uarch::CoreConfig;
+
+/// Run `work(i)` for `i in 0..n` across up to `workers` scoped
+/// threads (1 = inline on the caller), returning the results in index
+/// order. Workers pull indices from a shared counter, so shard
+/// assignment is dynamic but the output order is deterministic.
+/// `work` must not panic (wrap fallible work in `catch_unwind`); a
+/// panicking closure would poison the slot mutex and abort the scope.
+pub(crate) fn shard_indexed<T: Send>(
+    n: usize,
+    workers: usize,
+    work: impl Fn(usize) -> T + Send + Sync,
+) -> Vec<T> {
+    let workers = workers.clamp(1, n.max(1));
+    if workers <= 1 {
+        return (0..n).map(work).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = work(i);
+                slots.lock().expect("shard worker panicked")[i] = Some(r);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("shard worker panicked")
+        .into_iter()
+        .map(|r| r.expect("every index processed"))
+        .collect()
+}
+
+/// A kernel whose measurement panicked during a campaign.
+#[derive(Clone, Debug)]
+pub struct KernelFailure {
+    /// `LIB.kernel` identifier of the failed kernel.
+    pub id: String,
+    /// The panic payload, stringified.
+    pub message: String,
+}
+
+/// Measure one kernel, converting a panic (a kernel bug, an assert in
+/// an intrinsic, an out-of-bounds traced access) into a
+/// [`KernelFailure`] instead of unwinding into the campaign machinery.
+/// The tracer re-arms itself when an active [`swan_simd::Session`] is
+/// dropped during the unwind, so the worker can keep measuring
+/// subsequent kernels on the same thread.
+fn try_measure_kernel(
+    kernel: &dyn Kernel,
+    scale: Scale,
+    seed: u64,
+) -> Result<KernelResults, KernelFailure> {
+    catch_unwind(AssertUnwindSafe(|| measure_kernel(kernel, scale, seed))).map_err(|p| {
+        let message = if let Some(s) = p.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = p.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        KernelFailure {
+            id: kernel.meta().id(),
+            message,
+        }
+    })
+}
 
 /// Produce the complete [`KernelResults`] for one kernel (the unit of
 /// work a campaign worker executes).
@@ -113,6 +186,11 @@ impl SuiteRunner {
     /// Run the campaign serially on the calling thread (the form
     /// `report::run_suite` delegates to; accepts a plain `FnMut`
     /// progress callback).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any kernel's measurement panics (see
+    /// [`SuiteRunner::try_run`] for the failure-isolating form).
     pub fn run_serial(
         &self,
         kernels: &[Box<dyn Kernel>],
@@ -133,42 +211,61 @@ impl SuiteRunner {
 
     /// Run the campaign. `progress` receives one status line per
     /// kernel (from whichever worker picks it up).
+    ///
+    /// # Panics
+    ///
+    /// Panics — after every shard has drained — if any kernel's
+    /// measurement panicked, naming all failed kernels. A panicking
+    /// kernel never poisons sibling shards: their results are fully
+    /// measured first (use [`SuiteRunner::try_run`] to get them).
     pub fn run(
         &self,
         kernels: &[Box<dyn Kernel>],
         progress: impl Fn(&str) + Send + Sync,
     ) -> SuiteResults {
-        let n = kernels.len();
-        let workers = self.threads.min(n.max(1));
-        if workers <= 1 {
-            return self.run_serial(kernels, progress);
-        }
+        let (suite, failures) = self.try_run(kernels, progress);
+        assert!(
+            failures.is_empty(),
+            "campaign kernels panicked: {:?}",
+            failures
+                .iter()
+                .map(|f| format!("{}: {}", f.id, f.message))
+                .collect::<Vec<_>>()
+        );
+        suite
+    }
 
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let results: Mutex<Vec<Option<KernelResults>>> = Mutex::new((0..n).map(|_| None).collect());
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let k = &kernels[i];
-                    progress(&format!("measuring {}", k.meta().id()));
-                    let r = measure_kernel(k.as_ref(), self.scale, self.seed);
-                    results.lock().expect("campaign worker panicked")[i] = Some(r);
-                });
-            }
+    /// Run the campaign, isolating per-kernel panics: every
+    /// non-panicking kernel is measured normally (in suite order) no
+    /// matter what happens in sibling shards, and each panicking
+    /// kernel is reported as a [`KernelFailure`] instead of tearing
+    /// down the run.
+    pub fn try_run(
+        &self,
+        kernels: &[Box<dyn Kernel>],
+        progress: impl Fn(&str) + Send + Sync,
+    ) -> (SuiteResults, Vec<KernelFailure>) {
+        // `try_measure_kernel` cannot panic, as `shard_indexed`
+        // requires.
+        let results = shard_indexed(kernels.len(), self.threads, |i| {
+            let k = &kernels[i];
+            progress(&format!("measuring {}", k.meta().id()));
+            try_measure_kernel(k.as_ref(), self.scale, self.seed)
         });
-        let out = results
-            .into_inner()
-            .expect("campaign worker panicked")
-            .into_iter()
-            .map(|r| r.expect("every kernel measured"))
-            .collect();
-        SuiteResults {
-            kernels: out,
-            scale: self.scale,
+        let mut out = Vec::with_capacity(kernels.len());
+        let mut failures = Vec::new();
+        for r in results {
+            match r {
+                Ok(r) => out.push(r),
+                Err(f) => failures.push(f),
+            }
         }
+        (
+            SuiteResults {
+                kernels: out,
+                scale: self.scale,
+            },
+            failures,
+        )
     }
 }

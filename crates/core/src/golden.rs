@@ -1,0 +1,337 @@
+//! Golden-suite regression baselines.
+//!
+//! The address-virtualized tracer makes the whole campaign
+//! bit-reproducible: a given (kernel, implementation, width, scale,
+//! seed) yields the same dynamic-instruction stream — including every
+//! memory address — on every run and every machine. This module turns
+//! that into a regression gate: [`collect`] measures the full
+//! 59 × {Scalar, Auto, Neon} campaign into compact [`GoldenEntry`]
+//! records (an order-sensitive trace digest plus the Prime-core
+//! cycle/cache stats), [`to_json`] serializes them canonically, and
+//! [`diff`] compares a fresh collection against the committed
+//! `tests/golden/suite.json` so any perf- or trace-visible change
+//! shows up as a reviewable baseline diff.
+//!
+//! Regenerate the baseline with `swan-report --write-golden <path>`
+//! and check it with `swan-report --golden <path>` (CI does the
+//! latter on every push).
+
+use crate::kernel::{Impl, Kernel, Scale};
+use std::fmt::Write as _;
+use swan_simd::trace::{self, stream_into, HashSink, TraceInstr, TraceSink};
+use swan_simd::Width;
+use swan_uarch::{CoreConfig, CoreModel, SimResult};
+
+/// One golden record: everything that must stay bit-identical for one
+/// (kernel, implementation) point of the campaign.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GoldenEntry {
+    /// `LIB.kernel` identifier.
+    pub id: String,
+    /// Implementation measured (always at 128-bit width).
+    pub imp: Impl,
+    /// Dynamic instruction count of one invocation.
+    pub instrs: u64,
+    /// Order-sensitive FNV-1a digest of the timed dynamic-instruction
+    /// stream (ops, classes, dataflow edges, virtualized addresses).
+    pub trace_hash: u64,
+    /// Memory references that missed every registered buffer and went
+    /// through the anonymous fallback pool. Must be 0: a non-zero
+    /// count means a kernel forgot to register a buffer and its
+    /// cross-line locality is not being modelled.
+    pub fallback_refs: u64,
+    /// Prime-core timing simulation of the timed pass.
+    pub sim: SimResult,
+}
+
+/// Forwards one stream to the timing model and the trace digest at
+/// once, so the golden collection stays O(core window) in memory.
+struct Tee {
+    core: CoreModel,
+    hash: HashSink,
+}
+
+impl TraceSink for Tee {
+    fn on_instr(&mut self, ins: &TraceInstr) {
+        self.core.step(ins);
+        self.hash.on_instr(ins);
+    }
+
+    fn on_overhead(&mut self, op: swan_simd::Op, class: swan_simd::Class, first_id: u32, n: u64) {
+        TraceSink::on_overhead(&mut self.core, op, class, first_id, n);
+        TraceSink::on_overhead(&mut self.hash, op, class, first_id, n);
+    }
+}
+
+/// The three implementations every kernel is baselined at.
+pub const GOLDEN_IMPLS: [Impl; 3] = [Impl::Scalar, Impl::Auto, Impl::Neon];
+
+/// Measure one golden point: warm pass + timed pass on one instance
+/// (exactly the streaming runner's measurement discipline), digesting
+/// the timed stream and simulating it on the Prime core.
+pub fn collect_point(kernel: &dyn Kernel, imp: Impl, scale: Scale, seed: u64) -> GoldenEntry {
+    let mut inst = kernel.instantiate(scale, seed);
+    let mut core = CoreModel::new(CoreConfig::prime());
+    core.begin_warm();
+    let (_, core, ()) = stream_into(core, || inst.run(imp, Width::W128));
+    let mut tee = Tee {
+        core,
+        hash: HashSink::new(),
+    };
+    tee.core.begin_timed();
+    // Read the fallback counter *inside* the session, right after the
+    // timed run, so the value is bound to this session's registry and
+    // not to whatever thread-local state survives `finish`.
+    let (data, mut tee, fallback_refs) = stream_into(tee, || {
+        inst.run(imp, Width::W128);
+        trace::buffer_fallback_refs()
+    });
+    GoldenEntry {
+        id: kernel.meta().id(),
+        imp,
+        instrs: data.total(),
+        trace_hash: tee.hash.digest(),
+        fallback_refs,
+        sim: tee.core.finalize(),
+    }
+}
+
+/// Collect the full golden campaign: every kernel × [`GOLDEN_IMPLS`],
+/// in suite order, optionally sharded across `threads` workers
+/// (per-kernel results are independent, so sharding cannot change
+/// them). `progress` receives one status line per kernel.
+pub fn collect(
+    kernels: &[Box<dyn Kernel>],
+    scale: Scale,
+    seed: u64,
+    threads: usize,
+    progress: impl Fn(&str) + Send + Sync,
+) -> Vec<GoldenEntry> {
+    crate::campaign::shard_indexed(kernels.len(), threads, |i| {
+        let k = kernels[i].as_ref();
+        progress(&format!("golden {}", k.meta().id()));
+        GOLDEN_IMPLS
+            .iter()
+            .map(|&imp| collect_point(k, imp, scale, seed))
+            .collect::<Vec<GoldenEntry>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+fn imp_name(imp: Impl) -> &'static str {
+    match imp {
+        Impl::Scalar => "Scalar",
+        Impl::Auto => "Auto",
+        Impl::Neon => "Neon",
+    }
+}
+
+/// Serialize a golden collection to its canonical JSON form: fixed key
+/// order, one entry per line, integer-only measurement fields — so a
+/// baseline check is an exact string comparison and a mismatch is a
+/// readable line diff.
+pub fn to_json(scale: Scale, seed: u64, entries: &[GoldenEntry]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"format\": 1,");
+    let _ = writeln!(s, "  \"scale\": {},", scale.0);
+    let _ = writeln!(s, "  \"seed\": {seed},");
+    let _ = writeln!(s, "  \"width\": 128,");
+    s.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let m = &e.sim;
+        let _ = write!(
+            s,
+            "    {{\"kernel\": \"{}\", \"impl\": \"{}\", \"instrs\": {}, \
+             \"trace_hash\": \"{:016x}\", \"fallback_refs\": {}, \
+             \"cycles\": {}, \"fe_stall\": {}, \"be_stall\": {}, \
+             \"l1d\": [{}, {}], \"l2\": [{}, {}], \"llc\": [{}, {}], \
+             \"dram\": {}}}",
+            e.id,
+            imp_name(e.imp),
+            e.instrs,
+            e.trace_hash,
+            e.fallback_refs,
+            m.cycles,
+            m.fe_stall_cycles,
+            m.be_stall_cycles,
+            m.l1d.accesses,
+            m.l1d.misses,
+            m.l2.accesses,
+            m.l2.misses,
+            m.llc.accesses,
+            m.llc.misses,
+            m.dram_accesses,
+        );
+        s.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// The `(kernel, impl)` key of a canonical entry line, if it is one.
+fn entry_key(line: &str) -> Option<&str> {
+    let start = line.find("{\"kernel\": ")?;
+    let end = line.find(", \"instrs\":")?;
+    line.get(start..end)
+}
+
+/// Compare a freshly generated canonical baseline against the
+/// committed one. Returns `None` on an exact match, or a diff of the
+/// first `limit` differences suitable for CI output. Entry lines are
+/// matched by their `(kernel, impl)` key — not by position — so
+/// adding or removing one kernel reports exactly that entry instead
+/// of misaligning everything after it; header lines (format, scale,
+/// seed) compare positionally.
+pub fn diff(expected: &str, actual: &str, limit: usize) -> Option<String> {
+    if expected.trim_end() == actual.trim_end() {
+        return None;
+    }
+    let mut out = String::new();
+    let mut shown = 0;
+    let mut emit = |minus: Option<&str>, plus: Option<&str>| -> bool {
+        if let Some(m) = minus {
+            let _ = writeln!(out, "- {m}");
+        }
+        if let Some(p) = plus {
+            let _ = writeln!(out, "+ {p}");
+        }
+        shown += 1;
+        if shown >= limit {
+            let _ = writeln!(out, "... (further differences elided)");
+            return false;
+        }
+        true
+    };
+
+    let partition = |doc: &str| {
+        let mut headers: Vec<String> = Vec::new();
+        let mut entries: Vec<(String, String)> = Vec::new();
+        for line in doc.trim_end().lines() {
+            match entry_key(line) {
+                Some(k) => entries.push((k.to_string(), line.to_string())),
+                None => headers.push(line.to_string()),
+            }
+        }
+        (headers, entries)
+    };
+    let (eh, ee) = partition(expected);
+    let (ah, ae) = partition(actual);
+
+    'done: {
+        for i in 0..eh.len().max(ah.len()) {
+            let e = eh.get(i).map(String::as_str);
+            let a = ah.get(i).map(String::as_str);
+            if e != a && !emit(e, a) {
+                break 'done;
+            }
+        }
+        let exp_map: std::collections::HashMap<&str, &str> =
+            ee.iter().map(|(k, l)| (k.as_str(), l.as_str())).collect();
+        let act_keys: std::collections::HashSet<&str> =
+            ae.iter().map(|(k, _)| k.as_str()).collect();
+        for (k, a) in &ae {
+            match exp_map.get(k.as_str()) {
+                Some(e) if *e == a.as_str() => {}
+                Some(e) => {
+                    if !emit(Some(e), Some(a)) {
+                        break 'done;
+                    }
+                }
+                None => {
+                    if !emit(None, Some(a)) {
+                        break 'done;
+                    }
+                }
+            }
+        }
+        for (k, e) in &ee {
+            if !act_keys.contains(k.as_str()) && !emit(Some(e), None) {
+                break 'done;
+            }
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_and_diff() {
+        let e = GoldenEntry {
+            id: "ZL.adler32".into(),
+            imp: Impl::Neon,
+            instrs: 10,
+            trace_hash: 0xabc,
+            fallback_refs: 0,
+            sim: SimResult {
+                cycles: 100,
+                instrs: 10,
+                fe_stall_cycles: 1,
+                be_stall_cycles: 2,
+                l1d: Default::default(),
+                l2: Default::default(),
+                llc: Default::default(),
+                dram_accesses: 3,
+                seconds: 0.0,
+                by_op: [0; swan_simd::trace::OP_COUNT],
+                by_class: [0; swan_simd::trace::CLASS_COUNT],
+            },
+        };
+        let a = to_json(Scale(0.25), 42, std::slice::from_ref(&e));
+        assert!(a.contains("\"kernel\": \"ZL.adler32\""));
+        assert!(a.contains("\"trace_hash\": \"0000000000000abc\""));
+        assert!(diff(&a, &a, 8).is_none());
+        let mut e2 = e.clone();
+        e2.sim.cycles = 101;
+        let b = to_json(Scale(0.25), 42, &[e2]);
+        let d = diff(&a, &b, 8).expect("must differ");
+        assert!(d.contains("\"cycles\": 100"));
+        assert!(d.contains("\"cycles\": 101"));
+    }
+
+    fn entry(id: &str, cycles: u64) -> GoldenEntry {
+        GoldenEntry {
+            id: id.into(),
+            imp: Impl::Neon,
+            instrs: 1,
+            trace_hash: 1,
+            fallback_refs: 0,
+            sim: SimResult {
+                cycles,
+                instrs: 1,
+                fe_stall_cycles: 0,
+                be_stall_cycles: 0,
+                l1d: Default::default(),
+                l2: Default::default(),
+                llc: Default::default(),
+                dram_accesses: 0,
+                seconds: 0.0,
+                by_op: [0; swan_simd::trace::OP_COUNT],
+                by_class: [0; swan_simd::trace::CLASS_COUNT],
+            },
+        }
+    }
+
+    #[test]
+    fn diff_aligns_entries_by_key_not_position() {
+        let old = [entry("A.a", 1), entry("C.c", 3)];
+        // One entry inserted in the middle, one changed after it.
+        let new = [entry("A.a", 1), entry("B.b", 2), entry("C.c", 30)];
+        let a = to_json(Scale(0.25), 42, &old);
+        let b = to_json(Scale(0.25), 42, &new);
+        let d = diff(&a, &b, 40).expect("must differ");
+        // The unchanged A.a entry must not appear; B.b is a pure
+        // addition; C.c is a changed pair.
+        assert!(!d.contains("A.a"), "unchanged entry leaked into diff:\n{d}");
+        assert_eq!(d.matches("B.b").count(), 1, "{d}");
+        assert_eq!(d.matches("C.c").count(), 2, "{d}");
+        // Removal reports the old line alone.
+        let d2 = diff(&b, &a, 40).expect("must differ");
+        assert_eq!(d2.matches("B.b").count(), 1, "{d2}");
+    }
+}

@@ -11,12 +11,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod campaign;
+pub mod golden;
 pub mod kernel;
 pub mod report;
 pub mod runner;
 pub mod stats;
 
-pub use campaign::{measure_kernel, SuiteRunner};
+pub use campaign::{measure_kernel, KernelFailure, SuiteRunner};
+pub use golden::GoldenEntry;
 pub use kernel::{
     AutoObstacle, AutoOutcome, Impl, Kernel, KernelMeta, Library, Pattern, Runnable, Scale, VsNeon,
 };

@@ -87,6 +87,10 @@ pub struct Aes128CtrState {
     /// T-tables (scalar path).
     te: [Vec<u32>; 4],
     sbox32: Vec<u32>,
+    /// Scalar-path keystream output as BE words. Lives in the
+    /// instance (not the run) so repeated runs store to identical —
+    /// and registered — addresses.
+    out_words: Vec<u32>,
     out: Vec<u8>,
 }
 
@@ -139,6 +143,7 @@ impl Aes128CtrState {
             rk_words,
             te,
             sbox32: sbox.iter().map(|&s| s as u32).collect(),
+            out_words: vec![0u32; blocks * 4],
             out: vec![0u8; len],
         }
     }
@@ -146,7 +151,6 @@ impl Aes128CtrState {
     /// Scalar T-table AES round state: four BE column words.
     fn scalar(&mut self) {
         let byte = |w: Tr<u32>, sh: u32| (w >> sh) & 0xFFu32;
-        let mut out_words = vec![0u32; self.blocks * 4];
         for b in counted(0..self.blocks) {
             let mut s: Vec<Tr<u32>> = (0..4)
                 .map(|c| sc::load(&self.ctr_words, 4 * b + c) ^ sc::load(&self.rk_words, c))
@@ -183,11 +187,11 @@ impl Aes128CtrState {
             }
             for c in counted(0..4) {
                 let o = ks[c] ^ sc::load(&self.data_words, 4 * b + c);
-                sc::store(&mut out_words, 4 * b + c, o);
+                sc::store(&mut self.out_words, 4 * b + c, o);
             }
         }
         // Canonical byte output (representation conversion, untraced).
-        for (i, w) in out_words.iter().enumerate() {
+        for (i, w) in self.out_words.iter().enumerate() {
             self.out[4 * i..4 * i + 4].copy_from_slice(&w.to_be_bytes());
         }
     }
@@ -220,7 +224,27 @@ impl Aes128CtrState {
     }
 }
 
-runnable!(Aes128CtrState, auto = scalar);
+runnable!(
+    Aes128CtrState,
+    auto = scalar,
+    buffers = |s| {
+        swan_simd::with_buffers!(
+            s.ctr,
+            s.ctr_words,
+            s.data,
+            s.data_words,
+            s.round_keys,
+            s.rk_words,
+            s.te[0],
+            s.te[1],
+            s.te[2],
+            s.te[3],
+            s.sbox32,
+            s.out_words,
+            s.out
+        );
+    }
+);
 
 swan_kernel!(
     /// AES-128 in counter mode (boringssl `aes_ctr_set_key` path):
@@ -352,7 +376,13 @@ impl ChaCha20State {
     }
 }
 
-runnable!(ChaCha20State, auto = neon);
+runnable!(
+    ChaCha20State,
+    auto = neon,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.init, s.data, s.out);
+    }
+);
 
 swan_kernel!(
     /// ChaCha20 stream cipher (boringssl `ChaCha20_ctr32`).
@@ -482,7 +512,13 @@ impl Sha256State {
     }
 }
 
-runnable!(Sha256State, auto = scalar);
+runnable!(
+    Sha256State,
+    auto = scalar,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.msg);
+    }
+);
 
 swan_kernel!(
     /// SHA-256 digest (boringssl `SHA256_Update`): pure scalar chain vs
@@ -666,7 +702,13 @@ impl GhashPmullState {
     }
 }
 
-runnable!(GhashPmullState, auto = scalar);
+runnable!(
+    GhashPmullState,
+    auto = scalar,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.data, s.m_lo, s.m_hi, s.red);
+    }
+);
 
 swan_kernel!(
     /// GHASH-style GF(2^128) MAC (boringssl `gcm_ghash`): 4-bit table

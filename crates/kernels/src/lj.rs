@@ -147,7 +147,13 @@ impl RgbToYcbcrState {
     }
 }
 
-runnable!(RgbToYcbcrState, auto = neon);
+runnable!(
+    RgbToYcbcrState,
+    auto = neon,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.rgb, s.out);
+    }
+);
 
 swan_kernel!(
     /// RGB→YCbCr color conversion (libjpeg `rgb_ycc_convert`).
@@ -272,7 +278,13 @@ impl YcbcrToRgbState {
     }
 }
 
-runnable!(YcbcrToRgbState, auto = neon);
+runnable!(
+    YcbcrToRgbState,
+    auto = neon,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.ycc, s.out);
+    }
+);
 
 swan_kernel!(
     /// YCbCr→RGB color conversion with saturation (libjpeg
@@ -388,8 +400,20 @@ impl<const V2: bool> DownsampleState<V2> {
     }
 }
 
-runnable!(DownsampleState<false>, auto = scalar);
-runnable!(DownsampleState<true>, auto = scalar);
+runnable!(
+    DownsampleState<false>,
+    auto = scalar,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.img, s.out);
+    }
+);
+runnable!(
+    DownsampleState<true>,
+    auto = scalar,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.img, s.out);
+    }
+);
 
 swan_kernel!(
     /// 2:1 horizontal chroma downsampling (libjpeg `h2v1_downsample`).
@@ -567,8 +591,20 @@ impl<const V2: bool> UpsampleState<V2> {
     }
 }
 
-runnable!(UpsampleState<false>, auto = neon);
-runnable!(UpsampleState<true>, auto = scalar);
+runnable!(
+    UpsampleState<false>,
+    auto = neon,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.img, s.out, s.tmp);
+    }
+);
+runnable!(
+    UpsampleState<true>,
+    auto = scalar,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.img, s.out, s.tmp);
+    }
+);
 
 swan_kernel!(
     /// Fancy 1:2 horizontal chroma upsampling (libjpeg

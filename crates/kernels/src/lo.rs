@@ -100,7 +100,13 @@ impl LpcFilterState {
     }
 }
 
-runnable!(LpcFilterState, auto = scalar);
+runnable!(
+    LpcFilterState,
+    auto = scalar,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.input, s.coefs, s.out);
+    }
+);
 
 swan_kernel!(
     /// SILK LPC synthesis filter (libopus `silk_LPC_synthesis_filter`).
@@ -201,7 +207,13 @@ impl ArmaFilterState {
     }
 }
 
-runnable!(ArmaFilterState, auto = scalar);
+runnable!(
+    ArmaFilterState,
+    auto = scalar,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.input, s.b, s.a, s.out);
+    }
+);
 
 swan_kernel!(
     /// Biquad-cascade style ARMA shaping filter (libopus
@@ -278,7 +290,13 @@ impl PitchCorrState {
     }
 }
 
-runnable!(PitchCorrState, auto = scalar);
+runnable!(
+    PitchCorrState,
+    auto = scalar,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.x, s.y, s.out);
+    }
+);
 
 swan_kernel!(
     /// Pitch cross-correlation (libopus `celt_pitch_xcorr`), the
@@ -351,7 +369,13 @@ impl FreqAutocorrState {
     }
 }
 
-runnable!(FreqAutocorrState, auto = scalar);
+runnable!(
+    FreqAutocorrState,
+    auto = scalar,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.x, s.out);
+    }
+);
 
 swan_kernel!(
     /// Windowed autocorrelation for noise shaping (libopus

@@ -94,7 +94,13 @@ impl ExpandPaletteState {
     }
 }
 
-runnable!(ExpandPaletteState, auto = scalar);
+runnable!(
+    ExpandPaletteState,
+    auto = scalar,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.idx, s.palette32, s.out);
+    }
+);
 
 swan_kernel!(
     /// Indexed-color to RGBA palette expansion (libpng
@@ -372,10 +378,34 @@ fn paeth_vector(a: Vreg<u8>, b: Vreg<u8>, c: Vreg<u8>) -> Vreg<u8> {
     a_best.bsl(a, b_or_c)
 }
 
-runnable!(FilterState<0>, auto = scalar);
-runnable!(FilterState<1>, auto = neon);
-runnable!(FilterState<2>, auto = scalar);
-runnable!(FilterState<3>, auto = scalar);
+runnable!(
+    FilterState<0>,
+    auto = scalar,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.raw, s.out);
+    }
+);
+runnable!(
+    FilterState<1>,
+    auto = neon,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.raw, s.out);
+    }
+);
+runnable!(
+    FilterState<2>,
+    auto = scalar,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.raw, s.out);
+    }
+);
+runnable!(
+    FilterState<3>,
+    auto = scalar,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.raw, s.out);
+    }
+);
 
 swan_kernel!(
     /// PNG Sub defilter, 4 bpp (libpng `png_read_filter_row_sub4`).

@@ -187,8 +187,20 @@ impl<const INV: bool> DctState<INV> {
     }
 }
 
-runnable!(DctState<false>, auto = scalar);
-runnable!(DctState<true>, auto = scalar);
+runnable!(
+    DctState<false>,
+    auto = scalar,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.input, s.mat, s.out);
+    }
+);
+runnable!(
+    DctState<true>,
+    auto = scalar,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.input, s.mat, s.out);
+    }
+);
 
 swan_kernel!(
     /// Forward 8x8 DCT (libvpx `vpx_fdct8x8`).
@@ -279,7 +291,13 @@ impl SadState {
     }
 }
 
-runnable!(SadState, auto = neon);
+runnable!(
+    SadState,
+    auto = neon,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.src, s.reference, s.out);
+    }
+);
 
 swan_kernel!(
     /// 16x16 sum of absolute differences (libvpx `vpx_sad16x16`), the
@@ -371,7 +389,13 @@ impl QuantizeState {
     }
 }
 
-runnable!(QuantizeState, auto = custom);
+runnable!(
+    QuantizeState,
+    auto = custom,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.coeffs, s.out);
+    }
+);
 
 impl QuantizeState {
     /// The cost model vectorizes the dead-zone loop with lane
@@ -470,7 +494,13 @@ impl SubtractState {
     }
 }
 
-runnable!(SubtractState, auto = neon);
+runnable!(
+    SubtractState,
+    auto = neon,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.src, s.pred, s.out);
+    }
+);
 
 swan_kernel!(
     /// Residual computation (libvpx `vpx_subtract_block`).
@@ -529,7 +559,13 @@ impl AvgPredState {
     }
 }
 
-runnable!(AvgPredState, auto = neon);
+runnable!(
+    AvgPredState,
+    auto = neon,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.a, s.b, s.out);
+    }
+);
 
 swan_kernel!(
     /// Compound prediction averaging (libvpx `vpx_comp_avg_pred`).

@@ -149,7 +149,13 @@ fn group_broadcast(src: &[u8], off: usize, groups: usize, w: Width) -> Vreg<u8> 
     acc
 }
 
-runnable!(TmPredictState, auto = scalar);
+runnable!(
+    TmPredictState,
+    auto = scalar,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.0.top, s.0.left, s.0.topleft, s.0.out);
+    }
+);
 
 swan_kernel!(
     /// TrueMotion 16x16 intra predictor (libwebp `TM16`).
@@ -215,7 +221,13 @@ impl DcPredictState {
     }
 }
 
-runnable!(DcPredictState, auto = neon);
+runnable!(
+    DcPredictState,
+    auto = neon,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.0.top, s.0.left, s.0.topleft, s.0.out);
+    }
+);
 
 swan_kernel!(
     /// DC 16x16 intra predictor (libwebp `DC16`).
@@ -286,8 +298,20 @@ impl<const HORIZ: bool> CopyPredictState<HORIZ> {
     }
 }
 
-runnable!(CopyPredictState<false>, auto = neon);
-runnable!(CopyPredictState<true>, auto = scalar);
+runnable!(
+    CopyPredictState<false>,
+    auto = neon,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.0.top, s.0.left, s.0.topleft, s.0.out);
+    }
+);
+runnable!(
+    CopyPredictState<true>,
+    auto = scalar,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.0.top, s.0.left, s.0.topleft, s.0.out);
+    }
+);
 
 swan_kernel!(
     /// Vertical 16x16 intra predictor (libwebp `VE16`).
@@ -418,7 +442,13 @@ impl SharpYuvRowState {
     }
 }
 
-runnable!(SharpYuvRowState, auto = scalar);
+runnable!(
+    SharpYuvRowState,
+    auto = scalar,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.data, s.out);
+    }
+);
 
 swan_kernel!(
     /// Sharp-YUV 2x upsampling filter row (libwebp `SharpYuvFilterRow`).
@@ -494,7 +524,13 @@ impl SharpYuvUpdateState {
     }
 }
 
-runnable!(SharpYuvUpdateState, auto = neon);
+runnable!(
+    SharpYuvUpdateState,
+    auto = neon,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.reference, s.src, s.dst, s.out);
+    }
+);
 
 swan_kernel!(
     /// Sharp-YUV luma refinement pass (libwebp `SharpYuvUpdateY`).

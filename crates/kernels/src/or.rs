@@ -60,7 +60,13 @@ impl MemcpyState {
     }
 }
 
-runnable!(MemcpyState, auto = neon);
+runnable!(
+    MemcpyState,
+    auto = neon,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.src, s.out);
+    }
+);
 
 swan_kernel!(
     /// Bulk copy (Arm Optimized Routines `memcpy`).
@@ -238,9 +244,27 @@ impl<const S: u8> SearchState<S> {
     }
 }
 
-runnable!(SearchState<0>, auto = scalar);
-runnable!(SearchState<1>, auto = scalar);
-runnable!(SearchState<2>, auto = scalar);
+runnable!(
+    SearchState<0>,
+    auto = scalar,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.a, s.b);
+    }
+);
+runnable!(
+    SearchState<1>,
+    auto = scalar,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.a, s.b);
+    }
+);
+runnable!(
+    SearchState<2>,
+    auto = scalar,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.a, s.b);
+    }
+);
 
 swan_kernel!(
     /// Buffer comparison (Arm Optimized Routines `memcmp`).

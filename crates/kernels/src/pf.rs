@@ -245,8 +245,24 @@ impl FftInverseState {
     }
 }
 
-runnable!(FftForwardState, auto = scalar);
-runnable!(FftInverseState, auto = scalar);
+runnable!(
+    FftForwardState,
+    auto = scalar,
+    buffers = |s| {
+        swan_simd::with_buffers!(
+            s.0.re_in, s.0.im_in, s.0.re, s.0.im, s.0.bitrev, s.0.tw_re, s.0.tw_im
+        );
+    }
+);
+runnable!(
+    FftInverseState,
+    auto = scalar,
+    buffers = |s| {
+        swan_simd::with_buffers!(
+            s.0.re_in, s.0.im_in, s.0.re, s.0.im, s.0.bitrev, s.0.tw_re, s.0.tw_im
+        );
+    }
+);
 
 swan_kernel!(
     /// Forward complex FFT (PFFFT `pffft_transform`).
@@ -350,7 +366,13 @@ impl ZconvolveState {
     }
 }
 
-runnable!(ZconvolveState, auto = neon);
+runnable!(
+    ZconvolveState,
+    auto = neon,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.a_re, s.a_im, s.b_re, s.b_im, s.acc_re, s.acc_im);
+    }
+);
 
 swan_kernel!(
     /// Spectral multiply-accumulate (PFFFT `pffft_zconvolve_accumulate`)

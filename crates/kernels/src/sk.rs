@@ -125,7 +125,13 @@ impl ConvolveHorizontalState {
     }
 }
 
-runnable!(ConvolveHorizontalState, auto = scalar);
+runnable!(
+    ConvolveHorizontalState,
+    auto = scalar,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.src, s.out);
+    }
+);
 
 swan_kernel!(
     /// Horizontal 4-tap RGBA convolution (Skia `ConvolveHorizontally`).
@@ -202,7 +208,13 @@ impl ConvolveVerticalState {
     }
 }
 
-runnable!(ConvolveVerticalState, auto = neon);
+runnable!(
+    ConvolveVerticalState,
+    auto = neon,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.src, s.out);
+    }
+);
 
 swan_kernel!(
     /// Vertical 4-tap RGBA convolution (Skia `ConvolveVertically`),
@@ -279,7 +291,13 @@ impl BlitRowState {
     }
 }
 
-runnable!(BlitRowState, auto = custom);
+runnable!(
+    BlitRowState,
+    auto = custom,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.src, s.dst, s.out);
+    }
+);
 
 impl BlitRowState {
     /// The compiler vectorizes this loop but with poor lane utilization
@@ -366,7 +384,13 @@ impl Memset32State {
     }
 }
 
-runnable!(Memset32State, auto = neon);
+runnable!(
+    Memset32State,
+    auto = neon,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.out);
+    }
+);
 
 swan_kernel!(
     /// 32-bit color fill (Skia `sk_memset32`).
@@ -433,7 +457,13 @@ impl BlendModulateState {
     }
 }
 
-runnable!(BlendModulateState, auto = neon);
+runnable!(
+    BlendModulateState,
+    auto = neon,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.src, s.dst, s.out);
+    }
+);
 
 swan_kernel!(
     /// Modulate (multiply) blend of two RGBA rows (Skia `SkBlendMode::kModulate`).

@@ -87,10 +87,22 @@ macro_rules! swan_kernel {
 /// methods. The `auto` argument selects what the compiler-vectorized
 /// build runs: `scalar` (vectorization failed), `neon` (vectorized at
 /// 128 bits), or `custom` (the state provides `fn auto(&mut self)`).
+///
+/// The mandatory `buffers` clause runs at `run()` entry and must
+/// register every buffer the kernel loads from or stores to
+/// (`swan_simd::with_buffers!`), so the trace's memory references are
+/// virtualized to host-layout-independent addresses. Forgetting a
+/// buffer falls back to deterministic-but-locality-blind anonymous
+/// mapping; `tests/golden_suite.rs` asserts the whole campaign never
+/// hits the fallback.
 macro_rules! runnable {
-    ($state:ty, auto = scalar) => {
+    ($state:ty, auto = scalar, buffers = |$s:ident| $reg:block) => {
         impl swan_core::Runnable for $state {
             fn run(&mut self, imp: swan_core::Impl, w: swan_simd::Width) {
+                {
+                    let $s: &Self = self;
+                    $reg
+                }
                 match imp {
                     swan_core::Impl::Scalar | swan_core::Impl::Auto => self.scalar(),
                     swan_core::Impl::Neon => self.neon(w),
@@ -101,9 +113,13 @@ macro_rules! runnable {
             }
         }
     };
-    ($state:ty, auto = neon) => {
+    ($state:ty, auto = neon, buffers = |$s:ident| $reg:block) => {
         impl swan_core::Runnable for $state {
             fn run(&mut self, imp: swan_core::Impl, w: swan_simd::Width) {
+                {
+                    let $s: &Self = self;
+                    $reg
+                }
                 match imp {
                     swan_core::Impl::Scalar => self.scalar(),
                     swan_core::Impl::Neon => self.neon(w),
@@ -115,9 +131,13 @@ macro_rules! runnable {
             }
         }
     };
-    ($state:ty, auto = custom) => {
+    ($state:ty, auto = custom, buffers = |$s:ident| $reg:block) => {
         impl swan_core::Runnable for $state {
             fn run(&mut self, imp: swan_core::Impl, w: swan_simd::Width) {
+                {
+                    let $s: &Self = self;
+                    $reg
+                }
                 match imp {
                     swan_core::Impl::Scalar => self.scalar(),
                     swan_core::Impl::Neon => self.neon(w),

@@ -71,7 +71,13 @@ impl AudibleState {
     }
 }
 
-runnable!(AudibleState, auto = scalar);
+runnable!(
+    AudibleState,
+    auto = scalar,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.input, s.out);
+    }
+);
 
 swan_kernel!(
     /// Frame-energy reduction (Blink `AudioBus::... IsAudible`), the
@@ -138,7 +144,13 @@ impl GainState {
     }
 }
 
-runnable!(GainState, auto = neon);
+runnable!(
+    GainState,
+    auto = neon,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.input, s.out);
+    }
+);
 
 swan_kernel!(
     /// Scalar gain over a stream (WebAudio `VectorMath::Vsmul`).
@@ -202,7 +214,13 @@ impl VectorAddState {
     }
 }
 
-runnable!(VectorAddState, auto = neon);
+runnable!(
+    VectorAddState,
+    auto = neon,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.a, s.b, s.out);
+    }
+);
 
 swan_kernel!(
     /// Stream addition (WebAudio `VectorMath::Vadd`).
@@ -269,7 +287,13 @@ impl VectorClipState {
     }
 }
 
-runnable!(VectorClipState, auto = neon);
+runnable!(
+    VectorClipState,
+    auto = neon,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.input, s.out);
+    }
+);
 
 swan_kernel!(
     /// Stream clamp to `[-1, 1]` (WebAudio `VectorMath::Vclip`).
@@ -344,7 +368,13 @@ impl ConvolveFirState {
     }
 }
 
-runnable!(ConvolveFirState, auto = scalar);
+runnable!(
+    ConvolveFirState,
+    auto = scalar,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.input, s.coefs, s.out);
+    }
+);
 
 swan_kernel!(
     /// Direct-form FIR convolution (WebAudio `DirectConvolver`);
@@ -415,7 +445,16 @@ impl MergeChannelsState {
     }
 }
 
-runnable!(MergeChannelsState, auto = neon);
+runnable!(
+    MergeChannelsState,
+    auto = neon,
+    buffers = |s| {
+        for bus in &s.buses {
+            swan_simd::with_buffers!(bus);
+        }
+        swan_simd::with_buffers!(s.out);
+    }
+);
 
 swan_kernel!(
     /// Summing-bus merge of four inputs (Blink `AudioBus::SumFrom`).

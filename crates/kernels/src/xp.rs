@@ -165,6 +165,7 @@ impl GemmF32State {
 
 impl Runnable for GemmF32State {
     fn run(&mut self, imp: Impl, w: Width) {
+        swan_simd::with_buffers!(self.a, self.b, self.out);
         match imp {
             Impl::Scalar => self.scalar(),
             Impl::Neon => self.neon(w),
@@ -298,7 +299,13 @@ impl GemmF16State {
     }
 }
 
-runnable!(GemmF16State, auto = scalar);
+runnable!(
+    GemmF16State,
+    auto = scalar,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.a, s.b, s.out);
+    }
+);
 
 swan_kernel!(
     /// FP16 dense GEMM (XNNPACK `f16_gemm`): double the VRE of FP32.
@@ -401,8 +408,20 @@ impl<const UNSIGNED: bool> GemmQ8State<UNSIGNED> {
     }
 }
 
-runnable!(GemmQ8State<false>, auto = neon);
-runnable!(GemmQ8State<true>, auto = neon);
+runnable!(
+    GemmQ8State<false>,
+    auto = neon,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.a, s.b, s.out);
+    }
+);
+runnable!(
+    GemmQ8State<true>,
+    auto = neon,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.a, s.b, s.out);
+    }
+);
 
 swan_kernel!(
     /// Signed 8-bit quantized GEMM (XNNPACK `qs8_gemm`).
@@ -577,6 +596,13 @@ impl<const P: u8> SpmmState<P> {
 
 impl<const P: u8> Runnable for SpmmState<P> {
     fn run(&mut self, imp: Impl, w: Width) {
+        swan_simd::with_buffers!(
+            self.w_f.row_ptr,
+            self.w_f.col_idx,
+            self.w_f.values,
+            self.b_f,
+            self.out_f
+        );
         match imp {
             Impl::Scalar | Impl::Auto => self.scalar(),
             Impl::Neon => self.neon(w),

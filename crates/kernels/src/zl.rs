@@ -95,7 +95,13 @@ impl Adler32State {
     }
 }
 
-runnable!(Adler32State, auto = scalar);
+runnable!(
+    Adler32State,
+    auto = scalar,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.data);
+    }
+);
 
 swan_kernel!(
     /// Adler-32 checksum (zlib `adler32`), the Figure 5(a) sequential-
@@ -254,7 +260,13 @@ impl Crc32State {
     }
 }
 
-runnable!(Crc32State, auto = scalar);
+runnable!(
+    Crc32State,
+    auto = scalar,
+    buffers = |s| {
+        swan_simd::with_buffers!(s.data, s.table, s.init);
+    }
+);
 
 swan_kernel!(
     /// CRC-32 checksum (zlib `crc32`): table chain scalar vs `PMULL`

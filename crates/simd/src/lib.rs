@@ -51,6 +51,9 @@ pub mod width;
 
 pub use elem::{Elem, Half};
 pub use scalar::Tr;
-pub use trace::{stream_into, Class, Mode, Op, Session, TraceData, TraceInstr, TraceSink, VecSink};
+pub use trace::{
+    stream_into, BufferRegistry, Class, HashSink, Mode, Op, Session, TraceData, TraceInstr,
+    TraceSink, VecSink,
+};
 pub use vreg::Vreg;
 pub use width::Width;

@@ -141,8 +141,12 @@ impl Op {
 /// Memory reference attached to a load/store instruction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MemRef {
-    /// Byte address (host address of the accessed slice element, which
-    /// gives the cache model a realistic, stable layout).
+    /// Byte address. In a recorded trace this is a *virtual* address:
+    /// intrinsics capture the host address of the accessed slice
+    /// element, and the session's [`BufferRegistry`] rewrites it into
+    /// a synthetic, registration-order-derived space before it reaches
+    /// any sink — so identical executions trace identical addresses
+    /// regardless of where the host allocator placed the buffers.
     pub addr: u64,
     /// Access footprint in bytes.
     pub bytes: u32,
@@ -241,6 +245,69 @@ impl TraceSink for VecSink {
     }
 }
 
+/// Order-sensitive FNV-1a digest of a dynamic-instruction stream, in
+/// O(1) memory. Two streams hash equal iff every field of every
+/// instruction — op, class, dataflow edges, and (virtualized) memory
+/// reference — is identical, which is exactly the golden-suite
+/// byte-reproducibility contract.
+#[derive(Clone, Debug)]
+pub struct HashSink {
+    hash: u64,
+    count: u64,
+}
+
+impl Default for HashSink {
+    fn default() -> Self {
+        HashSink {
+            hash: 0xcbf2_9ce4_8422_2325,
+            count: 0,
+        }
+    }
+}
+
+impl HashSink {
+    /// A fresh digest.
+    pub fn new() -> HashSink {
+        HashSink::default()
+    }
+
+    #[inline]
+    fn mix(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.hash = (self.hash ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// The digest so far.
+    pub fn digest(&self) -> u64 {
+        self.hash
+    }
+
+    /// Instructions hashed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl TraceSink for HashSink {
+    fn on_instr(&mut self, ins: &TraceInstr) {
+        self.count += 1;
+        self.mix(((ins.op as u64) << 32) | ((ins.class as u64) << 16) | ins.nsrc as u64);
+        self.mix(ins.dst as u64);
+        for i in 0..ins.nsrc as usize {
+            self.mix(ins.srcs[i] as u64);
+        }
+        match ins.mem {
+            Some(m) => {
+                self.mix(1);
+                self.mix(m.addr);
+                self.mix(m.bytes as u64);
+            }
+            None => self.mix(0),
+        }
+    }
+}
+
 /// Tracing mode.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Mode {
@@ -257,6 +324,259 @@ pub enum Mode {
 /// any userspace host address, so pool lines never alias real
 /// buffers in the cache model).
 const LITERAL_POOL_BASE: u64 = 0xFFFF_F000_0000_0000;
+
+// ---------------------------------------------------------------------
+// Buffer address virtualization
+// ---------------------------------------------------------------------
+
+/// Base of the virtual buffer arenas. One arena per size class, each
+/// [`BUF_ARENA_BYTES`] wide, all far above any userspace host address
+/// and disjoint from the anonymous pool and the literal pool.
+const BUF_ARENA_BASE: u64 = 0xF000_0000_0000_0000;
+/// log2 of one size-class arena (1 PiB per class).
+const BUF_ARENA_SHIFT: u32 = 50;
+/// Smallest size class: buffers shorter than 4 KiB share its slots.
+const BUF_MIN_CLASS: u32 = 12;
+/// Largest supported size class (64 TiB buffer).
+const BUF_MAX_CLASS: u32 = 46;
+/// Guard gap between slots, so next-line prefetches past the end of
+/// one buffer never walk into the next one.
+const BUF_GUARD: u64 = 4096;
+/// Base of the anonymous first-touch pool for unregistered addresses.
+const ANON_POOL_BASE: u64 = 0xFFFE_0000_0000_0000;
+/// Cache-line granularity of the anonymous pool.
+const ANON_LINE: u64 = 64;
+
+/// One registered buffer: a host address range and its virtual base.
+#[derive(Clone, Copy, Debug)]
+struct BufRange {
+    host: u64,
+    bytes: u64,
+    virt: u64,
+}
+
+/// Per-session virtual address space for traced memory.
+///
+/// Every kernel buffer registered here (see [`register_slice`] and the
+/// `swan_simd::with_buffers!` helper) is assigned a *synthetic* base
+/// address derived only from its size class and the registration order
+/// within that class — never from where the host allocator happened to
+/// put it. [`BufferRegistry::translate`] then rewrites each traced
+/// [`MemRef`] so the cache model sees a host-layout-independent address
+/// stream: the same kernel, scale, and seed produce bit-identical
+/// traces across runs, processes, and machines.
+///
+/// Layout guarantees:
+///
+/// * same registration sequence (sizes, in order) ⇒ same virtual bases;
+/// * distinct live buffers never alias: each class-`c` slot is
+///   `2^c + 4 KiB` wide, so ranges (plus a prefetch guard gap) are
+///   disjoint within a class, and classes live in disjoint arenas;
+/// * offsets within a buffer are preserved exactly, so spatial
+///   locality matches the host run;
+/// * virtual bases are 4 KiB-aligned, normalizing away host `malloc`
+///   alignment jitter.
+///
+/// Addresses not covered by any registered buffer fall back to an
+/// anonymous pool that maps each touched host cache line to the next
+/// free virtual line (offset within the line preserved). First-touch
+/// order is deterministic for rerun-deterministic kernels, so even
+/// unregistered traffic reproduces within a container — but only
+/// registered buffers carry cross-line spatial locality, so kernels
+/// must register everything they stream through (the golden-suite test
+/// asserts the fallback is never hit by the 59-kernel campaign).
+#[derive(Debug)]
+pub struct BufferRegistry {
+    /// Registered ranges, sorted by host base.
+    ranges: Vec<BufRange>,
+    /// Next free slot index per size class.
+    class_next: [u64; (BUF_MAX_CLASS + 1) as usize],
+    /// Anonymous fallback: host line -> virtual line index.
+    anon: HashMap<u64, u64>,
+    /// Number of `translate` calls answered by the fallback pool.
+    anon_refs: u64,
+    /// Index of the most recently hit range (loads stream through one
+    /// buffer at a time, so this caches almost every lookup).
+    last: usize,
+}
+
+impl Default for BufferRegistry {
+    fn default() -> BufferRegistry {
+        BufferRegistry {
+            ranges: Vec::new(),
+            class_next: [0; (BUF_MAX_CLASS + 1) as usize],
+            anon: HashMap::new(),
+            anon_refs: 0,
+            last: 0,
+        }
+    }
+}
+
+impl BufferRegistry {
+    /// An empty registry.
+    pub fn new() -> BufferRegistry {
+        BufferRegistry::default()
+    }
+
+    /// Number of registered buffers.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Whether no buffer has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Number of translations that missed every registered buffer and
+    /// were answered by the anonymous first-touch pool.
+    pub fn fallback_refs(&self) -> u64 {
+        self.anon_refs
+    }
+
+    /// Size class of a buffer: log2 of the slot capacity.
+    fn class_of(bytes: u64) -> u32 {
+        let c = bytes.next_power_of_two().trailing_zeros();
+        c.max(BUF_MIN_CLASS)
+    }
+
+    /// Register a host buffer `[host, host + bytes)`; returns its
+    /// virtual base. Registering a range already covered by (or
+    /// identical to) an existing registration is a no-op returning the
+    /// established mapping, so re-running a kernel inside one session
+    /// re-registers harmlessly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range partially overlaps an existing registration
+    /// (two live Rust buffers cannot overlap; a partial overlap means
+    /// a stale registration from freed memory) or exceeds the largest
+    /// supported size class.
+    pub fn register(&mut self, host: u64, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        let idx = self.ranges.partition_point(|r| r.host <= host);
+        if idx > 0 {
+            let prev = self.ranges[idx - 1];
+            if host + bytes <= prev.host + prev.bytes {
+                // Fully contained (idempotent re-registration or a
+                // sub-slice of a registered buffer).
+                return prev.virt + (host - prev.host);
+            }
+            assert!(
+                host >= prev.host + prev.bytes,
+                "buffer registration [{host:#x}, +{bytes}) overlaps [{:#x}, +{})",
+                prev.host,
+                prev.bytes
+            );
+        }
+        if let Some(next) = self.ranges.get(idx) {
+            assert!(
+                host + bytes <= next.host,
+                "buffer registration [{host:#x}, +{bytes}) overlaps [{:#x}, +{})",
+                next.host,
+                next.bytes
+            );
+        }
+        let class = Self::class_of(bytes);
+        assert!(
+            class <= BUF_MAX_CLASS,
+            "buffer of {bytes} bytes exceeds the largest size class"
+        );
+        let slot = (1u64 << class) + BUF_GUARD;
+        let n = self.class_next[class as usize];
+        self.class_next[class as usize] = n + 1;
+        let off = n * slot;
+        assert!(
+            off + (1u64 << class) < 1u64 << BUF_ARENA_SHIFT,
+            "size class {class} arena exhausted"
+        );
+        let virt = BUF_ARENA_BASE + ((class as u64) << BUF_ARENA_SHIFT) + off;
+        self.ranges.insert(idx, BufRange { host, bytes, virt });
+        self.last = idx;
+        virt
+    }
+
+    /// Translate a host byte address into the virtual space. Addresses
+    /// inside a registered buffer map to `virt_base + offset`; anything
+    /// else goes through the anonymous first-touch line pool.
+    pub fn translate(&mut self, addr: u64) -> u64 {
+        if let Some(r) = self.ranges.get(self.last) {
+            if addr >= r.host && addr < r.host + r.bytes {
+                return r.virt + (addr - r.host);
+            }
+        }
+        let idx = self.ranges.partition_point(|r| r.host <= addr);
+        if idx > 0 {
+            let r = self.ranges[idx - 1];
+            if addr < r.host + r.bytes {
+                self.last = idx - 1;
+                return r.virt + (addr - r.host);
+            }
+        }
+        self.anon_refs += 1;
+        let next = self.anon.len() as u64;
+        let line = *self.anon.entry(addr / ANON_LINE).or_insert(next);
+        ANON_POOL_BASE + line * ANON_LINE + (addr % ANON_LINE)
+    }
+
+    /// Translate a memory reference (address mapped, footprint kept).
+    pub fn translate_ref(&mut self, mem: MemRef) -> MemRef {
+        MemRef {
+            addr: self.translate(mem.addr),
+            bytes: mem.bytes,
+        }
+    }
+
+    /// Forget all registrations and fallback mappings.
+    pub fn clear(&mut self) {
+        self.ranges.clear();
+        self.class_next = [0; (BUF_MAX_CLASS + 1) as usize];
+        self.anon.clear();
+        self.anon_refs = 0;
+        self.last = 0;
+    }
+}
+
+/// Register a buffer slice with the active session's
+/// [`BufferRegistry`] so its traced loads/stores are virtualized.
+/// No-op outside a [`Mode::Full`] session. Prefer the
+/// `swan_simd::with_buffers!` macro, which registers several buffers
+/// at once.
+pub fn register_slice<T>(s: &[T]) {
+    if s.is_empty() {
+        return;
+    }
+    TRACER.with(|t| {
+        let mut t = t.borrow_mut();
+        if t.mode != Mode::Full {
+            return;
+        }
+        t.bufs
+            .register(s.as_ptr() as u64, std::mem::size_of_val(s) as u64);
+    });
+}
+
+/// Number of [`MemRef`] translations in the current session answered
+/// by the anonymous fallback pool instead of a registered buffer
+/// (0 when every traced access hit a registered buffer).
+pub fn buffer_fallback_refs() -> u64 {
+    TRACER.with(|t| t.borrow().bufs.fallback_refs())
+}
+
+/// Register each listed buffer (anything indexable to a slice, e.g.
+/// `Vec<T>` or an array) with the active trace session's
+/// [`trace::BufferRegistry`](crate::trace::BufferRegistry). Kernels
+/// call this on entry to `run` for every buffer they load from or
+/// store to, making the traced address stream independent of the host
+/// allocator's layout.
+#[macro_export]
+macro_rules! with_buffers {
+    ($($buf:expr),+ $(,)?) => {
+        $($crate::trace::register_slice(&$buf[..]);)+
+    };
+}
 
 struct Tracer {
     mode: Mode,
@@ -276,6 +596,10 @@ struct Tracer {
     /// bit-identical.
     lit_pool: HashMap<Vec<u8>, u64>,
     lit_next: u64,
+    /// Buffer virtualization: every load/store [`MemRef`] is rewritten
+    /// from its host address into the registry's synthetic space, the
+    /// buffer-level generalization of the literal pool.
+    bufs: BufferRegistry,
 }
 
 impl Default for Tracer {
@@ -290,6 +614,7 @@ impl Default for Tracer {
             ext: None,
             lit_pool: HashMap::new(),
             lit_next: LITERAL_POOL_BASE,
+            bufs: BufferRegistry::new(),
         }
     }
 }
@@ -401,6 +726,7 @@ impl Session {
             t.ext = ext;
             t.lit_pool.clear();
             t.lit_next = LITERAL_POOL_BASE;
+            t.bufs.clear();
         });
         Session { done: false }
     }
@@ -538,7 +864,9 @@ fn emit_inner(t: &mut Tracer, op: Op, class: Class, srcs: &[u32], mem: Option<Me
 }
 
 /// Emit one dynamic instruction; returns the fresh destination value id
-/// (0 when tracing is off).
+/// (0 when tracing is off). Memory references are translated through
+/// the session's [`BufferRegistry`] in [`Mode::Full`], so the recorded
+/// trace never contains a host address.
 #[inline]
 pub(crate) fn emit(op: Op, class: Class, srcs: &[u32], mem: Option<MemRef>) -> u32 {
     TRACER.with(|t| {
@@ -546,7 +874,13 @@ pub(crate) fn emit(op: Op, class: Class, srcs: &[u32], mem: Option<MemRef>) -> u
         if t.mode == Mode::Off {
             return 0;
         }
-        emit_inner(&mut t, op, class, srcs, mem)
+        let t = &mut *t;
+        let mem = if t.mode == Mode::Full {
+            mem.map(|m| t.bufs.translate_ref(m))
+        } else {
+            mem
+        };
+        emit_inner(t, op, class, srcs, mem)
     })
 }
 
@@ -804,6 +1138,191 @@ mod tests {
         assert_eq!(batch.instrs, sink.instrs);
         assert_eq!(batch.by_op, streamed.by_op);
         assert_eq!(batch.by_class, streamed.by_class);
+    }
+
+    #[test]
+    fn registry_same_sequence_same_bases() {
+        let mut a = BufferRegistry::new();
+        let mut b = BufferRegistry::new();
+        let sizes = [4096u64, 100, 65536, 100, 4097];
+        let va: Vec<u64> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| a.register(0x7000_0000 + i as u64 * 0x10_0000, s))
+            .collect();
+        // Different host bases, same size sequence.
+        let vb: Vec<u64> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| b.register(0x1234_5000 + i as u64 * 0x20_0000, s))
+            .collect();
+        assert_eq!(va, vb, "bases depend only on size class + order");
+        // 100-byte buffers share the 4 KiB size class: consecutive
+        // slots advance by class size + guard.
+        assert_eq!(va[3], va[1] + 4096 + BUF_GUARD);
+    }
+
+    #[test]
+    fn registry_distinct_buffers_never_alias() {
+        let mut r = BufferRegistry::new();
+        let sizes = [1u64, 64, 4096, 4097, 100_000, 64, 1 << 20];
+        let mut spans: Vec<(u64, u64)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (r.register(0x10_0000 + i as u64 * 0x100_0000, s), s))
+            .collect();
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            assert!(
+                w[0].0 + w[0].1 + BUF_GUARD <= w[1].0,
+                "slots must be disjoint with a guard gap: {spans:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn registry_translation_preserves_offsets() {
+        let mut r = BufferRegistry::new();
+        let base = r.register(0x5000, 1000);
+        assert_eq!(r.translate(0x5000), base);
+        assert_eq!(r.translate(0x5000 + 999), base + 999);
+        assert_eq!(base % 4096, 0, "virtual bases are page-aligned");
+        // Idempotent re-registration (second run in one session).
+        assert_eq!(r.register(0x5000, 1000), base);
+        // A sub-slice maps through the containing buffer.
+        assert_eq!(r.register(0x5010, 100), base + 0x10);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn registry_partial_overlap_panics() {
+        let mut r = BufferRegistry::new();
+        r.register(0x5000, 1000);
+        r.register(0x5100, 5000);
+    }
+
+    #[test]
+    fn registry_fallback_is_first_touch_deterministic() {
+        let mut a = BufferRegistry::new();
+        let mut b = BufferRegistry::new();
+        for addr in [0x9000u64, 0x9008, 0x9100, 0x9000, 0xABCD] {
+            assert_eq!(a.translate(addr), b.translate(addr));
+        }
+        // Same line -> same virtual line; offset preserved.
+        assert_eq!(a.translate(0x9008), a.translate(0x9000) + 8);
+        assert!(a.fallback_refs() > 0);
+        // Registered buffers do not bump the fallback counter.
+        let before = a.fallback_refs();
+        let base = a.register(0x20_0000, 4096);
+        assert_eq!(a.translate(0x20_0040), base + 0x40);
+        assert_eq!(a.fallback_refs(), before);
+    }
+
+    #[test]
+    fn emit_translates_mem_through_session_registry() {
+        let data = vec![0u8; 256];
+        let s = Session::begin(Mode::Full);
+        register_slice(&data);
+        emit(
+            Op::VLd1,
+            Class::VLoad,
+            &[],
+            Some(MemRef {
+                addr: data.as_ptr() as u64 + 32,
+                bytes: 16,
+            }),
+        );
+        let d = s.finish();
+        let m = d.instrs[0].mem.unwrap();
+        assert!(
+            m.addr >= BUF_ARENA_BASE && m.addr < ANON_POOL_BASE,
+            "registered access must map into a buffer arena: {:#x}",
+            m.addr
+        );
+        assert_eq!(m.addr % 4096, 32, "offset within the buffer preserved");
+        assert_eq!(buffer_fallback_refs(), 0);
+    }
+
+    #[test]
+    fn merge_accumulates_histograms_and_concatenates() {
+        let mk = |ops: &[(Op, Class)]| {
+            let s = Session::begin(Mode::Full);
+            for &(op, class) in ops {
+                emit(op, class, &[], None);
+            }
+            s.finish()
+        };
+        let a = mk(&[(Op::VAlu, Class::VInt), (Op::SLoad, Class::SInt)]);
+        let b = mk(&[
+            (Op::VAlu, Class::VInt),
+            (Op::SFma, Class::SFloat),
+            (Op::SBranch, Class::SInt),
+        ]);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab.total(), a.total() + b.total());
+        assert_eq!(ab.op_count(Op::VAlu), 2);
+        assert_eq!(ab.op_count(Op::SFma), 1);
+        assert_eq!(ab.class_count(Class::SInt), 2);
+        assert_eq!(ab.instrs.len(), a.instrs.len() + b.instrs.len());
+        assert_eq!(&ab.instrs[..a.instrs.len()], &a.instrs[..]);
+        assert_eq!(&ab.instrs[a.instrs.len()..], &b.instrs[..]);
+
+        // Histogram totals are order-independent (commutative add)...
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ba.by_op, ab.by_op);
+        assert_eq!(ba.by_class, ab.by_class);
+        // ...and associative.
+        let c = mk(&[(Op::VSt1, Class::VStore)]);
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c.by_op, a_bc.by_op);
+        assert_eq!(ab_c.by_class, a_bc.by_class);
+        assert_eq!(ab_c.instrs, a_bc.instrs);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let s = Session::begin(Mode::Full);
+        emit(Op::VMul, Class::VInt, &[], None);
+        let a = s.finish();
+        let mut m = a.clone();
+        m.merge(&TraceData::default());
+        assert_eq!(m.by_op, a.by_op);
+        assert_eq!(m.by_class, a.by_class);
+        assert_eq!(m.instrs, a.instrs);
+    }
+
+    #[test]
+    fn hash_sink_distinguishes_streams() {
+        let run = |addr: u64| {
+            let (_, h, ()) = stream_into(HashSink::new(), || {
+                let a = emit(
+                    Op::VLd1,
+                    Class::VLoad,
+                    &[],
+                    Some(MemRef { addr, bytes: 16 }),
+                );
+                emit(Op::VAlu, Class::VInt, &[a], None);
+            });
+            (h.digest(), h.count())
+        };
+        let (h1, n1) = run(0);
+        let (h2, n2) = run(0);
+        assert_eq!(h1, h2, "identical streams hash identically");
+        assert_eq!((n1, n2), (2, 2));
+        // 0 and 64 are distinct *lines* and the anonymous pool maps
+        // first touches identically — but a different offset within
+        // the line survives virtualization and must change the digest.
+        let (h3, _) = run(8);
+        assert_ne!(h1, h3, "a differing address must change the digest");
     }
 
     #[test]

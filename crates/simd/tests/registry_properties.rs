@@ -1,0 +1,114 @@
+//! Property-based tests of the tracer's determinism machinery: value-id
+//! wraparound arithmetic and the buffer-address virtualization registry.
+
+use proptest::prelude::*;
+use swan_simd::trace::{advance_value_id, next_value_id};
+use swan_simd::BufferRegistry;
+
+/// Host spacing used to lay out non-overlapping synthetic buffers.
+const SPACING: u64 = 1 << 28;
+
+fn host_base(i: usize, jitter: u64) -> u64 {
+    0x1000_0000 + i as u64 * SPACING + (jitter % 4096)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn next_value_id_never_yields_the_sentinel(id: u32) {
+        let n = next_value_id(id);
+        prop_assert_ne!(n, 0, "0 is the no-value sentinel");
+        if id != 0 && id != u32::MAX {
+            prop_assert_eq!(n, id + 1);
+        }
+    }
+
+    #[test]
+    fn advance_matches_iterated_stepping(seed: u32, n in 0u64..4096) {
+        // Exercise the wrap region as often as the middle of the range.
+        let id = if seed.is_multiple_of(2) {
+            u32::MAX - (seed % 5000)
+        } else {
+            seed.max(1)
+        };
+        let mut it = id;
+        for _ in 0..n {
+            it = next_value_id(it);
+        }
+        prop_assert_eq!(advance_value_id(id, n), it);
+        prop_assert_ne!(advance_value_id(id, n), 0);
+    }
+
+    #[test]
+    fn advance_is_additive_and_periodic(seed: u32, a in 0u64..u32::MAX as u64, b in 0u64..u32::MAX as u64) {
+        let id = seed.max(1);
+        prop_assert_eq!(
+            advance_value_id(id, a + b),
+            advance_value_id(advance_value_id(id, a), b)
+        );
+        prop_assert_eq!(advance_value_id(id, u32::MAX as u64), id, "full period");
+    }
+
+    #[test]
+    fn registry_same_sequence_of_sizes_gives_same_bases(
+        sizes in proptest::collection::vec(1u64..(1 << 22), 1..24),
+        jitter_a: u64,
+        jitter_b: u64,
+    ) {
+        let mut a = BufferRegistry::new();
+        let mut b = BufferRegistry::new();
+        let va: Vec<u64> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| a.register(host_base(i, jitter_a), s))
+            .collect();
+        let vb: Vec<u64> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| b.register(host_base(i, jitter_b), s))
+            .collect();
+        prop_assert_eq!(
+            va, vb,
+            "virtual bases must depend only on the size sequence, \
+             never on host placement"
+        );
+    }
+
+    #[test]
+    fn registry_distinct_live_buffers_never_alias(
+        sizes in proptest::collection::vec(1u64..(1 << 22), 2..24),
+        jitter: u64,
+    ) {
+        let mut r = BufferRegistry::new();
+        let mut spans: Vec<(u64, u64)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (r.register(host_base(i, jitter), s), s))
+            .collect();
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            prop_assert!(
+                w[0].0 + w[0].1 <= w[1].0,
+                "virtual ranges alias: {:?}",
+                w
+            );
+        }
+    }
+
+    #[test]
+    fn registry_translation_preserves_intra_buffer_offsets(
+        size in 1u64..(1 << 20),
+        offsets in proptest::collection::vec(any::<u64>(), 8),
+        jitter: u64,
+    ) {
+        let mut r = BufferRegistry::new();
+        let host = host_base(0, jitter);
+        let base = r.register(host, size);
+        for &o in &offsets {
+            let o = o % size;
+            prop_assert_eq!(r.translate(host + o), base + o);
+        }
+        prop_assert_eq!(r.fallback_refs(), 0);
+    }
+}

@@ -90,6 +90,38 @@ proptest! {
         prop_assert!(r.be_stall_cycles <= r.cycles);
     }
 
+    /// The cache model is address-translation-invariant: relocating a
+    /// whole trace by any page-aligned offset — in particular up into
+    /// the tracer's virtual buffer arenas near the top of the 64-bit
+    /// space — changes no timing or cache statistic. This is what lets
+    /// the uarch layer consume virtualized addresses unchanged.
+    #[test]
+    fn simulation_invariant_under_page_aligned_relocation(
+        n in 300u32..3000,
+        page in 0u64..1024,
+    ) {
+        let t = synth_trace(n, true, false);
+        let a = simulate(&t, &CoreConfig::prime());
+        // Snapdragon 855 L1D: 64 KiB / 4-way / 64 B lines = 256 sets,
+        // so set indices repeat every 16 KiB; relocate by multiples of
+        // the largest set span (LLC: 2 MiB / 8-way = 4096 sets,
+        // 256 KiB span).
+        for base in [
+            page * (256 << 10),
+            0xF000_0000_0000_0000u64 + page * (256 << 10),
+            0xFFFE_0000_0000_0000u64,
+        ] {
+            let mut moved = t.clone();
+            for ins in &mut moved.instrs {
+                if let Some(m) = &mut ins.mem {
+                    m.addr += base;
+                }
+            }
+            let b = simulate(&moved, &CoreConfig::prime());
+            prop_assert_eq!(&a, &b, "relocation by {:#x} changed the simulation", base);
+        }
+    }
+
     #[test]
     fn energy_positive_and_scales_with_width_factor(n in 100u32..1000) {
         use swan_uarch::EnergyModel;

@@ -1,9 +1,12 @@
-//! `swan-report` — regenerate the paper's tables and figures.
+//! `swan-report` — regenerate the paper's tables and figures, and
+//! maintain the golden regression baseline.
 //!
 //! Usage:
 //!
 //! ```text
 //! swan-report [--quick | --scale F] [--seed N] [--threads N] <what>...
+//! swan-report [--scale F] [--seed N] [--threads N] --write-golden <path>
+//! swan-report [--scale F] [--seed N] [--threads N] --golden <path>
 //! ```
 //!
 //! where `<what>` is any of `tab2 tab3 fig1 fig2 fig3 tab4 tab5 fig4
@@ -12,20 +15,33 @@
 //! cache-pressure regimes); `--quick` runs a much smaller scale for a
 //! fast smoke pass. `--threads N` shards the measurement campaign
 //! across N worker threads (default: all available cores).
+//!
+//! `--write-golden` measures the full 59 × {Scalar, Auto, Neon}
+//! campaign and writes the canonical baseline JSON; `--golden`
+//! re-measures and diffs against the committed baseline, exiting
+//! non-zero on any drift. Both default to the quick scale and seed 42
+//! (the committed `tests/golden/suite.json` parameters) unless
+//! `--scale`/`--seed` are given explicitly.
 
 use swan_core::report::{self, SuiteResults};
-use swan_core::{Scale, SuiteRunner};
+use swan_core::{golden, Scale, SuiteRunner};
 use swan_kernels::xp::{conv_layers, GemmF32, Shape, SpmmF32};
 
 fn main() {
     let mut scale = Scale::sim();
+    let mut scale_explicit = false;
     let mut seed = 42u64;
     let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut golden_write: Option<String> = None;
+    let mut golden_check: Option<String> = None;
     let mut wants: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--quick" => scale = Scale::quick(),
+            "--quick" => {
+                scale = Scale::quick();
+                scale_explicit = true;
+            }
             "--scale" => {
                 let v: f64 = args
                     .next()
@@ -33,6 +49,7 @@ fn main() {
                     .parse()
                     .expect("invalid scale");
                 scale = Scale(v);
+                scale_explicit = true;
             }
             "--seed" => {
                 seed = args
@@ -49,9 +66,74 @@ fn main() {
                     .expect("invalid thread count")
                     .max(1);
             }
+            "--write-golden" => {
+                golden_write = Some(args.next().expect("--write-golden needs a path"));
+            }
+            "--golden" => {
+                golden_check = Some(args.next().expect("--golden needs a path"));
+            }
             other => wants.push(other.to_string()),
         }
     }
+
+    if golden_write.is_some() || golden_check.is_some() {
+        if !wants.is_empty() {
+            eprintln!(
+                "warning: golden mode ignores table/figure tokens: {}",
+                wants.join(" ")
+            );
+        }
+        // The committed baseline is generated at the quick scale.
+        if !scale_explicit {
+            scale = Scale::quick();
+        }
+        // Read the baseline up front so a bad path fails in
+        // milliseconds, not after the whole campaign has run.
+        let check = golden_check.map(|path| {
+            let expected = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("read golden baseline {path}: {e}"));
+            (path, expected)
+        });
+        let kernels = swan_kernels::all_kernels();
+        let t0 = std::time::Instant::now();
+        eprintln!(
+            "collecting golden campaign at scale {:.5} (seed {seed}, {threads} thread{})...",
+            scale.0,
+            if threads == 1 { "" } else { "s" }
+        );
+        let entries = golden::collect(&kernels, scale, seed, threads, |msg| {
+            eprintln!("  [{:6.1}s] {msg}", t0.elapsed().as_secs_f32());
+        });
+        let actual = golden::to_json(scale, seed, &entries);
+        if let Some(path) = golden_write {
+            std::fs::write(&path, &actual).expect("write golden baseline");
+            eprintln!(
+                "wrote {} entries to {path} in {:.1}s",
+                entries.len(),
+                t0.elapsed().as_secs_f32()
+            );
+        }
+        if let Some((path, expected)) = check {
+            match golden::diff(&expected, &actual, 40) {
+                None => eprintln!(
+                    "golden check OK: {} entries match {path} ({:.1}s)",
+                    entries.len(),
+                    t0.elapsed().as_secs_f32()
+                ),
+                Some(d) => {
+                    eprintln!("golden check FAILED against {path}:");
+                    eprint!("{d}");
+                    eprintln!(
+                        "(regenerate with `swan-report --write-golden {path}` \
+                         if the change is intended)"
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        return;
+    }
+
     if wants.is_empty() {
         wants.push("all".to_string());
     }

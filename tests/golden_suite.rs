@@ -1,0 +1,85 @@
+//! Golden-suite regression gate.
+//!
+//! The address-virtualized tracer promises that a given (kernel,
+//! implementation, scale, seed) produces a bit-identical dynamic
+//! instruction stream — including every memory address — on every
+//! run, every process, and every machine. These tests hold the whole
+//! 59-kernel campaign to that promise and pin the results to the
+//! committed `tests/golden/suite.json` baseline, so any change to
+//! kernels, tracer, or timing model shows up as a reviewable diff
+//! (regenerate with `swan-report --write-golden tests/golden/suite.json`).
+
+use swan_core::golden;
+use swan_core::{capture, Impl, Scale};
+use swan_simd::Width;
+
+/// The committed baseline's parameters: quick scale, seed 42.
+const GOLDEN_SEED: u64 = 42;
+
+fn baseline_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/suite.json")
+}
+
+/// The full campaign, run twice in-process, must be byte-identical —
+/// trace digests (covering every instruction field and address) and
+/// cycle/cache statistics alike — with every memory reference
+/// resolved through a registered buffer, and must match the committed
+/// baseline exactly.
+#[test]
+fn golden_suite_reproduces_and_matches_baseline() {
+    let kernels = swan_kernels::all_kernels();
+    let scale = Scale::quick();
+
+    let first = golden::collect(&kernels, scale, GOLDEN_SEED, 1, |_| {});
+    let second = golden::collect(&kernels, scale, GOLDEN_SEED, 1, |_| {});
+    assert_eq!(
+        first, second,
+        "two in-process campaigns must be byte-identical"
+    );
+    for e in &first {
+        assert_eq!(
+            e.fallback_refs, 0,
+            "{} {:?}: every traced access must hit a registered buffer \
+             (a fallback means the kernel forgot a with_buffers! entry)",
+            e.id, e.imp
+        );
+    }
+
+    let actual = golden::to_json(scale, GOLDEN_SEED, &first);
+    let expected = std::fs::read_to_string(baseline_path())
+        .expect("committed baseline tests/golden/suite.json");
+    if let Some(d) = golden::diff(&expected, &actual, 40) {
+        panic!(
+            "campaign drifted from the committed golden baseline:\n{d}\
+             regenerate with `swan-report --write-golden tests/golden/suite.json` \
+             if the change is intended"
+        );
+    }
+}
+
+/// The stronger form of trace byte-identity for a representative
+/// sample: the *complete materialized* `TraceData` — every
+/// `TraceInstr` including virtualized addresses — is equal across two
+/// fresh instantiations, which is exactly what host-layout
+/// independence means (the second instance's buffers live at
+/// different host addresses).
+#[test]
+fn materialized_traces_are_instantiation_independent() {
+    let kernels = swan_kernels::all_kernels();
+    for id in ["ZL.crc32", "BS.aes128_ctr", "XP.gemm_f32", "PF.fft_forward"] {
+        let kernel = kernels
+            .iter()
+            .find(|k| k.meta().id() == id)
+            .expect("representative kernel");
+        for imp in [Impl::Scalar, Impl::Neon] {
+            let (a, _) = capture(kernel.as_ref(), imp, Width::W128, Scale::test(), 9);
+            let (b, _) = capture(kernel.as_ref(), imp, Width::W128, Scale::test(), 9);
+            assert_eq!(a.by_op, b.by_op, "{id} {imp:?}");
+            assert_eq!(
+                a.instrs, b.instrs,
+                "{id} {imp:?}: traces from two instantiations must be \
+                 bit-identical (addresses included)"
+            );
+        }
+    }
+}

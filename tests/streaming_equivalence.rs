@@ -164,11 +164,11 @@ fn measure_multi_is_consistent_with_single_measures() {
     assert_eq!(single.work_ops, multi[0].work_ops);
 }
 
-/// Suite level: the parallel campaign produces the same per-kernel
-/// dynamic-instruction data as the serial one, in the same order.
-/// (Timing-side fields depend on host buffer addresses, which differ
-/// between instantiations; the address-independent fields must agree
-/// exactly.)
+/// Suite level: the parallel campaign produces *bit-identical*
+/// per-kernel results to the serial one, in the same order. Buffer
+/// address virtualization makes the entire measurement — timing and
+/// cache statistics included — independent of which thread (and which
+/// host allocation) instantiated the kernel.
 #[test]
 fn parallel_campaign_matches_serial_run_suite() {
     let kernels: Vec<_> = swan::suite().into_iter().take(8).collect();
@@ -187,13 +187,12 @@ fn parallel_campaign_matches_serial_run_suite() {
             ("scalar_silver", &s.scalar_silver, &p.scalar_silver),
         ] {
             assert_eq!(a.trace.by_op, b.trace.by_op, "{} {which}", s.meta.id());
-            assert_eq!(a.sim.instrs, b.sim.instrs, "{} {which}", s.meta.id());
             assert_eq!(a.work_ops, b.work_ops, "{} {which}", s.meta.id());
-            let (ca, cb) = (a.sim.cycles as f64, b.sim.cycles as f64);
-            let rel = (ca - cb).abs() / ca.max(1.0);
-            assert!(
-                rel < 0.05,
-                "{} {which}: cycles diverge {rel:.4} ({ca} vs {cb})",
+            assert_eq!(
+                a.sim,
+                b.sim,
+                "{} {which}: virtualized addresses make sharded and \
+                 serial measurements bit-identical",
                 s.meta.id()
             );
         }
