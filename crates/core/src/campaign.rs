@@ -1,24 +1,32 @@
-//! Suite-level measurement campaign.
+//! Suite-level measurement campaign: plan → execute → aggregate.
 //!
-//! [`measure_kernel`] produces every measurement the report generators
-//! need for one kernel through the streaming fan-out path: each traced
-//! kernel execution drives all the core configurations that share its
-//! instruction stream at once (Prime/Gold/Silver, plus the Figure 5(b)
-//! sweep for the representative kernels), instead of the batch flow's
-//! up-to-7 capture/replay round-trips per kernel.
+//! [`plan`] expands a kernel inventory into the paper's full scenario
+//! matrix — 59 kernels × {Scalar, Auto, Neon} × vector widths ×
+//! {Prime, Gold, Silver, Figure 5(b) sweep} — as a flat, canonically
+//! ordered list of [`Scenario`] descriptors. The executor
+//! ([`execute_plan`] / [`SuiteRunner`]) shards *scenarios* across
+//! `std::thread` workers: scenarios sharing one instruction stream
+//! (same kernel, implementation, width — [`Scenario::stream_id`]) are
+//! measured from a single traced execution pair fanned out to their
+//! cores, so the shard unit is a stream group, far finer than a whole
+//! kernel. [`aggregate`] folds per-scenario [`Measurement`]s back into
+//! [`KernelResults`]/[`SuiteResults`], so every `report::fig*/tab*`
+//! generator consumes the same shapes as before.
 //!
-//! [`SuiteRunner`] shards kernels across `std::thread` workers. The
-//! tracer is thread-local and kernels are `Send + Sync`, so a
-//! per-kernel campaign parallelizes without shared mutable state; each
-//! kernel's measurements are identical to a serial run of that kernel.
+//! Per-scenario results depend only on the scenario itself (the tracer
+//! is thread-local, addresses are virtualized), so serial, sharded,
+//! and plan-permuted executions are bit-identical — enforced by
+//! `tests/streaming_equivalence.rs`.
 
-use crate::kernel::{Impl, Kernel, Scale};
+use crate::kernel::{Impl, Kernel, KernelMeta, Scale};
 use crate::report::{KernelResults, SuiteResults, FIG5_KERNELS};
 use crate::runner::{measure_multi, Measurement};
+use crate::scenario::Scenario;
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 use swan_simd::Width;
-use swan_uarch::CoreConfig;
+use swan_uarch::{CoreConfig, CoreId};
 
 /// Run `work(i)` for `i in 0..n` across up to `workers` scoped
 /// threads (1 = inline on the caller), returning the results in index
@@ -57,109 +65,353 @@ pub(crate) fn shard_indexed<T: Send>(
         .collect()
 }
 
+// =====================================================================
+// Plan
+// =====================================================================
+
+/// Whether a kernel is one of the paper's eight Figure 5
+/// representatives (which additionally sweep widths and core configs).
+fn is_fig5_representative(meta: &KernelMeta) -> bool {
+    FIG5_KERNELS
+        .iter()
+        .any(|&(l, n)| meta.library.info().symbol == l && meta.name == n)
+}
+
+/// Expand the paper's matrix for one kernel, in canonical order:
+/// Scalar@128 on the three Figure 4 cores, Auto@128 on Prime,
+/// Neon@128 on the three cores, then (representatives only) Neon@128
+/// across the Figure 5(b) sweep and Neon at the wider widths on Prime.
+fn plan_kernel(kernel: usize, meta: &KernelMeta, scale: Scale, seed: u64) -> Vec<Scenario> {
+    let kernel_id = meta.id();
+    let mut out = Vec::new();
+    let mut push = |imp: Impl, width: Width, core: CoreId| {
+        out.push(Scenario {
+            kernel,
+            kernel_id: kernel_id.clone(),
+            imp,
+            width,
+            core,
+            scale,
+            seed,
+        });
+    };
+    for core in CoreId::BASE {
+        push(Impl::Scalar, Width::W128, core);
+    }
+    push(Impl::Auto, Width::W128, CoreId::Prime);
+    for core in CoreId::BASE {
+        push(Impl::Neon, Width::W128, core);
+    }
+    if is_fig5_representative(meta) {
+        for core in CoreId::FIG5B {
+            push(Impl::Neon, Width::W128, core);
+        }
+        for width in [Width::W256, Width::W512, Width::W1024] {
+            push(Impl::Neon, width, CoreId::Prime);
+        }
+    }
+    out
+}
+
+/// Expand a kernel inventory into the paper's complete scenario
+/// matrix, flat and canonically ordered (kernels in inventory order,
+/// each kernel's scenarios in [`plan_kernel`] order). The plan is a
+/// pure function of the inventory, scale, and seed — deterministic and
+/// duplicate-free (`crates/core/tests/plan_properties.rs`).
+pub fn plan(kernels: &[Box<dyn Kernel>], scale: Scale, seed: u64) -> Vec<Scenario> {
+    kernels
+        .iter()
+        .enumerate()
+        .flat_map(|(i, k)| plan_kernel(i, &k.meta(), scale, seed))
+        .collect()
+}
+
+// =====================================================================
+// Execute
+// =====================================================================
+
+/// Partition a plan into execution groups: scenarios sharing one
+/// instruction stream ([`Scenario::stream_key`]), grouped in order of
+/// first appearance, each group's members in plan order. One group is
+/// the unit of work a campaign worker executes (one traced execution
+/// pair fanned out to the group's cores).
+pub(crate) fn execution_groups(plan: &[Scenario]) -> Vec<Vec<usize>> {
+    let mut order: Vec<Vec<usize>> = Vec::new();
+    let mut by_key: HashMap<(usize, Impl, Width, u64, u64), usize> = HashMap::new();
+    for (i, sc) in plan.iter().enumerate() {
+        match by_key.entry(sc.stream_key()) {
+            std::collections::hash_map::Entry::Occupied(e) => order[*e.get()].push(i),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(order.len());
+                order.push(vec![i]);
+            }
+        }
+    }
+    order
+}
+
+/// Measure one execution group: a single warm+timed execution pair of
+/// the group's kernel drives one core model per member scenario.
+/// Returns one [`Measurement`] per group member, in group order.
+fn measure_group(kernel: &dyn Kernel, plan: &[Scenario], group: &[usize]) -> Vec<Measurement> {
+    let sc = &plan[group[0]];
+    let cfgs: Vec<CoreConfig> = group.iter().map(|&i| plan[i].core.config()).collect();
+    measure_multi(kernel, sc.imp, sc.width, &cfgs, sc.scale, sc.seed)
+}
+
+fn group_progress(plan: &[Scenario], group: &[usize]) -> String {
+    let sc = &plan[group[0]];
+    format!(
+        "measuring {} [{} core{}]",
+        sc.stream_id(),
+        group.len(),
+        if group.len() == 1 { "" } else { "s" }
+    )
+}
+
+/// Scatter per-group results back into plan order. An empty member
+/// list for a group (a failed group) leaves that group's plan slots
+/// `None`; otherwise every slot is filled exactly once by its group.
+pub(crate) fn scatter_groups<T>(
+    plan_len: usize,
+    groups: &[Vec<usize>],
+    per_group: Vec<Vec<T>>,
+) -> Vec<Option<T>> {
+    let mut out: Vec<Option<T>> = std::iter::repeat_with(|| None).take(plan_len).collect();
+    for (group, items) in groups.iter().zip(per_group) {
+        for (&i, item) in group.iter().zip(items) {
+            out[i] = Some(item);
+        }
+    }
+    out
+}
+
+/// Execute every scenario of a plan serially on the calling thread,
+/// returning one [`Measurement`] per scenario in plan order. The
+/// serial twin of [`execute_plan`] (bit-identical results); accepts a
+/// plain `FnMut` progress callback.
+///
+/// # Panics
+///
+/// Panics if any kernel's measurement panics (see
+/// [`try_execute_plan`] for the failure-isolating form).
+pub fn execute_plan_serial(
+    kernels: &[Box<dyn Kernel>],
+    plan: &[Scenario],
+    mut progress: impl FnMut(&str),
+) -> Vec<Measurement> {
+    let groups = execution_groups(plan);
+    let per_group: Vec<Vec<Measurement>> = groups
+        .iter()
+        .map(|group| {
+            progress(&group_progress(plan, group));
+            measure_group(kernels[plan[group[0]].kernel].as_ref(), plan, group)
+        })
+        .collect();
+    scatter_groups(plan.len(), &groups, per_group)
+        .into_iter()
+        .map(|m| m.expect("every scenario measured"))
+        .collect()
+}
+
+/// Execute every scenario of a plan, sharded across `threads` workers
+/// at execution-group granularity, returning one [`Measurement`] per
+/// scenario in plan order — bit-identical to [`execute_plan_serial`]
+/// and invariant under plan permutation.
+///
+/// # Panics
+///
+/// Panics — after every shard has drained — if any group's measurement
+/// panicked (see [`try_execute_plan`]).
+pub fn execute_plan(
+    kernels: &[Box<dyn Kernel>],
+    plan: &[Scenario],
+    threads: usize,
+    progress: impl Fn(&str) + Send + Sync,
+) -> Vec<Measurement> {
+    let (measurements, failures) = try_execute_plan(kernels, plan, threads, progress);
+    assert_no_failures(&failures);
+    measurements
+        .into_iter()
+        .map(|m| m.expect("no failures, so every scenario measured"))
+        .collect()
+}
+
+/// Execute a plan, isolating per-group panics: every scenario whose
+/// group completes is measured normally (`Some` in plan order, no
+/// matter what happens in sibling shards), and each panicking group
+/// becomes one [`KernelFailure`] (id = kernel, message names the
+/// stream) with `None` in its members' slots.
+pub fn try_execute_plan(
+    kernels: &[Box<dyn Kernel>],
+    plan: &[Scenario],
+    threads: usize,
+    progress: impl Fn(&str) + Send + Sync,
+) -> (Vec<Option<Measurement>>, Vec<KernelFailure>) {
+    let groups = execution_groups(plan);
+    // The worker closure cannot panic, as `shard_indexed` requires:
+    // measurement panics are converted to failures here.
+    let results: Vec<Result<Vec<Measurement>, KernelFailure>> =
+        shard_indexed(groups.len(), threads, |gi| {
+            let group = &groups[gi];
+            progress(&group_progress(plan, group));
+            let sc = &plan[group[0]];
+            let kernel = kernels[sc.kernel].as_ref();
+            catch_unwind(AssertUnwindSafe(|| measure_group(kernel, plan, group))).map_err(|p| {
+                let message = if let Some(s) = p.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = p.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                KernelFailure {
+                    id: sc.kernel_id.clone(),
+                    message: format!("{}: {message}", sc.stream_id()),
+                }
+            })
+        });
+    let mut failures = Vec::new();
+    let per_group: Vec<Vec<Measurement>> = results
+        .into_iter()
+        .map(|r| {
+            r.unwrap_or_else(|f| {
+                failures.push(f);
+                Vec::new()
+            })
+        })
+        .collect();
+    (scatter_groups(plan.len(), &groups, per_group), failures)
+}
+
+// =====================================================================
+// Aggregate
+// =====================================================================
+
+/// Fold one kernel's per-scenario measurements back into the
+/// [`KernelResults`] shape the report generators consume. `None` when
+/// any required scenario is missing from the plan or unmeasured (a
+/// failed group, or a filtered subset plan).
+fn aggregate_kernel(
+    meta: KernelMeta,
+    plan: &[Scenario],
+    measurements: &[Option<Measurement>],
+    indices: &[usize],
+) -> Option<KernelResults> {
+    let find = |imp: Impl, width: Width, core: CoreId| -> Option<Measurement> {
+        indices
+            .iter()
+            .find(|&&i| {
+                let sc = &plan[i];
+                sc.imp == imp && sc.width == width && sc.core == core
+            })
+            .and_then(|&i| measurements[i].clone())
+    };
+    let neon = find(Impl::Neon, Width::W128, CoreId::Prime)?;
+    let widths = if is_fig5_representative(&meta) {
+        Some([
+            neon.clone(),
+            find(Impl::Neon, Width::W256, CoreId::Prime)?,
+            find(Impl::Neon, Width::W512, CoreId::Prime)?,
+            find(Impl::Neon, Width::W1024, CoreId::Prime)?,
+        ])
+    } else {
+        None
+    };
+    let sweep = if is_fig5_representative(&meta) {
+        let mut s = Vec::with_capacity(6);
+        for core in CoreId::FIG5B {
+            s.push(find(Impl::Neon, Width::W128, core)?);
+        }
+        Some(<[Measurement; 6]>::try_from(s).expect("6 sweep configs"))
+    } else {
+        None
+    };
+    Some(KernelResults {
+        scalar: find(Impl::Scalar, Width::W128, CoreId::Prime)?,
+        auto: find(Impl::Auto, Width::W128, CoreId::Prime)?,
+        scalar_gold: find(Impl::Scalar, Width::W128, CoreId::Gold)?,
+        neon_gold: find(Impl::Neon, Width::W128, CoreId::Gold)?,
+        scalar_silver: find(Impl::Scalar, Width::W128, CoreId::Silver)?,
+        neon_silver: find(Impl::Neon, Width::W128, CoreId::Silver)?,
+        neon,
+        widths,
+        sweep,
+        meta,
+    })
+}
+
+/// Fold per-scenario measurements back into [`SuiteResults`]: one
+/// [`KernelResults`] per inventory kernel whose matrix is complete, in
+/// inventory order. Kernels with missing or unmeasured scenarios
+/// (failed groups, filtered subset plans) are skipped.
+pub fn aggregate(
+    kernels: &[Box<dyn Kernel>],
+    plan: &[Scenario],
+    measurements: &[Option<Measurement>],
+    scale: Scale,
+) -> SuiteResults {
+    assert_eq!(plan.len(), measurements.len());
+    let mut by_kernel: Vec<Vec<usize>> = vec![Vec::new(); kernels.len()];
+    for (i, sc) in plan.iter().enumerate() {
+        by_kernel[sc.kernel].push(i);
+    }
+    let out = kernels
+        .iter()
+        .enumerate()
+        .filter_map(|(ki, k)| aggregate_kernel(k.meta(), plan, measurements, &by_kernel[ki]))
+        .collect();
+    SuiteResults {
+        kernels: out,
+        scale,
+    }
+}
+
+/// Panic with a summary naming every failed kernel, unless there are
+/// none (the shared failure path of the panicking executor forms).
+fn assert_no_failures(failures: &[KernelFailure]) {
+    assert!(
+        failures.is_empty(),
+        "campaign kernels panicked: {:?}",
+        failures
+            .iter()
+            .map(|f| format!("{}: {}", f.id, f.message))
+            .collect::<Vec<_>>()
+    );
+}
+
 /// A kernel whose measurement panicked during a campaign.
 #[derive(Clone, Debug)]
 pub struct KernelFailure {
     /// `LIB.kernel` identifier of the failed kernel.
     pub id: String,
-    /// The panic payload, stringified.
+    /// The panic payload, stringified (prefixed with the panicking
+    /// scenario stream's id).
     pub message: String,
 }
 
-/// Measure one kernel, converting a panic (a kernel bug, an assert in
-/// an intrinsic, an out-of-bounds traced access) into a
-/// [`KernelFailure`] instead of unwinding into the campaign machinery.
-/// The tracer re-arms itself when an active [`swan_simd::Session`] is
-/// dropped during the unwind, so the worker can keep measuring
-/// subsequent kernels on the same thread.
-fn try_measure_kernel(
-    kernel: &dyn Kernel,
-    scale: Scale,
-    seed: u64,
-) -> Result<KernelResults, KernelFailure> {
-    catch_unwind(AssertUnwindSafe(|| measure_kernel(kernel, scale, seed))).map_err(|p| {
-        let message = if let Some(s) = p.downcast_ref::<&str>() {
-            (*s).to_string()
-        } else if let Some(s) = p.downcast_ref::<String>() {
-            s.clone()
-        } else {
-            "non-string panic payload".to_string()
-        };
-        KernelFailure {
-            id: kernel.meta().id(),
-            message,
-        }
-    })
-}
-
-/// Produce the complete [`KernelResults`] for one kernel (the unit of
-/// work a campaign worker executes).
+/// Produce the complete [`KernelResults`] for one kernel through the
+/// same plan → execute → aggregate pipeline the campaign uses.
 pub fn measure_kernel(kernel: &dyn Kernel, scale: Scale, seed: u64) -> KernelResults {
     let meta = kernel.meta();
-    let prime = CoreConfig::prime();
-    let base = [prime.clone(), CoreConfig::gold(), CoreConfig::silver()];
-    let prime_only = std::slice::from_ref(&prime);
-
-    // Scalar: one execution pair drives Prime, Gold, and Silver.
-    let mut sc = measure_multi(kernel, Impl::Scalar, Width::W128, &base, scale, seed);
-    let scalar_silver = sc.pop().expect("silver");
-    let scalar_gold = sc.pop().expect("gold");
-    let scalar = sc.pop().expect("prime");
-
-    let auto = measure_multi(kernel, Impl::Auto, Width::W128, prime_only, scale, seed)
-        .pop()
-        .expect("prime");
-
-    // Neon: the representatives also need the Figure 5(b) sweep, which
-    // shares the 128-bit instruction stream — fan it out in the same
-    // execution pair.
-    let is_rep = FIG5_KERNELS
+    let plan = plan_kernel(0, &meta, scale, seed);
+    let groups = execution_groups(&plan);
+    let per_group: Vec<Vec<Measurement>> = groups
         .iter()
-        .any(|&(l, n)| meta.library.info().symbol == l && meta.name == n);
-    let mut neon_cfgs = base.to_vec();
-    if is_rep {
-        neon_cfgs.extend(CoreConfig::fig5b_sweep());
-    }
-    let mut ne = measure_multi(kernel, Impl::Neon, Width::W128, &neon_cfgs, scale, seed);
-    let sweep: Option<[Measurement; 6]> = is_rep.then(|| {
-        let s: Vec<Measurement> = ne.split_off(3);
-        s.try_into().expect("6 configs")
-    });
-    let neon_silver = ne.pop().expect("silver");
-    let neon_gold = ne.pop().expect("gold");
-    let neon = ne.pop().expect("prime");
-
-    let widths: Option<[Measurement; 4]> = is_rep.then(|| {
-        let mut ws: Vec<Measurement> = vec![neon.clone()];
-        for w in [Width::W256, Width::W512, Width::W1024] {
-            ws.extend(measure_multi(
-                kernel,
-                Impl::Neon,
-                w,
-                prime_only,
-                scale,
-                seed,
-            ));
-        }
-        ws.try_into().expect("4 widths")
-    });
-
-    KernelResults {
+        .map(|group| measure_group(kernel, &plan, group))
+        .collect();
+    let measurements = scatter_groups(plan.len(), &groups, per_group);
+    aggregate_kernel(
         meta,
-        scalar,
-        auto,
-        neon,
-        scalar_gold,
-        neon_gold,
-        scalar_silver,
-        neon_silver,
-        widths,
-        sweep,
-    }
+        &plan,
+        &measurements,
+        &(0..plan.len()).collect::<Vec<_>>(),
+    )
+    .expect("a full single-kernel plan aggregates completely")
 }
 
 /// A campaign over a kernel inventory, optionally sharded across
-/// threads.
+/// threads at scenario(-group) granularity.
 #[derive(Clone, Debug)]
 pub struct SuiteRunner {
     scale: Scale,
@@ -177,7 +429,7 @@ impl SuiteRunner {
         }
     }
 
-    /// Shard kernels across `n` worker threads (1 = serial).
+    /// Shard scenario groups across `n` worker threads (1 = serial).
     pub fn threads(mut self, n: usize) -> SuiteRunner {
         self.threads = n.max(1);
         self
@@ -194,23 +446,18 @@ impl SuiteRunner {
     pub fn run_serial(
         &self,
         kernels: &[Box<dyn Kernel>],
-        mut progress: impl FnMut(&str),
+        progress: impl FnMut(&str),
     ) -> SuiteResults {
-        let out = kernels
-            .iter()
-            .map(|k| {
-                progress(&format!("measuring {}", k.meta().id()));
-                measure_kernel(k.as_ref(), self.scale, self.seed)
-            })
+        let plan = plan(kernels, self.scale, self.seed);
+        let measurements: Vec<Option<Measurement>> = execute_plan_serial(kernels, &plan, progress)
+            .into_iter()
+            .map(Some)
             .collect();
-        SuiteResults {
-            kernels: out,
-            scale: self.scale,
-        }
+        aggregate(kernels, &plan, &measurements, self.scale)
     }
 
     /// Run the campaign. `progress` receives one status line per
-    /// kernel (from whichever worker picks it up).
+    /// scenario group (from whichever worker picks it up).
     ///
     /// # Panics
     ///
@@ -224,47 +471,33 @@ impl SuiteRunner {
         progress: impl Fn(&str) + Send + Sync,
     ) -> SuiteResults {
         let (suite, failures) = self.try_run(kernels, progress);
-        assert!(
-            failures.is_empty(),
-            "campaign kernels panicked: {:?}",
-            failures
-                .iter()
-                .map(|f| format!("{}: {}", f.id, f.message))
-                .collect::<Vec<_>>()
-        );
+        assert_no_failures(&failures);
         suite
     }
 
     /// Run the campaign, isolating per-kernel panics: every
     /// non-panicking kernel is measured normally (in suite order) no
     /// matter what happens in sibling shards, and each panicking
-    /// kernel is reported as a [`KernelFailure`] instead of tearing
-    /// down the run.
+    /// kernel is reported as one [`KernelFailure`] (its first failing
+    /// scenario group's panic) instead of tearing down the run.
     pub fn try_run(
         &self,
         kernels: &[Box<dyn Kernel>],
         progress: impl Fn(&str) + Send + Sync,
     ) -> (SuiteResults, Vec<KernelFailure>) {
-        // `try_measure_kernel` cannot panic, as `shard_indexed`
-        // requires.
-        let results = shard_indexed(kernels.len(), self.threads, |i| {
-            let k = &kernels[i];
-            progress(&format!("measuring {}", k.meta().id()));
-            try_measure_kernel(k.as_ref(), self.scale, self.seed)
-        });
-        let mut out = Vec::with_capacity(kernels.len());
-        let mut failures = Vec::new();
-        for r in results {
-            match r {
-                Ok(r) => out.push(r),
-                Err(f) => failures.push(f),
+        let plan = plan(kernels, self.scale, self.seed);
+        let (measurements, group_failures) =
+            try_execute_plan(kernels, &plan, self.threads, progress);
+        // One failure per kernel (a kernel that panics usually panics
+        // in every one of its groups), keeping the first message.
+        let mut failures: Vec<KernelFailure> = Vec::new();
+        for f in group_failures {
+            if !failures.iter().any(|g| g.id == f.id) {
+                failures.push(f);
             }
         }
         (
-            SuiteResults {
-                kernels: out,
-                scale: self.scale,
-            },
+            aggregate(kernels, &plan, &measurements, self.scale),
             failures,
         )
     }

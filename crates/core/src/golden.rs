@@ -1,14 +1,15 @@
 //! Golden-suite regression baselines.
 //!
 //! The address-virtualized tracer makes the whole campaign
-//! bit-reproducible: a given (kernel, implementation, width, scale,
-//! seed) yields the same dynamic-instruction stream — including every
-//! memory address — on every run and every machine. This module turns
-//! that into a regression gate: [`collect`] measures the full
-//! 59 × {Scalar, Auto, Neon} campaign into compact [`GoldenEntry`]
-//! records (an order-sensitive trace digest plus the Prime-core
-//! cycle/cache stats), [`to_json`] serializes them canonically, and
-//! [`diff`] compares a fresh collection against the committed
+//! bit-reproducible: a given scenario — (kernel, implementation,
+//! width, core, scale, seed) — yields the same dynamic-instruction
+//! stream, including every memory address, on every run and every
+//! machine. This module turns that into a regression gate over the
+//! *full scenario matrix*: [`collect`] measures every scenario of
+//! [`crate::campaign::plan`] into compact [`GoldenEntry`] records
+//! keyed by scenario id (an order-sensitive trace digest plus that
+//! core's cycle/cache stats), [`to_json`] serializes them canonically,
+//! and [`diff`] compares a fresh collection against the committed
 //! `tests/golden/suite.json` so any perf- or trace-visible change
 //! shows up as a reviewable baseline diff.
 //!
@@ -16,90 +17,117 @@
 //! and check it with `swan-report --golden <path>` (CI does the
 //! latter on every push).
 
-use crate::kernel::{Impl, Kernel, Scale};
+use crate::campaign::{execution_groups, scatter_groups, shard_indexed};
+use crate::kernel::{Kernel, Scale};
+use crate::scenario::Scenario;
 use std::fmt::Write as _;
-use swan_simd::trace::{self, stream_into, HashSink, TraceInstr, TraceSink};
-use swan_simd::Width;
-use swan_uarch::{CoreConfig, CoreModel, SimResult};
+use swan_simd::trace::{self, session_width, stream_into_at, HashSink, TraceInstr, TraceSink};
+use swan_uarch::{MultiCore, SimResult};
 
 /// One golden record: everything that must stay bit-identical for one
-/// (kernel, implementation) point of the campaign.
+/// scenario of the campaign.
 #[derive(Clone, Debug, PartialEq)]
 pub struct GoldenEntry {
-    /// `LIB.kernel` identifier.
+    /// Scenario id (`LIB.kernel/Impl/wBITS/core`).
     pub id: String,
-    /// Implementation measured (always at 128-bit width).
-    pub imp: Impl,
     /// Dynamic instruction count of one invocation.
     pub instrs: u64,
     /// Order-sensitive FNV-1a digest of the timed dynamic-instruction
     /// stream (ops, classes, dataflow edges, virtualized addresses).
+    /// Scenarios sharing one stream share the digest.
     pub trace_hash: u64,
     /// Memory references that missed every registered buffer and went
     /// through the anonymous fallback pool. Must be 0: a non-zero
     /// count means a kernel forgot to register a buffer and its
     /// cross-line locality is not being modelled.
     pub fallback_refs: u64,
-    /// Prime-core timing simulation of the timed pass.
+    /// Timing simulation of the timed pass on this scenario's core.
     pub sim: SimResult,
 }
 
-/// Forwards one stream to the timing model and the trace digest at
-/// once, so the golden collection stays O(core window) in memory.
+/// Forwards one stream to the fan-out timing models and the trace
+/// digest at once, so the golden collection stays O(core window) in
+/// memory.
 struct Tee {
-    core: CoreModel,
+    cores: MultiCore,
     hash: HashSink,
 }
 
 impl TraceSink for Tee {
     fn on_instr(&mut self, ins: &TraceInstr) {
-        self.core.step(ins);
+        self.cores.on_instr(ins);
         self.hash.on_instr(ins);
     }
 
     fn on_overhead(&mut self, op: swan_simd::Op, class: swan_simd::Class, first_id: u32, n: u64) {
-        TraceSink::on_overhead(&mut self.core, op, class, first_id, n);
+        TraceSink::on_overhead(&mut self.cores, op, class, first_id, n);
         TraceSink::on_overhead(&mut self.hash, op, class, first_id, n);
     }
 }
 
-/// The three implementations every kernel is baselined at.
-pub const GOLDEN_IMPLS: [Impl; 3] = [Impl::Scalar, Impl::Auto, Impl::Neon];
-
-/// Measure one golden point: warm pass + timed pass on one instance
-/// (exactly the streaming runner's measurement discipline), digesting
-/// the timed stream and simulating it on the Prime core.
-pub fn collect_point(kernel: &dyn Kernel, imp: Impl, scale: Scale, seed: u64) -> GoldenEntry {
-    let mut inst = kernel.instantiate(scale, seed);
-    let mut core = CoreModel::new(CoreConfig::prime());
-    core.begin_warm();
-    let (_, core, ()) = stream_into(core, || inst.run(imp, Width::W128));
+/// Measure one execution group of golden points: warm pass + timed
+/// pass on one instance (exactly the streaming runner's measurement
+/// discipline), digesting the timed stream once and simulating it on
+/// every member scenario's core. Returns one entry per group member,
+/// in group order.
+fn collect_group(kernel: &dyn Kernel, plan: &[Scenario], group: &[usize]) -> Vec<GoldenEntry> {
+    let sc = &plan[group[0]];
+    let mut inst = kernel.instantiate(sc.scale, sc.seed);
+    let cfgs: Vec<_> = group.iter().map(|&i| plan[i].core.config()).collect();
+    let mut cores = MultiCore::new(&cfgs);
+    cores.begin_warm();
+    let (_, cores, ()) = stream_into_at(sc.width, cores, || inst.run(sc.imp, session_width()));
     let mut tee = Tee {
-        core,
+        cores,
         hash: HashSink::new(),
     };
-    tee.core.begin_timed();
+    tee.cores.begin_timed();
     // Read the fallback counter *inside* the session, right after the
     // timed run, so the value is bound to this session's registry and
     // not to whatever thread-local state survives `finish`.
-    let (data, mut tee, fallback_refs) = stream_into(tee, || {
-        inst.run(imp, Width::W128);
+    let (data, mut tee, fallback_refs) = stream_into_at(sc.width, tee, || {
+        inst.run(sc.imp, session_width());
         trace::buffer_fallback_refs()
     });
-    GoldenEntry {
-        id: kernel.meta().id(),
-        imp,
-        instrs: data.total(),
-        trace_hash: tee.hash.digest(),
-        fallback_refs,
-        sim: tee.core.finalize(),
-    }
+    let trace_hash = tee.hash.digest();
+    group
+        .iter()
+        .zip(tee.cores.finalize())
+        .map(|(&i, sim)| GoldenEntry {
+            id: plan[i].id(),
+            instrs: data.total(),
+            trace_hash,
+            fallback_refs,
+            sim,
+        })
+        .collect()
 }
 
-/// Collect the full golden campaign: every kernel × [`GOLDEN_IMPLS`],
-/// in suite order, optionally sharded across `threads` workers
-/// (per-kernel results are independent, so sharding cannot change
-/// them). `progress` receives one status line per kernel.
+/// Collect golden entries for every scenario of a plan, in plan order,
+/// optionally sharded across `threads` workers at execution-group
+/// granularity (per-scenario results are independent, so sharding
+/// cannot change them). `progress` receives one status line per group.
+pub fn collect_plan(
+    kernels: &[Box<dyn Kernel>],
+    plan: &[Scenario],
+    threads: usize,
+    progress: impl Fn(&str) + Send + Sync,
+) -> Vec<GoldenEntry> {
+    let groups = execution_groups(plan);
+    let per_group = shard_indexed(groups.len(), threads, |gi| {
+        let group = &groups[gi];
+        let sc = &plan[group[0]];
+        progress(&format!("golden {}", sc.stream_id()));
+        collect_group(kernels[sc.kernel].as_ref(), plan, group)
+    });
+    scatter_groups(plan.len(), &groups, per_group)
+        .into_iter()
+        .map(|e| e.expect("every scenario collected"))
+        .collect()
+}
+
+/// Collect the full golden campaign: every scenario of the paper's
+/// matrix ([`crate::campaign::plan`]), in canonical plan order.
 pub fn collect(
     kernels: &[Box<dyn Kernel>],
     scale: Scale,
@@ -107,25 +135,8 @@ pub fn collect(
     threads: usize,
     progress: impl Fn(&str) + Send + Sync,
 ) -> Vec<GoldenEntry> {
-    crate::campaign::shard_indexed(kernels.len(), threads, |i| {
-        let k = kernels[i].as_ref();
-        progress(&format!("golden {}", k.meta().id()));
-        GOLDEN_IMPLS
-            .iter()
-            .map(|&imp| collect_point(k, imp, scale, seed))
-            .collect::<Vec<GoldenEntry>>()
-    })
-    .into_iter()
-    .flatten()
-    .collect()
-}
-
-fn imp_name(imp: Impl) -> &'static str {
-    match imp {
-        Impl::Scalar => "Scalar",
-        Impl::Auto => "Auto",
-        Impl::Neon => "Neon",
-    }
+    let plan = crate::campaign::plan(kernels, scale, seed);
+    collect_plan(kernels, &plan, threads, progress)
 }
 
 /// Serialize a golden collection to its canonical JSON form: fixed key
@@ -135,22 +146,21 @@ fn imp_name(imp: Impl) -> &'static str {
 pub fn to_json(scale: Scale, seed: u64, entries: &[GoldenEntry]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"format\": 1,");
+    let _ = writeln!(s, "  \"format\": 2,");
     let _ = writeln!(s, "  \"scale\": {},", scale.0);
     let _ = writeln!(s, "  \"seed\": {seed},");
-    let _ = writeln!(s, "  \"width\": 128,");
+    let _ = writeln!(s, "  \"scenarios\": {},", entries.len());
     s.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let m = &e.sim;
         let _ = write!(
             s,
-            "    {{\"kernel\": \"{}\", \"impl\": \"{}\", \"instrs\": {}, \
+            "    {{\"scenario\": \"{}\", \"instrs\": {}, \
              \"trace_hash\": \"{:016x}\", \"fallback_refs\": {}, \
              \"cycles\": {}, \"fe_stall\": {}, \"be_stall\": {}, \
              \"l1d\": [{}, {}], \"l2\": [{}, {}], \"llc\": [{}, {}], \
              \"dram\": {}}}",
             e.id,
-            imp_name(e.imp),
             e.instrs,
             e.trace_hash,
             e.fallback_refs,
@@ -171,9 +181,9 @@ pub fn to_json(scale: Scale, seed: u64, entries: &[GoldenEntry]) -> String {
     s
 }
 
-/// The `(kernel, impl)` key of a canonical entry line, if it is one.
+/// The scenario key of a canonical entry line, if it is one.
 fn entry_key(line: &str) -> Option<&str> {
-    let start = line.find("{\"kernel\": ")?;
+    let start = line.find("{\"scenario\": ")?;
     let end = line.find(", \"instrs\":")?;
     line.get(start..end)
 }
@@ -181,17 +191,24 @@ fn entry_key(line: &str) -> Option<&str> {
 /// Compare a freshly generated canonical baseline against the
 /// committed one. Returns `None` on an exact match, or a diff of the
 /// first `limit` differences suitable for CI output. Entry lines are
-/// matched by their `(kernel, impl)` key — not by position — so
-/// adding or removing one kernel reports exactly that entry instead
-/// of misaligning everything after it; header lines (format, scale,
-/// seed) compare positionally.
+/// matched by their scenario key — not by position — so adding or
+/// removing one scenario reports exactly that entry instead of
+/// misaligning everything after it; header lines (format, scale, seed,
+/// scenario count) compare positionally.
 pub fn diff(expected: &str, actual: &str, limit: usize) -> Option<String> {
     if expected.trim_end() == actual.trim_end() {
         return None;
     }
     let mut out = String::new();
     let mut shown = 0;
+    // The elision note is written only when a difference past `limit`
+    // actually exists, so a diff of exactly `limit` entries is shown
+    // in full without a misleading trailer.
     let mut emit = |minus: Option<&str>, plus: Option<&str>| -> bool {
+        if shown >= limit {
+            let _ = writeln!(out, "... (further differences elided)");
+            return false;
+        }
         if let Some(m) = minus {
             let _ = writeln!(out, "- {m}");
         }
@@ -199,10 +216,6 @@ pub fn diff(expected: &str, actual: &str, limit: usize) -> Option<String> {
             let _ = writeln!(out, "+ {p}");
         }
         shown += 1;
-        if shown >= limit {
-            let _ = writeln!(out, "... (further differences elided)");
-            return false;
-        }
         true
     };
 
@@ -260,16 +273,14 @@ pub fn diff(expected: &str, actual: &str, limit: usize) -> Option<String> {
 mod tests {
     use super::*;
 
-    #[test]
-    fn json_shape_and_diff() {
-        let e = GoldenEntry {
-            id: "ZL.adler32".into(),
-            imp: Impl::Neon,
+    fn entry(id: &str, cycles: u64) -> GoldenEntry {
+        GoldenEntry {
+            id: id.into(),
             instrs: 10,
             trace_hash: 0xabc,
             fallback_refs: 0,
             sim: SimResult {
-                cycles: 100,
+                cycles,
                 instrs: 10,
                 fe_stall_cycles: 1,
                 be_stall_cycles: 2,
@@ -281,10 +292,16 @@ mod tests {
                 by_op: [0; swan_simd::trace::OP_COUNT],
                 by_class: [0; swan_simd::trace::CLASS_COUNT],
             },
-        };
+        }
+    }
+
+    #[test]
+    fn json_shape_and_diff() {
+        let e = entry("ZL.adler32/Neon/w128/prime", 100);
         let a = to_json(Scale(0.25), 42, std::slice::from_ref(&e));
-        assert!(a.contains("\"kernel\": \"ZL.adler32\""));
+        assert!(a.contains("\"scenario\": \"ZL.adler32/Neon/w128/prime\""));
         assert!(a.contains("\"trace_hash\": \"0000000000000abc\""));
+        assert!(a.contains("\"scenarios\": 1"));
         assert!(diff(&a, &a, 8).is_none());
         let mut e2 = e.clone();
         e2.sim.cycles = 101;
@@ -292,41 +309,32 @@ mod tests {
         let d = diff(&a, &b, 8).expect("must differ");
         assert!(d.contains("\"cycles\": 100"));
         assert!(d.contains("\"cycles\": 101"));
-    }
-
-    fn entry(id: &str, cycles: u64) -> GoldenEntry {
-        GoldenEntry {
-            id: id.into(),
-            imp: Impl::Neon,
-            instrs: 1,
-            trace_hash: 1,
-            fallback_refs: 0,
-            sim: SimResult {
-                cycles,
-                instrs: 1,
-                fe_stall_cycles: 0,
-                be_stall_cycles: 0,
-                l1d: Default::default(),
-                l2: Default::default(),
-                llc: Default::default(),
-                dram_accesses: 0,
-                seconds: 0.0,
-                by_op: [0; swan_simd::trace::OP_COUNT],
-                by_class: [0; swan_simd::trace::CLASS_COUNT],
-            },
-        }
+        // Exactly one difference at limit 1: shown in full, no
+        // misleading elision trailer; at limit 0 the trailer appears.
+        let d1 = diff(&a, &b, 1).expect("must differ");
+        assert!(d1.contains("\"cycles\": 101"));
+        assert!(!d1.contains("elided"), "{d1}");
+        assert!(diff(&a, &b, 0).expect("must differ").contains("elided"));
     }
 
     #[test]
     fn diff_aligns_entries_by_key_not_position() {
-        let old = [entry("A.a", 1), entry("C.c", 3)];
+        let old = [
+            entry("A.a/Neon/w128/prime", 1),
+            entry("C.c/Neon/w128/prime", 3),
+        ];
         // One entry inserted in the middle, one changed after it.
-        let new = [entry("A.a", 1), entry("B.b", 2), entry("C.c", 30)];
+        let new = [
+            entry("A.a/Neon/w128/prime", 1),
+            entry("B.b/Neon/w128/prime", 2),
+            entry("C.c/Neon/w128/prime", 30),
+        ];
         let a = to_json(Scale(0.25), 42, &old);
         let b = to_json(Scale(0.25), 42, &new);
         let d = diff(&a, &b, 40).expect("must differ");
         // The unchanged A.a entry must not appear; B.b is a pure
-        // addition; C.c is a changed pair.
+        // addition; C.c is a changed pair. (The scenario-count header
+        // changes too, accounting for one extra diff pair.)
         assert!(!d.contains("A.a"), "unchanged entry leaked into diff:\n{d}");
         assert_eq!(d.matches("B.b").count(), 1, "{d}");
         assert_eq!(d.matches("C.c").count(), 2, "{d}");

@@ -211,6 +211,33 @@ pub enum Impl {
     Neon,
 }
 
+impl Impl {
+    /// All implementations, in campaign order.
+    pub const ALL: [Impl; 3] = [Impl::Scalar, Impl::Auto, Impl::Neon];
+
+    /// Stable name used in scenario ids and golden baselines.
+    pub fn name(self) -> &'static str {
+        match self {
+            Impl::Scalar => "Scalar",
+            Impl::Auto => "Auto",
+            Impl::Neon => "Neon",
+        }
+    }
+
+    /// Parse a stable name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Impl> {
+        Impl::ALL
+            .into_iter()
+            .find(|i| i.name().eq_ignore_ascii_case(s))
+    }
+}
+
+impl fmt::Display for Impl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
 /// Why the compiler failed (or was charged extra) on a kernel (§5.2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum AutoObstacle {

@@ -3,9 +3,11 @@
 //! Defines the [`Kernel`] abstraction the 59 Swan kernels implement,
 //! the streaming measurement [`runner`] that executes a kernel under a
 //! fan-out trace sink driving the `swan-uarch` timing models, the
-//! [`campaign`] module that shards the full-suite measurement across
-//! threads, and the [`report`] generators that regenerate every table
-//! and figure of the paper from a kernel inventory.
+//! [`campaign`] module that expands the paper's measurement matrix
+//! into a flat [`Scenario`] plan and executes it (sharded across
+//! threads at scenario-group granularity), and the [`report`]
+//! generators that regenerate every table and figure of the paper
+//! from a kernel inventory.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -15,11 +17,16 @@ pub mod golden;
 pub mod kernel;
 pub mod report;
 pub mod runner;
+pub mod scenario;
 pub mod stats;
 
-pub use campaign::{measure_kernel, KernelFailure, SuiteRunner};
+pub use campaign::{
+    aggregate, execute_plan, execute_plan_serial, measure_kernel, plan, try_execute_plan,
+    KernelFailure, SuiteRunner,
+};
 pub use golden::GoldenEntry;
 pub use kernel::{
     AutoObstacle, AutoOutcome, Impl, Kernel, KernelMeta, Library, Pattern, Runnable, Scale, VsNeon,
 };
 pub use runner::{capture, measure, measure_multi, simulate_trace, verify_kernel, Measurement};
+pub use scenario::{filter_plan, Scenario, ScenarioFilter};

@@ -98,7 +98,10 @@ impl SuiteResults {
     }
 }
 
-fn fmt_table(header: &[String], rows: &[Vec<String>]) -> String {
+/// Format a right-aligned text table with a dashed rule under the
+/// header — the layout every `tab*`/`fig*` report body uses (also
+/// consumed by the `swan-report --only` per-scenario output).
+pub fn fmt_table(header: &[String], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {

@@ -12,7 +12,7 @@
 //! `streaming_equivalence` integration tests).
 
 use crate::kernel::{Impl, Kernel, Scale};
-use swan_simd::trace::{stream_into, Mode, Session};
+use swan_simd::trace::{session_width, stream_into_at, Mode, Session};
 use swan_simd::{TraceData, Width};
 use swan_uarch::{simulate, CoreConfig, EnergyModel, MultiCore, SimResult};
 
@@ -120,11 +120,14 @@ pub fn measure_multi(
     };
     let mut inst = kernel.instantiate(scale, seed);
 
+    // Each pass opens its session at the scenario's width and the
+    // kernel invocation reads it back from the session, instead of the
+    // width being threaded through every call layer.
     let mut multi = MultiCore::new(cfgs);
     multi.begin_warm();
-    let (_, mut multi, ()) = stream_into(multi, || inst.run(imp, w));
+    let (_, mut multi, ()) = stream_into_at(w, multi, || inst.run(imp, session_width()));
     multi.begin_timed();
-    let (data, mut multi, ()) = stream_into(multi, || inst.run(imp, w));
+    let (data, mut multi, ()) = stream_into_at(w, multi, || inst.run(imp, session_width()));
     let work_ops = inst.work_ops();
 
     let sims = multi.finalize();

@@ -14,6 +14,7 @@
 //! batch path: it routes the same stream into an internal [`VecSink`]
 //! and hands the materialized trace back at [`Session::finish`].
 
+use crate::Width;
 use std::any::Any;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -565,6 +566,23 @@ pub fn buffer_fallback_refs() -> u64 {
     TRACER.with(|t| t.borrow().bufs.fallback_refs())
 }
 
+/// The vector register width of the active trace session on this
+/// thread ([`Width::W128`] when no session is active or none was
+/// requested). The measurement runner opens each session at its
+/// scenario's width, so kernel invocations inside the session can read
+/// the width from here instead of having it plumbed through every
+/// call.
+pub fn session_width() -> Width {
+    TRACER.with(|t| {
+        let t = t.borrow();
+        if t.active {
+            t.width
+        } else {
+            Width::W128
+        }
+    })
+}
+
 /// Register each listed buffer (anything indexable to a slice, e.g.
 /// `Vec<T>` or an array) with the active trace session's
 /// [`trace::BufferRegistry`](crate::trace::BufferRegistry). Kernels
@@ -581,6 +599,11 @@ macro_rules! with_buffers {
 struct Tracer {
     mode: Mode,
     active: bool,
+    /// Vector register width this session measures at. Set once when
+    /// the session begins (the *scenario's* width); kernels and sinks
+    /// read it back through [`session_width`] instead of having the
+    /// width threaded through every call.
+    width: Width,
     next_id: u32,
     by_op: [u64; OP_COUNT],
     by_class: [u64; CLASS_COUNT],
@@ -607,6 +630,7 @@ impl Default for Tracer {
         Tracer {
             mode: Mode::Off,
             active: false,
+            width: Width::W128,
             next_id: 1,
             by_op: [0; OP_COUNT],
             by_class: [0; CLASS_COUNT],
@@ -713,12 +737,13 @@ pub struct Session {
 }
 
 impl Session {
-    fn begin_inner(mode: Mode, ext: Option<Box<dyn TraceSink>>) -> Session {
+    fn begin_inner(mode: Mode, width: Width, ext: Option<Box<dyn TraceSink>>) -> Session {
         TRACER.with(|t| {
             let mut t = t.borrow_mut();
             assert!(!t.active, "a trace session is already active");
             t.active = true;
             t.mode = mode;
+            t.width = width;
             t.next_id = 1;
             t.by_op = [0; OP_COUNT];
             t.by_class = [0; CLASS_COUNT];
@@ -731,13 +756,25 @@ impl Session {
         Session { done: false }
     }
 
-    /// Start tracing on the current thread.
+    /// Start tracing on the current thread at the default 128-bit
+    /// session width ([`Session::begin_at`] selects another).
     ///
     /// # Panics
     ///
     /// Panics if a session is already active on this thread.
     pub fn begin(mode: Mode) -> Session {
-        Session::begin_inner(mode, None)
+        Session::begin_inner(mode, Width::W128, None)
+    }
+
+    /// Start tracing on the current thread with the session width set
+    /// to `width` — the scenario's register width, readable anywhere in
+    /// the session through [`session_width`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a session is already active on this thread.
+    pub fn begin_at(mode: Mode, width: Width) -> Session {
+        Session::begin_inner(mode, width, None)
     }
 
     /// Start a streaming session: every dynamic instruction is routed
@@ -750,7 +787,16 @@ impl Session {
     ///
     /// Panics if a session is already active on this thread.
     pub fn begin_with(sink: Box<dyn TraceSink>) -> Session {
-        Session::begin_inner(Mode::Full, Some(sink))
+        Session::begin_inner(Mode::Full, Width::W128, Some(sink))
+    }
+
+    /// [`Session::begin_with`] at an explicit session width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a session is already active on this thread.
+    pub fn begin_with_at(sink: Box<dyn TraceSink>, width: Width) -> Session {
+        Session::begin_inner(Mode::Full, width, Some(sink))
     }
 
     /// Stop tracing and return the collected data.
@@ -828,7 +874,17 @@ impl Drop for Session {
 /// assert_eq!(sum, 6);
 /// ```
 pub fn stream_into<S: TraceSink, R>(sink: S, f: impl FnOnce() -> R) -> (TraceData, S, R) {
-    let sess = Session::begin_with(Box::new(sink));
+    stream_into_at(Width::W128, sink, f)
+}
+
+/// [`stream_into`] with the session width set to `width` (the
+/// scenario's register width; see [`session_width`]).
+pub fn stream_into_at<S: TraceSink, R>(
+    width: Width,
+    sink: S,
+    f: impl FnOnce() -> R,
+) -> (TraceData, S, R) {
+    let sess = Session::begin_with_at(Box::new(sink), width);
     let out = f();
     let (data, sink) = sess.finish_with();
     let sink: Box<dyn Any> = sink.expect("sink session always holds a sink");
@@ -1008,6 +1064,20 @@ mod tests {
     fn nested_sessions_panic() {
         let _a = Session::begin(Mode::Count);
         let _b = Session::begin(Mode::Count);
+    }
+
+    #[test]
+    fn session_width_is_set_at_begin_and_defaults_to_128() {
+        assert_eq!(session_width(), Width::W128);
+        {
+            let _s = Session::begin_at(Mode::Count, Width::W512);
+            assert_eq!(session_width(), Width::W512);
+        }
+        // Outside a session the width is back to the default, even
+        // though the last session ran wider.
+        assert_eq!(session_width(), Width::W128);
+        let (_, _, w) = stream_into_at(Width::W256, VecSink::default(), session_width);
+        assert_eq!(w, Width::W256);
     }
 
     #[test]

@@ -1,7 +1,114 @@
 //! Core configurations: the Snapdragon 855 presets (Table 3, §5.5) and
 //! the decode-way / ASIMD-unit sweep of Figure 5(b).
+//!
+//! [`CoreId`] is the *registry* of every named configuration the
+//! campaign can simulate: a stable, parseable identifier that scenario
+//! plans, golden baselines, and CLI filters use as the core key, with
+//! [`CoreId::config`] as the single place an id becomes concrete
+//! [`CoreConfig`] parameters.
 
 use crate::cache::MemConfig;
+
+/// Stable identifier of a named core configuration.
+///
+/// Every simulated core the paper's matrix uses has an entry here; the
+/// string form ([`CoreId::id`] / [`CoreId::parse`]) is the key used by
+/// scenario ids, golden-baseline entries, and `swan-report --only`
+/// filters, so it must never change meaning once a baseline has been
+/// committed against it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CoreId {
+    /// Snapdragon 855 Prime core (Cortex-A76, 2.8 GHz) — Table 3.
+    Prime,
+    /// Gold core (Cortex-A76, 2.4 GHz) — §5.5.
+    Gold,
+    /// Silver core (Cortex-A55, 1.8 GHz, in-order) — §5.5.
+    Silver,
+    /// Figure 5(b) sweep: 4-wide decode, 2 ASIMD units (the baseline).
+    Sweep4W2V,
+    /// Figure 5(b) sweep: 4-wide decode, 4 ASIMD units.
+    Sweep4W4V,
+    /// Figure 5(b) sweep: 4-wide decode, 6 ASIMD units.
+    Sweep4W6V,
+    /// Figure 5(b) sweep: 6-wide decode, 6 ASIMD units.
+    Sweep6W6V,
+    /// Figure 5(b) sweep: 4-wide decode, 8 ASIMD units.
+    Sweep4W8V,
+    /// Figure 5(b) sweep: 8-wide decode, 8 ASIMD units.
+    Sweep8W8V,
+}
+
+impl CoreId {
+    /// Every registered core, Figure 4 cores first, then the
+    /// Figure 5(b) sweep in paper order.
+    pub const ALL: [CoreId; 9] = [
+        CoreId::Prime,
+        CoreId::Gold,
+        CoreId::Silver,
+        CoreId::Sweep4W2V,
+        CoreId::Sweep4W4V,
+        CoreId::Sweep4W6V,
+        CoreId::Sweep6W6V,
+        CoreId::Sweep4W8V,
+        CoreId::Sweep8W8V,
+    ];
+
+    /// The three Snapdragon 855 cores of Figure 4.
+    pub const BASE: [CoreId; 3] = [CoreId::Prime, CoreId::Gold, CoreId::Silver];
+
+    /// The six Figure 5(b) sweep configurations, in paper order:
+    /// `4W-2V, 4W-4V, 4W-6V, 6W-6V, 4W-8V, 8W-8V`.
+    pub const FIG5B: [CoreId; 6] = [
+        CoreId::Sweep4W2V,
+        CoreId::Sweep4W4V,
+        CoreId::Sweep4W6V,
+        CoreId::Sweep6W6V,
+        CoreId::Sweep4W8V,
+        CoreId::Sweep8W8V,
+    ];
+
+    /// The stable string id (`"prime"`, `"4w-2v"`, ...).
+    pub fn id(self) -> &'static str {
+        match self {
+            CoreId::Prime => "prime",
+            CoreId::Gold => "gold",
+            CoreId::Silver => "silver",
+            CoreId::Sweep4W2V => "4w-2v",
+            CoreId::Sweep4W4V => "4w-4v",
+            CoreId::Sweep4W6V => "4w-6v",
+            CoreId::Sweep6W6V => "6w-6v",
+            CoreId::Sweep4W8V => "4w-8v",
+            CoreId::Sweep8W8V => "8w-8v",
+        }
+    }
+
+    /// Parse a stable id (case-insensitive).
+    pub fn parse(s: &str) -> Option<CoreId> {
+        let lower = s.to_ascii_lowercase();
+        CoreId::ALL.into_iter().find(|c| c.id() == lower)
+    }
+
+    /// The concrete simulation parameters for this core.
+    pub fn config(self) -> CoreConfig {
+        match self {
+            CoreId::Prime => CoreConfig::prime(),
+            CoreId::Gold => CoreConfig::gold(),
+            CoreId::Silver => CoreConfig::silver(),
+            CoreId::Sweep4W2V => CoreConfig::sweep(4, 2),
+            CoreId::Sweep4W4V => CoreConfig::sweep(4, 4),
+            CoreId::Sweep4W6V => CoreConfig::sweep(4, 6),
+            CoreId::Sweep6W6V => CoreConfig::sweep(6, 6),
+            CoreId::Sweep4W8V => CoreConfig::sweep(4, 8),
+            CoreId::Sweep8W8V => CoreConfig::sweep(8, 8),
+        }
+    }
+}
+
+impl std::fmt::Display for CoreId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id())
+    }
+}
 
 /// Parameters of a simulated core.
 #[derive(Clone, Debug, PartialEq)]
@@ -112,12 +219,10 @@ impl CoreConfig {
     }
 
     /// The six Figure 5(b) configurations, in paper order:
-    /// `4W-2V, 4W-4V, 4W-6V, 6W-6V, 4W-8V, 8W-8V`.
+    /// `4W-2V, 4W-4V, 4W-6V, 6W-6V, 4W-8V, 8W-8V`
+    /// (convenience form of [`CoreId::FIG5B`]).
     pub fn fig5b_sweep() -> Vec<CoreConfig> {
-        [(4, 2), (4, 4), (4, 6), (6, 6), (4, 8), (8, 8)]
-            .into_iter()
-            .map(|(w, v)| CoreConfig::sweep(w, v))
-            .collect()
+        CoreId::FIG5B.into_iter().map(CoreId::config).collect()
     }
 
     /// Cycles-to-seconds conversion.
@@ -153,6 +258,24 @@ mod tests {
         assert_eq!(cfgs[5].name, "8W-8V");
         assert_eq!(cfgs[5].decode_width, 8);
         assert_eq!(cfgs[5].asimd_units, 8);
+    }
+
+    #[test]
+    fn registry_ids_roundtrip_and_match_constructors() {
+        for c in CoreId::ALL {
+            assert_eq!(CoreId::parse(c.id()), Some(c));
+            assert_eq!(CoreId::parse(&c.id().to_ascii_uppercase()), Some(c));
+        }
+        assert_eq!(CoreId::parse("a77"), None);
+        // The registry and the ad-hoc constructors are the same cores.
+        assert_eq!(CoreId::Prime.config(), CoreConfig::prime());
+        assert_eq!(CoreId::Gold.config(), CoreConfig::gold());
+        assert_eq!(CoreId::Silver.config(), CoreConfig::silver());
+        let sweep = CoreConfig::fig5b_sweep();
+        for (i, c) in CoreId::FIG5B.into_iter().enumerate() {
+            assert_eq!(c.config(), sweep[i]);
+        }
+        assert_eq!(CoreId::Sweep4W2V.config().name, "4W-2V");
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod core;
 pub mod power;
 
 pub use cache::{CacheConfig, CacheHierarchy, CacheStats, MemConfig};
-pub use config::CoreConfig;
+pub use config::{CoreConfig, CoreId};
 pub use core::{CoreModel, MultiCore, SimResult};
 pub use power::{EnergyBreakdown, EnergyModel};
 

@@ -5,6 +5,8 @@
 //!
 //! ```text
 //! swan-report [--quick | --scale F] [--seed N] [--threads N] <what>...
+//! swan-report [...] --list-scenarios [--only FILTER]...
+//! swan-report [...] --only FILTER [--only FILTER]...
 //! swan-report [--scale F] [--seed N] [--threads N] --write-golden <path>
 //! swan-report [--scale F] [--seed N] [--threads N] --golden <path>
 //! ```
@@ -14,26 +16,40 @@
 //! is the report scale (0.4 of paper-size inputs, preserving the
 //! cache-pressure regimes); `--quick` runs a much smaller scale for a
 //! fast smoke pass. `--threads N` shards the measurement campaign
-//! across N worker threads (default: all available cores).
+//! across N worker threads at scenario-group granularity (`0` or
+//! omitted: auto-detect the core count).
 //!
-//! `--write-golden` measures the full 59 × {Scalar, Auto, Neon}
-//! campaign and writes the canonical baseline JSON; `--golden`
-//! re-measures and diffs against the committed baseline, exiting
-//! non-zero on any drift. Both default to the quick scale and seed 42
-//! (the committed `tests/golden/suite.json` parameters) unless
-//! `--scale`/`--seed` are given explicitly.
+//! Every campaign — full reports, subsets, goldens — goes through the
+//! same plan → execute → aggregate pipeline. `--list-scenarios`
+//! prints the scenario plan (no measurement); `--only` restricts the
+//! plan with `key=value[,key=value]` filters over `lib`, `kernel`,
+//! `impl`, `width`, and `core` (several `--only` flags form a union)
+//! and prints one measured row per scenario.
+//!
+//! `--write-golden` measures the full scenario matrix and writes the
+//! canonical baseline JSON; `--golden` re-measures and diffs against
+//! the committed baseline, exiting non-zero on any drift. Both default
+//! to the quick scale and seed 42 (the committed
+//! `tests/golden/suite.json` parameters) unless `--scale`/`--seed`
+//! are given explicitly.
 
 use swan_core::report::{self, SuiteResults};
-use swan_core::{golden, Scale, SuiteRunner};
+use swan_core::{golden, Scale, Scenario, ScenarioFilter, SuiteRunner};
 use swan_kernels::xp::{conv_layers, GemmF32, Shape, SpmmF32};
+
+fn auto_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
 
 fn main() {
     let mut scale = Scale::sim();
     let mut scale_explicit = false;
     let mut seed = 42u64;
-    let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut threads = auto_threads();
     let mut golden_write: Option<String> = None;
     let mut golden_check: Option<String> = None;
+    let mut list_scenarios = false;
+    let mut filters: Vec<ScenarioFilter> = Vec::new();
     let mut wants: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -59,12 +75,24 @@ fn main() {
                     .expect("invalid seed");
             }
             "--threads" => {
-                threads = args
+                let n: usize = args
                     .next()
                     .expect("--threads needs a value")
-                    .parse::<usize>()
-                    .expect("invalid thread count")
-                    .max(1);
+                    .parse()
+                    .expect("invalid thread count");
+                // 0 = auto-detect the worker count.
+                threads = if n == 0 { auto_threads() } else { n };
+            }
+            "--list-scenarios" => list_scenarios = true,
+            "--only" => {
+                let spec = args.next().expect("--only needs a key=value[,...] filter");
+                match ScenarioFilter::parse(&spec) {
+                    Ok(f) => filters.push(f),
+                    Err(e) => {
+                        eprintln!("invalid --only filter `{spec}`: {e}");
+                        std::process::exit(2);
+                    }
+                }
             }
             "--write-golden" => {
                 golden_write = Some(args.next().expect("--write-golden needs a path"));
@@ -76,11 +104,41 @@ fn main() {
         }
     }
 
+    let kernels = swan_kernels::all_kernels();
+
+    if list_scenarios {
+        if golden_write.is_some() || golden_check.is_some() {
+            eprintln!(
+                "warning: --list-scenarios only prints the plan; --write-golden/--golden ignored"
+            );
+        }
+        // Plan only — no measurement. Composes with --only.
+        let full = swan_core::plan(&kernels, scale, seed);
+        let selected = swan_core::filter_plan(&full, &filters);
+        for sc in &selected {
+            println!("{}", sc.id());
+        }
+        eprintln!(
+            "{} scenarios ({} planned, {} kernels, scale {:.5}, seed {seed})",
+            selected.len(),
+            full.len(),
+            kernels.len(),
+            scale.0
+        );
+        return;
+    }
+
     if golden_write.is_some() || golden_check.is_some() {
         if !wants.is_empty() {
             eprintln!(
                 "warning: golden mode ignores table/figure tokens: {}",
                 wants.join(" ")
+            );
+        }
+        if !filters.is_empty() {
+            eprintln!(
+                "warning: golden baselines always cover the full scenario matrix; \
+                 --only filters ignored"
             );
         }
         // The committed baseline is generated at the quick scale.
@@ -94,7 +152,6 @@ fn main() {
                 .unwrap_or_else(|e| panic!("read golden baseline {path}: {e}"));
             (path, expected)
         });
-        let kernels = swan_kernels::all_kernels();
         let t0 = std::time::Instant::now();
         eprintln!(
             "collecting golden campaign at scale {:.5} (seed {seed}, {threads} thread{})...",
@@ -134,13 +191,44 @@ fn main() {
         return;
     }
 
+    if !filters.is_empty() {
+        // Scenario-subset mode: the same plan/execute path as the full
+        // campaign, restricted by the --only filters, reported
+        // per-scenario (a subset has no complete per-kernel matrix to
+        // aggregate).
+        if !wants.is_empty() {
+            eprintln!(
+                "warning: --only selects scenarios; table/figure tokens ignored: {}",
+                wants.join(" ")
+            );
+        }
+        let full = swan_core::plan(&kernels, scale, seed);
+        let selected = swan_core::filter_plan(&full, &filters);
+        if selected.is_empty() {
+            eprintln!("--only filters match no scenarios (try --list-scenarios)");
+            std::process::exit(2);
+        }
+        let t0 = std::time::Instant::now();
+        eprintln!(
+            "running {} of {} scenarios at scale {:.5} (seed {seed}, {threads} thread{})...",
+            selected.len(),
+            full.len(),
+            scale.0,
+            if threads == 1 { "" } else { "s" }
+        );
+        let measurements = swan_core::execute_plan(&kernels, &selected, threads, |msg| {
+            eprintln!("  [{:6.1}s] {msg}", t0.elapsed().as_secs_f32());
+        });
+        print_scenarios(&selected, &measurements);
+        eprintln!("done in {:.1}s", t0.elapsed().as_secs_f32());
+        return;
+    }
+
     if wants.is_empty() {
         wants.push("all".to_string());
     }
     let all = wants.iter().any(|w| w == "all");
     let want = |w: &str| all || wants.iter().any(|x| x == w);
-
-    let kernels = swan_kernels::all_kernels();
 
     if want("tab2") {
         println!("{}", report::tab2(&kernels));
@@ -224,4 +312,36 @@ fn main() {
         );
         println!("{rep}");
     }
+}
+
+/// Print one measured row per scenario (the `--only` output form).
+fn print_scenarios(plan: &[Scenario], measurements: &[swan_core::Measurement]) {
+    let header: Vec<String> = [
+        "Scenario",
+        "Instrs",
+        "Cycles",
+        "IPC",
+        "Time(us)",
+        "Power(W)",
+        "Energy(uJ)",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let rows: Vec<Vec<String>> = plan
+        .iter()
+        .zip(measurements)
+        .map(|(sc, m)| {
+            vec![
+                sc.id(),
+                m.sim.instrs.to_string(),
+                m.sim.cycles.to_string(),
+                format!("{:.2}", m.sim.ipc()),
+                format!("{:.3}", m.seconds() * 1e6),
+                format!("{:.2}", m.power_w),
+                format!("{:.3}", m.energy_j * 1e6),
+            ]
+        })
+        .collect();
+    print!("{}", report::fmt_table(&header, &rows));
 }

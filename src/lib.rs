@@ -38,9 +38,9 @@ pub fn suite() -> Vec<Box<dyn swan_core::Kernel>> {
 /// Convenient re-exports for examples and downstream users.
 pub mod prelude {
     pub use swan_core::{
-        measure, measure_multi, verify_kernel, Impl, Kernel, KernelMeta, Library, Measurement,
-        Scale, SuiteRunner,
+        measure, measure_multi, plan, verify_kernel, Impl, Kernel, KernelMeta, Library,
+        Measurement, Scale, Scenario, ScenarioFilter, SuiteRunner,
     };
     pub use swan_simd::{Vreg, Width};
-    pub use swan_uarch::CoreConfig;
+    pub use swan_uarch::{CoreConfig, CoreId};
 }

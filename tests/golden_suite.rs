@@ -1,16 +1,16 @@
 //! Golden-suite regression gate.
 //!
-//! The address-virtualized tracer promises that a given (kernel,
-//! implementation, scale, seed) produces a bit-identical dynamic
-//! instruction stream — including every memory address — on every
-//! run, every process, and every machine. These tests hold the whole
-//! 59-kernel campaign to that promise and pin the results to the
+//! The address-virtualized tracer promises that a given scenario —
+//! (kernel, implementation, width, core, scale, seed) — produces a
+//! bit-identical dynamic instruction stream, including every memory
+//! address, on every run, every process, and every machine. These
+//! tests hold the *full scenario matrix* (per-width and per-core, not
+//! just Prime at 128-bit) to that promise and pin the results to the
 //! committed `tests/golden/suite.json` baseline, so any change to
 //! kernels, tracer, or timing model shows up as a reviewable diff
 //! (regenerate with `swan-report --write-golden tests/golden/suite.json`).
 
-use swan_core::golden;
-use swan_core::{capture, Impl, Scale};
+use swan_core::{capture, golden, plan, Impl, Scale};
 use swan_simd::Width;
 
 /// The committed baseline's parameters: quick scale, seed 42.
@@ -20,11 +20,11 @@ fn baseline_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/suite.json")
 }
 
-/// The full campaign, run twice in-process, must be byte-identical —
-/// trace digests (covering every instruction field and address) and
-/// cycle/cache statistics alike — with every memory reference
-/// resolved through a registered buffer, and must match the committed
-/// baseline exactly.
+/// The full scenario campaign, run twice in-process, must be
+/// byte-identical — trace digests (covering every instruction field
+/// and address) and cycle/cache statistics alike — with every memory
+/// reference resolved through a registered buffer, and must match the
+/// committed baseline exactly, one entry per planned scenario.
 #[test]
 fn golden_suite_reproduces_and_matches_baseline() {
     let kernels = swan_kernels::all_kernels();
@@ -36,12 +36,20 @@ fn golden_suite_reproduces_and_matches_baseline() {
         first, second,
         "two in-process campaigns must be byte-identical"
     );
+
+    // The baseline covers the whole plan, keyed by scenario id: every
+    // kernel × {Scalar, Auto, Neon} × its widths × its cores.
+    let matrix = plan(&kernels, scale, GOLDEN_SEED);
+    assert_eq!(first.len(), matrix.len(), "one entry per planned scenario");
+    for (e, sc) in first.iter().zip(&matrix) {
+        assert_eq!(e.id, sc.id(), "entries follow canonical plan order");
+    }
     for e in &first {
         assert_eq!(
             e.fallback_refs, 0,
-            "{} {:?}: every traced access must hit a registered buffer \
+            "{}: every traced access must hit a registered buffer \
              (a fallback means the kernel forgot a with_buffers! entry)",
-            e.id, e.imp
+            e.id
         );
     }
 

@@ -164,37 +164,100 @@ fn measure_multi_is_consistent_with_single_measures() {
     assert_eq!(single.work_ops, multi[0].work_ops);
 }
 
-/// Suite level: the parallel campaign produces *bit-identical*
-/// per-kernel results to the serial one, in the same order. Buffer
-/// address virtualization makes the entire measurement — timing and
-/// cache statistics included — independent of which thread (and which
-/// host allocation) instantiated the kernel.
+/// Suite level: the scenario-sharded campaign produces *bit-identical*
+/// per-kernel results to the serial one, in the same order, for every
+/// worker count. Buffer address virtualization makes the entire
+/// measurement — timing and cache statistics included — independent of
+/// which thread (and which host allocation) instantiated the kernel,
+/// and scenario-group sharding keeps every scenario's measurement
+/// independent of which worker (and alongside which siblings) ran it.
 #[test]
-fn parallel_campaign_matches_serial_run_suite() {
+fn sharded_campaign_matches_serial_run_suite() {
     let kernels: Vec<_> = swan::suite().into_iter().take(8).collect();
     let serial = swan_core::report::run_suite(&kernels, Scale::test(), SEED, |_| {});
-    let parallel = swan_core::SuiteRunner::new(Scale::test(), SEED)
-        .threads(4)
-        .run(&kernels, |_| {});
-    assert_eq!(serial.kernels.len(), parallel.kernels.len());
-    for (s, p) in serial.kernels.iter().zip(parallel.kernels.iter()) {
-        assert_eq!(s.meta.id(), p.meta.id(), "kernel order must be stable");
-        for (which, a, b) in [
-            ("scalar", &s.scalar, &p.scalar),
-            ("auto", &s.auto, &p.auto),
-            ("neon", &s.neon, &p.neon),
-            ("neon_gold", &s.neon_gold, &p.neon_gold),
-            ("scalar_silver", &s.scalar_silver, &p.scalar_silver),
-        ] {
-            assert_eq!(a.trace.by_op, b.trace.by_op, "{} {which}", s.meta.id());
-            assert_eq!(a.work_ops, b.work_ops, "{} {which}", s.meta.id());
-            assert_eq!(
-                a.sim,
-                b.sim,
-                "{} {which}: virtualized addresses make sharded and \
-                 serial measurements bit-identical",
-                s.meta.id()
-            );
+    for threads in [1, 2, 7] {
+        let sharded = swan_core::SuiteRunner::new(Scale::test(), SEED)
+            .threads(threads)
+            .run(&kernels, |_| {});
+        assert_eq!(serial.kernels.len(), sharded.kernels.len());
+        for (s, p) in serial.kernels.iter().zip(sharded.kernels.iter()) {
+            assert_eq!(s.meta.id(), p.meta.id(), "kernel order must be stable");
+            for (which, a, b) in [
+                ("scalar", &s.scalar, &p.scalar),
+                ("auto", &s.auto, &p.auto),
+                ("neon", &s.neon, &p.neon),
+                ("neon_gold", &s.neon_gold, &p.neon_gold),
+                ("scalar_silver", &s.scalar_silver, &p.scalar_silver),
+            ] {
+                assert_eq!(
+                    a.trace.by_op,
+                    b.trace.by_op,
+                    "{} {which} ({threads} threads)",
+                    s.meta.id()
+                );
+                assert_eq!(a.work_ops, b.work_ops, "{} {which}", s.meta.id());
+                assert_eq!(
+                    a.sim,
+                    b.sim,
+                    "{} {which} ({threads} threads): virtualized addresses make \
+                     sharded and serial measurements bit-identical",
+                    s.meta.id()
+                );
+            }
+            // The width and core sweeps of the Figure 5 representatives
+            // ride the same scenario path; pin them too.
+            assert_eq!(s.widths.is_some(), p.widths.is_some());
+            if let (Some(sw), Some(pw)) = (&s.widths, &p.widths) {
+                for (a, b) in sw.iter().zip(pw.iter()) {
+                    assert_eq!(a.sim, b.sim, "{} widths", s.meta.id());
+                }
+            }
+            if let (Some(ss), Some(ps)) = (&s.sweep, &p.sweep) {
+                for (a, b) in ss.iter().zip(ps.iter()) {
+                    assert_eq!(a.sim, b.sim, "{} sweep", s.meta.id());
+                }
+            }
         }
+    }
+}
+
+/// A scenario's measurement depends only on the scenario itself, not
+/// on where it sits in the plan: executing a *permuted* plan (and a
+/// filtered subset of it) yields bit-identical per-scenario results,
+/// scenario by scenario. This is what makes `--only` subsets and any
+/// future sharding policy safe by construction.
+#[test]
+fn permuted_and_filtered_plans_are_scenario_bit_identical() {
+    use std::collections::HashMap;
+    let kernels: Vec<_> = swan::suite().into_iter().take(4).collect();
+    let plan = swan_core::plan(&kernels, Scale::test(), SEED);
+    let baseline = swan_core::execute_plan(&kernels, &plan, 1, |_| {});
+    let by_id: HashMap<String, &swan_core::Measurement> = plan
+        .iter()
+        .zip(baseline.iter())
+        .map(|(sc, m)| (sc.id(), m))
+        .collect();
+
+    // Deterministic permutation: reverse, which breaks up every
+    // execution group's adjacency and inverts kernel order.
+    let mut permuted = plan.clone();
+    permuted.reverse();
+    let results = swan_core::execute_plan(&kernels, &permuted, 2, |_| {});
+    assert_eq!(results.len(), permuted.len());
+    for (sc, m) in permuted.iter().zip(results.iter()) {
+        let b = by_id[&sc.id()];
+        assert_eq!(m.sim, b.sim, "{}: permuted plan must not change", sc.id());
+        assert_eq!(m.trace.by_op, b.trace.by_op, "{}", sc.id());
+        assert_eq!(m.work_ops, b.work_ops, "{}", sc.id());
+    }
+
+    // A filtered subset reuses the same path and reproduces the same
+    // per-scenario numbers.
+    let only = swan_core::ScenarioFilter::parse("impl=neon,width=128").unwrap();
+    let subset = swan_core::filter_plan(&plan, &[only]);
+    assert!(!subset.is_empty() && subset.len() < plan.len());
+    let sub_results = swan_core::execute_plan(&kernels, &subset, 1, |_| {});
+    for (sc, m) in subset.iter().zip(sub_results.iter()) {
+        assert_eq!(m.sim, by_id[&sc.id()].sim, "{}: subset must match", sc.id());
     }
 }
