@@ -8,8 +8,9 @@ use std::hint::black_box;
 use swan_bench::{find, measure_point, REPRESENTATIVES};
 use swan_core::report;
 use swan_core::{capture, measure_multi, simulate_trace, Impl, Kernel, Scale, SuiteRunner};
+use swan_simd::trace::stream_into;
 use swan_simd::Width;
-use swan_uarch::CoreConfig;
+use swan_uarch::{CoreConfig, EnergyModel, MultiCore};
 
 const SCALE: Scale = Scale(1.0 / 96.0);
 
@@ -191,10 +192,10 @@ fn fig6_gpu(c: &mut Criterion) {
     g.finish();
 }
 
-/// Suite campaign, pipeline shape: the streaming fan-out (one traced
-/// execution pair drives all three cores at once, O(window) memory)
-/// vs the batch flow it replaced (capture the full trace, then replay
-/// it per core).
+/// Suite campaign, pipeline shape: the record-once executor (one
+/// functional execution, compactly recorded, replayed into all three
+/// cores) vs the batch flow it replaced (capture the full
+/// `Vec<TraceInstr>`, then replay it per core).
 fn campaign_streaming_vs_batch(c: &mut Criterion) {
     let kernels = swan_kernels::all_kernels();
     let cfgs = [
@@ -228,11 +229,58 @@ fn campaign_streaming_vs_batch(c: &mut Criterion) {
 }
 
 /// Suite campaign, scaling shape: the representative subset measured
-/// by `SuiteRunner` serially and sharded across 4 worker threads. The
+/// by `SuiteRunner` serially and sharded across 4 worker threads (the
 /// multi-thread point must beat the serial wall-clock on any
-/// multi-core host — this is the number the perf trajectory tracks.
+/// multi-core host — this is the number the perf trajectory tracks),
+/// plus the record-vs-reexecute pair: one scenario group measured by
+/// the record-once/replay-many executor versus the pre-codec flow
+/// that functionally re-executed the kernel for the warm pass. The
+/// gap between the two points is the recovered emulator run.
 fn campaign_threads(c: &mut Criterion) {
     let kernels = swan_kernels::all_kernels();
+    let mut g = c.benchmark_group("campaign_threads");
+    g.sample_size(3);
+    {
+        let cfgs = [
+            CoreConfig::prime(),
+            CoreConfig::gold(),
+            CoreConfig::silver(),
+        ];
+        let k = find(&kernels, "LJ", "rgb_to_ycbcr");
+        g.bench_function("record_replay_3cores", |b| {
+            b.iter(|| black_box(measure_multi(k, Impl::Neon, Width::W128, &cfgs, SCALE, 42).len()))
+        });
+        g.bench_function("reexecute_3cores", |b| {
+            b.iter(|| {
+                // The pre-codec flow: two functional executions (warm
+                // pass + timed pass) drive the fan-out sink directly,
+                // followed by the same per-config histogram + energy
+                // attachment measure_multi performs — so the only
+                // difference between the two points is the recovered
+                // second emulator run.
+                let mut inst = k.instantiate(SCALE, 42);
+                let mut multi = MultiCore::new(&cfgs);
+                multi.begin_warm();
+                let (_, mut multi, ()) = stream_into(multi, || inst.run(Impl::Neon, Width::W128));
+                multi.begin_timed();
+                let (data, mut multi, ()) =
+                    stream_into(multi, || inst.run(Impl::Neon, Width::W128));
+                let work_ops = inst.work_ops();
+                let sims = multi.finalize();
+                let n = cfgs
+                    .iter()
+                    .zip(sims)
+                    .map(|(cfg, sim)| {
+                        let h = data.histograms();
+                        let e =
+                            EnergyModel::default().energy(&sim, cfg, Width::W128.factor() as f64);
+                        black_box((h.total(), e.total_j(), work_ops));
+                    })
+                    .count();
+                black_box(n)
+            })
+        });
+    }
     let subset: Vec<Box<dyn Kernel>> = kernels
         .into_iter()
         .filter(|k| {
@@ -242,8 +290,6 @@ fn campaign_threads(c: &mut Criterion) {
                 .any(|&(l, n)| m.library.info().symbol == l && m.name == n)
         })
         .collect();
-    let mut g = c.benchmark_group("campaign_threads");
-    g.sample_size(3);
     for threads in [1usize, 4] {
         g.bench_function(format!("threads_{threads}"), |b| {
             b.iter(|| {

@@ -7,9 +7,11 @@
 //! ([`execute_plan`] / [`SuiteRunner`]) shards *scenarios* across
 //! `std::thread` workers: scenarios sharing one instruction stream
 //! (same kernel, implementation, width — [`Scenario::stream_id`]) are
-//! measured from a single traced execution pair fanned out to their
-//! cores, so the shard unit is a stream group, far finer than a whole
-//! kernel. [`aggregate`] folds per-scenario [`Measurement`]s back into
+//! measured from a *single* functional execution, recorded through
+//! the trace codec and replayed (warm pass + timed pass) into every
+//! member's core model, so the shard unit is a stream group, far
+//! finer than a whole kernel, and the emulator runs each stream only
+//! once. [`aggregate`] folds per-scenario [`Measurement`]s back into
 //! [`KernelResults`]/[`SuiteResults`], so every `report::fig*/tab*`
 //! generator consumes the same shapes as before.
 //!
@@ -133,8 +135,8 @@ pub fn plan(kernels: &[Box<dyn Kernel>], scale: Scale, seed: u64) -> Vec<Scenari
 /// Partition a plan into execution groups: scenarios sharing one
 /// instruction stream ([`Scenario::stream_key`]), grouped in order of
 /// first appearance, each group's members in plan order. One group is
-/// the unit of work a campaign worker executes (one traced execution
-/// pair fanned out to the group's cores).
+/// the unit of work a campaign worker executes (one recorded
+/// execution replayed to the group's cores).
 pub(crate) fn execution_groups(plan: &[Scenario]) -> Vec<Vec<usize>> {
     let mut order: Vec<Vec<usize>> = Vec::new();
     let mut by_key: HashMap<(usize, Impl, Width, u64, u64), usize> = HashMap::new();
@@ -150,9 +152,10 @@ pub(crate) fn execution_groups(plan: &[Scenario]) -> Vec<Vec<usize>> {
     order
 }
 
-/// Measure one execution group: a single warm+timed execution pair of
-/// the group's kernel drives one core model per member scenario.
-/// Returns one [`Measurement`] per group member, in group order.
+/// Measure one execution group: the group's kernel executes *once*,
+/// recorded through the trace codec, and the recording's warm+timed
+/// replays drive one core model per member scenario. Returns one
+/// [`Measurement`] per group member, in group order.
 fn measure_group(kernel: &dyn Kernel, plan: &[Scenario], group: &[usize]) -> Vec<Measurement> {
     let sc = &plan[group[0]];
     let cfgs: Vec<CoreConfig> = group.iter().map(|&i| plan[i].core.config()).collect();

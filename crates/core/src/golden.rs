@@ -21,7 +21,9 @@ use crate::campaign::{execution_groups, scatter_groups, shard_indexed};
 use crate::kernel::{Kernel, Scale};
 use crate::scenario::Scenario;
 use std::fmt::Write as _;
-use swan_simd::trace::{self, session_width, stream_into_at, HashSink, TraceInstr, TraceSink};
+use swan_simd::trace::{
+    self, session_width, stream_into_at, HashSink, RecordSink, TraceInstr, TraceSink,
+};
 use swan_uarch::{MultiCore, SimResult};
 
 /// One golden record: everything that must stay bit-identical for one
@@ -65,30 +67,34 @@ impl TraceSink for Tee {
     }
 }
 
-/// Measure one execution group of golden points: warm pass + timed
-/// pass on one instance (exactly the streaming runner's measurement
-/// discipline), digesting the timed stream once and simulating it on
-/// every member scenario's core. Returns one entry per group member,
-/// in group order.
+/// Measure one execution group of golden points with the executor's
+/// record-once / replay-many discipline: the kernel runs exactly once
+/// under a [`RecordSink`]; the recording then warms every member
+/// scenario's core, and the timed replay is teed through the fan-out
+/// models and the trace digest at once. Replay is bit-identical to
+/// the live stream, so digests and statistics are unchanged from a
+/// warm+timed execution pair. Returns one entry per group member, in
+/// group order.
 fn collect_group(kernel: &dyn Kernel, plan: &[Scenario], group: &[usize]) -> Vec<GoldenEntry> {
     let sc = &plan[group[0]];
     let mut inst = kernel.instantiate(sc.scale, sc.seed);
+    // Read the fallback counter *inside* the session, right after the
+    // recorded run, so the value is bound to this session's registry
+    // and not to whatever thread-local state survives `finish`.
+    let (data, rec, fallback_refs) = stream_into_at(sc.width, RecordSink::new(), || {
+        inst.run(sc.imp, session_width());
+        trace::buffer_fallback_refs()
+    });
+    let enc = rec.finish();
     let cfgs: Vec<_> = group.iter().map(|&i| plan[i].core.config()).collect();
     let mut cores = MultiCore::new(&cfgs);
-    cores.begin_warm();
-    let (_, cores, ()) = stream_into_at(sc.width, cores, || inst.run(sc.imp, session_width()));
+    cores.warm_encoded(&enc);
     let mut tee = Tee {
         cores,
         hash: HashSink::new(),
     };
     tee.cores.begin_timed();
-    // Read the fallback counter *inside* the session, right after the
-    // timed run, so the value is bound to this session's registry and
-    // not to whatever thread-local state survives `finish`.
-    let (data, mut tee, fallback_refs) = stream_into_at(sc.width, tee, || {
-        inst.run(sc.imp, session_width());
-        trace::buffer_fallback_refs()
-    });
+    enc.replay_into(&mut tee);
     let trace_hash = tee.hash.digest();
     group
         .iter()

@@ -28,5 +28,7 @@ pub use golden::GoldenEntry;
 pub use kernel::{
     AutoObstacle, AutoOutcome, Impl, Kernel, KernelMeta, Library, Pattern, Runnable, Scale, VsNeon,
 };
-pub use runner::{capture, measure, measure_multi, simulate_trace, verify_kernel, Measurement};
+pub use runner::{
+    capture, measure, measure_multi, record, simulate_trace, verify_kernel, Measurement,
+};
 pub use scenario::{filter_plan, Scenario, ScenarioFilter};

@@ -1,19 +1,24 @@
 //! Measurement runner: trace a kernel invocation, drive it through
 //! the timing model, and attach power/energy.
 //!
-//! The default path is *streaming*: the kernel executes under a
-//! [`swan_simd::trace::TraceSink`] that fans each dynamic instruction
-//! out to one incremental [`swan_uarch::CoreModel`] per core
-//! configuration, so N configurations are measured from a single pair
-//! of functional executions (one cache warm-up pass, one timed pass)
-//! with O(core window) resident memory — the trace is never
-//! materialized. [`capture`] + [`simulate_trace`] remain as the
-//! explicit batch path (and the two are bit-identical; see the
-//! `streaming_equivalence` integration tests).
+//! The default path is *record-once / replay-many*: the kernel
+//! executes exactly once under a [`swan_simd::RecordSink`] that
+//! encodes the dynamic instruction stream into a compact replay
+//! buffer ([`record`]); the recording is then replayed into one
+//! incremental [`swan_uarch::CoreModel`] per core configuration —
+//! once to warm the caches (§4.3) and once timed — so N
+//! configurations cost one functional execution plus cheap stream
+//! decodes, mirroring the paper's capture-one-trace,
+//! replay-into-every-core methodology. Replay is bit-identical to the
+//! live stream (the codec's contract), so results are unchanged from
+//! the earlier execute-twice streaming flow. [`capture`] +
+//! [`simulate_trace`] remain as the explicit materialized batch path
+//! (and all three are bit-identical; see the `streaming_equivalence`
+//! integration tests).
 
 use crate::kernel::{Impl, Kernel, Scale};
 use swan_simd::trace::{session_width, stream_into_at, Mode, Session};
-use swan_simd::{TraceData, Width};
+use swan_simd::{EncodedTrace, RecordSink, TraceData, Width};
 use swan_uarch::{simulate, CoreConfig, EnergyModel, MultiCore, SimResult};
 
 /// One measured (kernel, implementation, width, core) point.
@@ -93,16 +98,37 @@ pub fn simulate_trace(
     attach_energy(trace.histograms(), sim, cfg, width_factor, work_ops)
 }
 
+/// Execute a kernel configuration exactly once under a
+/// [`RecordSink`], producing the compact replayable encoding of its
+/// dynamic instruction stream. Returns the histograms, the recording,
+/// and the kernel's useful-operation count.
+///
+/// The session opens at the scenario's width and the kernel invocation
+/// reads it back from the session, instead of the width being threaded
+/// through every call layer.
+pub fn record(
+    kernel: &dyn Kernel,
+    imp: Impl,
+    w: Width,
+    scale: Scale,
+    seed: u64,
+) -> (TraceData, EncodedTrace, u64) {
+    let mut inst = kernel.instantiate(scale, seed);
+    let (data, rec, ()) = stream_into_at(w, RecordSink::new(), || inst.run(imp, session_width()));
+    (data, rec.finish(), inst.work_ops())
+}
+
 /// Measure one kernel configuration on several core configurations at
 /// once, without materializing the trace.
 ///
-/// The kernel instance executes twice under a fan-out sink driving one
-/// incremental core model per configuration: a first pass warms every
-/// model's caches (the paper warms caches before each measured
-/// iteration, §4.3) and a second pass is timed. Both passes run on the
-/// *same* instance, so buffer addresses — and therefore cache
-/// behavior — are identical between warm-up and measurement, exactly
-/// as in a batch capture-and-replay of one trace.
+/// The kernel executes exactly *once*, recorded through the trace
+/// codec ([`record`]); the recording then drives a fan-out of one
+/// incremental core model per configuration twice — a first replay
+/// warms every model's caches (the paper warms caches before each
+/// measured iteration, §4.3) and a second replay is timed. Replay is
+/// bit-identical to the live stream, so this equals the batch
+/// capture-and-replay of one trace while keeping the resident trace
+/// state at the compact encoded size instead of a `Vec<TraceInstr>`.
 ///
 /// Returns one [`Measurement`] per entry of `cfgs`, in order.
 pub fn measure_multi(
@@ -118,17 +144,12 @@ pub fn measure_multi(
     } else {
         1.0
     };
-    let mut inst = kernel.instantiate(scale, seed);
+    let (data, enc, work_ops) = record(kernel, imp, w, scale, seed);
 
-    // Each pass opens its session at the scenario's width and the
-    // kernel invocation reads it back from the session, instead of the
-    // width being threaded through every call layer.
     let mut multi = MultiCore::new(cfgs);
-    multi.begin_warm();
-    let (_, mut multi, ()) = stream_into_at(w, multi, || inst.run(imp, session_width()));
+    multi.warm_encoded(&enc);
     multi.begin_timed();
-    let (data, mut multi, ()) = stream_into_at(w, multi, || inst.run(imp, session_width()));
-    let work_ops = inst.work_ops();
+    enc.replay_into(&mut multi);
 
     let sims = multi.finalize();
     cfgs.iter()

@@ -14,6 +14,10 @@
 //! batch path: it routes the same stream into an internal [`VecSink`]
 //! and hands the materialized trace back at [`Session::finish`].
 
+pub mod codec;
+
+pub use codec::{EncodedTrace, RecordSink, TeeRecord};
+
 use crate::Width;
 use std::any::Any;
 use std::cell::RefCell;

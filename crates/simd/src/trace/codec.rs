@@ -1,0 +1,661 @@
+//! Record-once / replay-many trace codec.
+//!
+//! The campaign measures every scenario group (one instruction stream
+//! fanned out to N cores) from a warm pass and a timed pass. Replaying
+//! a *recording* of the stream instead of functionally re-executing
+//! the kernel removes the second emulator run from the hottest path —
+//! the paper captures each kernel's dynamic trace once and replays it
+//! into every simulated core (§4.3).
+//!
+//! [`RecordSink`] is a [`TraceSink`] that encodes the live stream into
+//! a compact binary buffer; [`EncodedTrace::replay_into`] drives any
+//! sink back out with the *bit-identical* sequence of
+//! [`TraceSink::on_instr`] / [`TraceSink::on_overhead`] calls. The
+//! encoding exploits the stream's structure:
+//!
+//! * operation and class tags are single bytes;
+//! * destination value ids are elided entirely when they follow the
+//!   tracer's sequential assignment (they almost always do — including
+//!   across the `u32::MAX → 1` wraparound that skips the 0 sentinel),
+//!   and varint-encoded otherwise;
+//! * source ids are zigzag varints of their distance to the
+//!   destination id (dataflow edges point at recent producers);
+//! * memory addresses are delta-encoded per *operation tag* against
+//!   the previous access of that op, predicting the next sequential
+//!   address. Virtualized addresses stream through the
+//!   [`BufferRegistry`](super::BufferRegistry) arenas one buffer per
+//!   op at a time, so the common delta is zero (one byte) and a
+//!   buffer switch costs one varint — never the 60-bit arena base;
+//! * loop-control overhead runs stay runs: one record replays as one
+//!   [`TraceSink::on_overhead`] call, preserving the sink-visible call
+//!   sequence exactly.
+//!
+//! The decoder reconstructs predictions from the same already-decoded
+//! prefix the encoder saw, so no prediction ever needs a correction
+//! channel: encode → decode is lossless for any instruction sequence
+//! whose `srcs[nsrc..]` entries are zero (which the tracer guarantees;
+//! see [`TraceInstr`]).
+
+use super::{advance_value_id, next_value_id, Class, MemRef, Op, TraceInstr, TraceSink};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Record kinds (low bit of the header byte).
+const KIND_INSTR: u8 = 0;
+const KIND_OVERHEAD: u8 = 1;
+/// Header flag: the destination id is encoded explicitly (it does not
+/// equal the sequential prediction).
+const F_EXPLICIT_ID: u8 = 1 << 1;
+/// Header flag: the instruction carries a memory reference.
+const F_MEM: u8 = 1 << 2;
+/// Source count shift (3 bits: 0..=4).
+const NSRC_SHIFT: u8 = 3;
+
+/// Running totals of every [`RecordSink::finish`] in this process:
+/// (encoded bytes, dynamic instructions). Campaign-level observability
+/// for the codec's memory bound — the encoded footprint of a scenario
+/// group versus the `Vec<TraceInstr>` it replaces.
+static RECORDED_BYTES: AtomicU64 = AtomicU64::new(0);
+static RECORDED_INSTRS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide codec counters: total encoded bytes and total dynamic
+/// instructions across every finished recording. Monotone; used by
+/// tests and diagnostics to bound the campaign's replay-buffer
+/// footprint against the naive materialized-trace cost.
+pub fn recorded_totals() -> (u64, u64) {
+    (
+        RECORDED_BYTES.load(Ordering::Relaxed),
+        RECORDED_INSTRS.load(Ordering::Relaxed),
+    )
+}
+
+/// Shared encoder/decoder prediction state. Both sides advance it from
+/// the records already processed, so the encoder's elisions are always
+/// reconstructible.
+#[derive(Debug)]
+struct Pred {
+    /// Next destination id the tracer would assign.
+    next_id: u32,
+    /// Predicted next address per operation tag: one sequential stream
+    /// per op, tracking `addr + bytes` of its previous access.
+    next_addr: [u64; super::OP_COUNT],
+}
+
+impl Pred {
+    fn new() -> Pred {
+        Pred {
+            next_id: 1,
+            next_addr: [0; super::OP_COUNT],
+        }
+    }
+
+    /// Advance past an instruction record.
+    fn after_instr(&mut self, ins: &TraceInstr) {
+        self.next_id = next_value_id(ins.dst);
+        if let Some(m) = ins.mem {
+            self.next_addr[ins.op as usize] = m.addr.wrapping_add(m.bytes as u64);
+        }
+    }
+
+    /// Advance past an overhead record. Mirrors the tracer's id
+    /// bookkeeping for real streams (`first_id >= 1`); for arbitrary
+    /// sink input with `first_id == 0` the prediction simply stays put
+    /// (predictions affect compactness, never correctness).
+    fn after_overhead(&mut self, first_id: u32, n: u64) {
+        if first_id != 0 {
+            self.next_id = advance_value_id(first_id, n);
+        }
+    }
+}
+
+#[inline]
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(b);
+            return;
+        }
+        buf.push(b | 0x80);
+    }
+}
+
+#[inline]
+fn put_zigzag(buf: &mut Vec<u8>, v: i64) {
+    put_varint(buf, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+#[inline]
+fn get_varint(buf: &[u8], pos: &mut usize) -> u64 {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = buf[*pos];
+        *pos += 1;
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+#[inline]
+fn get_zigzag(buf: &[u8], pos: &mut usize) -> i64 {
+    let v = get_varint(buf, pos);
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// A finished recording: the compact binary form of one dynamic
+/// instruction stream, replayable any number of times.
+#[derive(Clone, Debug, Default)]
+pub struct EncodedTrace {
+    bytes: Vec<u8>,
+    instrs: u64,
+    records: u64,
+}
+
+impl EncodedTrace {
+    /// Size of the encoded buffer in bytes.
+    pub fn encoded_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Total dynamic instructions in the stream (overhead runs counted
+    /// at their full length).
+    pub fn instr_count(&self) -> u64 {
+        self.instrs
+    }
+
+    /// Encoded records (an overhead run of any length is one record).
+    pub fn record_count(&self) -> u64 {
+        self.records
+    }
+
+    /// What materializing this stream as a `Vec<TraceInstr>` would
+    /// cost — the footprint the codec replaces.
+    pub fn naive_bytes(&self) -> u64 {
+        self.instrs * std::mem::size_of::<TraceInstr>() as u64
+    }
+
+    /// Drive the recorded stream back out into `sink`, reproducing the
+    /// live execution's sink calls bit-identically: the same
+    /// [`TraceSink::on_instr`] instructions (every field, memory
+    /// addresses included) and the same [`TraceSink::on_overhead`]
+    /// runs, in the same order.
+    pub fn replay_into(&self, sink: &mut dyn TraceSink) {
+        let buf = &self.bytes;
+        let mut pos = 0usize;
+        let mut pred = Pred::new();
+        while pos < buf.len() {
+            let header = buf[pos];
+            pos += 1;
+            let op = Op::ALL[buf[pos] as usize];
+            pos += 1;
+            let class = Class::ALL[buf[pos] as usize];
+            pos += 1;
+            if header & 1 == KIND_OVERHEAD {
+                let first_id = if header & F_EXPLICIT_ID != 0 {
+                    get_varint(buf, &mut pos) as u32
+                } else {
+                    pred.next_id
+                };
+                let n = get_varint(buf, &mut pos);
+                pred.after_overhead(first_id, n);
+                sink.on_overhead(op, class, first_id, n);
+                continue;
+            }
+            let dst = if header & F_EXPLICIT_ID != 0 {
+                get_varint(buf, &mut pos) as u32
+            } else {
+                pred.next_id
+            };
+            let nsrc = (header >> NSRC_SHIFT) & 0x7;
+            let mut srcs = [0u32; 4];
+            for s in srcs.iter_mut().take(nsrc as usize) {
+                *s = (dst as i64).wrapping_sub(get_zigzag(buf, &mut pos)) as u32;
+            }
+            let mem = if header & F_MEM != 0 {
+                let delta = get_zigzag(buf, &mut pos);
+                let addr = pred.next_addr[op as usize].wrapping_add(delta as u64);
+                let bytes = get_varint(buf, &mut pos) as u32;
+                Some(MemRef { addr, bytes })
+            } else {
+                None
+            };
+            let ins = TraceInstr {
+                op,
+                class,
+                dst,
+                srcs,
+                nsrc,
+                mem,
+            };
+            pred.after_instr(&ins);
+            sink.on_instr(&ins);
+        }
+    }
+}
+
+/// A [`TraceSink`] that encodes the stream it receives. Install it
+/// under a trace session (or tee into it from another sink), then call
+/// [`RecordSink::finish`] to obtain the replayable [`EncodedTrace`].
+#[derive(Debug)]
+pub struct RecordSink {
+    buf: Vec<u8>,
+    instrs: u64,
+    records: u64,
+    pred: Pred,
+}
+
+impl Default for RecordSink {
+    fn default() -> RecordSink {
+        RecordSink::new()
+    }
+}
+
+impl RecordSink {
+    /// An empty recording.
+    pub fn new() -> RecordSink {
+        RecordSink {
+            buf: Vec::new(),
+            instrs: 0,
+            records: 0,
+            pred: Pred::new(),
+        }
+    }
+
+    /// Bytes encoded so far.
+    pub fn encoded_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Seal the recording. Updates the process-wide
+    /// [`recorded_totals`] counters.
+    pub fn finish(self) -> EncodedTrace {
+        RECORDED_BYTES.fetch_add(self.buf.len() as u64, Ordering::Relaxed);
+        RECORDED_INSTRS.fetch_add(self.instrs, Ordering::Relaxed);
+        EncodedTrace {
+            bytes: self.buf,
+            instrs: self.instrs,
+            records: self.records,
+        }
+    }
+}
+
+impl TraceSink for RecordSink {
+    fn on_instr(&mut self, ins: &TraceInstr) {
+        debug_assert!(
+            ins.srcs[ins.nsrc as usize..].iter().all(|&s| s == 0),
+            "sources beyond nsrc must be zero (tracer invariant)"
+        );
+        let nsrc = ins.nsrc.min(4);
+        let mut header = KIND_INSTR | (nsrc << NSRC_SHIFT);
+        let explicit = ins.dst != self.pred.next_id;
+        if explicit {
+            header |= F_EXPLICIT_ID;
+        }
+        if ins.mem.is_some() {
+            header |= F_MEM;
+        }
+        self.buf.push(header);
+        self.buf.push(ins.op as u8);
+        self.buf.push(ins.class as u8);
+        if explicit {
+            put_varint(&mut self.buf, ins.dst as u64);
+        }
+        for &s in &ins.srcs[..nsrc as usize] {
+            put_zigzag(&mut self.buf, (ins.dst as i64).wrapping_sub(s as i64));
+        }
+        if let Some(m) = ins.mem {
+            let predicted = self.pred.next_addr[ins.op as usize];
+            put_zigzag(&mut self.buf, m.addr.wrapping_sub(predicted) as i64);
+            put_varint(&mut self.buf, m.bytes as u64);
+        }
+        self.pred.after_instr(ins);
+        self.instrs += 1;
+        self.records += 1;
+    }
+
+    fn on_overhead(&mut self, op: Op, class: Class, first_id: u32, n: u64) {
+        let mut header = KIND_OVERHEAD;
+        let explicit = first_id != self.pred.next_id;
+        if explicit {
+            header |= F_EXPLICIT_ID;
+        }
+        self.buf.push(header);
+        self.buf.push(op as u8);
+        self.buf.push(class as u8);
+        if explicit {
+            put_varint(&mut self.buf, first_id as u64);
+        }
+        put_varint(&mut self.buf, n);
+        self.pred.after_overhead(first_id, n);
+        self.instrs += n;
+        self.records += 1;
+    }
+}
+
+/// Record everything `f` emits while also forwarding it to `inner` —
+/// the tee that lets a live execution warm a model (or feed a digest)
+/// in the same pass that produces the recording.
+#[derive(Debug)]
+pub struct TeeRecord<S> {
+    /// The recording half.
+    pub record: RecordSink,
+    /// The pass-through half.
+    pub inner: S,
+}
+
+impl<S: TraceSink> TeeRecord<S> {
+    /// Tee into `inner` while recording.
+    pub fn new(inner: S) -> TeeRecord<S> {
+        TeeRecord {
+            record: RecordSink::new(),
+            inner,
+        }
+    }
+
+    /// Split back into the finished recording and the inner sink.
+    pub fn finish(self) -> (EncodedTrace, S) {
+        (self.record.finish(), self.inner)
+    }
+}
+
+impl<S: TraceSink> TraceSink for TeeRecord<S> {
+    fn on_instr(&mut self, ins: &TraceInstr) {
+        self.record.on_instr(ins);
+        self.inner.on_instr(ins);
+    }
+
+    fn on_overhead(&mut self, op: Op, class: Class, first_id: u32, n: u64) {
+        self.record.on_overhead(op, class, first_id, n);
+        self.inner.on_overhead(op, class, first_id, n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{VecSink, OP_COUNT};
+    use super::*;
+
+    /// A sink that remembers the exact call sequence it received, so
+    /// replay can be compared call for call (not just instruction for
+    /// instruction).
+    #[derive(Debug, Default, PartialEq)]
+    struct CallLog {
+        calls: Vec<Call>,
+    }
+
+    #[derive(Debug, PartialEq)]
+    enum Call {
+        Instr(TraceInstr),
+        Overhead(Op, Class, u32, u64),
+    }
+
+    impl TraceSink for CallLog {
+        fn on_instr(&mut self, ins: &TraceInstr) {
+            self.calls.push(Call::Instr(*ins));
+        }
+        fn on_overhead(&mut self, op: Op, class: Class, first_id: u32, n: u64) {
+            self.calls.push(Call::Overhead(op, class, first_id, n));
+        }
+    }
+
+    fn roundtrip(feed: impl Fn(&mut dyn TraceSink)) -> (CallLog, CallLog, EncodedTrace) {
+        let mut live = CallLog::default();
+        feed(&mut live);
+        let mut rec = RecordSink::new();
+        feed(&mut rec);
+        let enc = rec.finish();
+        let mut replayed = CallLog::default();
+        enc.replay_into(&mut replayed);
+        (live, replayed, enc)
+    }
+
+    fn ins(op: Op, class: Class, dst: u32, srcs: &[u32], mem: Option<MemRef>) -> TraceInstr {
+        let mut s = [0u32; 4];
+        s[..srcs.len()].copy_from_slice(srcs);
+        TraceInstr {
+            op,
+            class,
+            dst,
+            srcs: s,
+            nsrc: srcs.len() as u8,
+            mem,
+        }
+    }
+
+    #[test]
+    fn empty_recording_replays_nothing() {
+        let (live, replayed, enc) = roundtrip(|_| {});
+        assert_eq!(live, replayed);
+        assert_eq!(enc.encoded_bytes(), 0);
+        assert_eq!(enc.instr_count(), 0);
+        assert_eq!(enc.naive_bytes(), 0);
+    }
+
+    #[test]
+    fn sequential_stream_roundtrips_and_is_compact() {
+        // A realistic loop body: sequential ids, streaming loads from
+        // one buffer and stores to another, a dependent ALU op.
+        let base_in = 0xF000_0000_0000_0000u64;
+        let base_out = 0xF000_0400_0000_2000u64;
+        let (live, replayed, enc) = roundtrip(|sink| {
+            let mut id = 1u32;
+            for i in 0..1000u64 {
+                let ld = ins(
+                    Op::VLd1,
+                    Class::VLoad,
+                    id,
+                    &[],
+                    Some(MemRef {
+                        addr: base_in + i * 16,
+                        bytes: 16,
+                    }),
+                );
+                sink.on_instr(&ld);
+                let alu = ins(Op::VAlu, Class::VInt, id + 1, &[id, id], None);
+                sink.on_instr(&alu);
+                let st = ins(
+                    Op::VSt1,
+                    Class::VStore,
+                    id + 2,
+                    &[id + 1],
+                    Some(MemRef {
+                        addr: base_out + i * 16,
+                        bytes: 16,
+                    }),
+                );
+                sink.on_instr(&st);
+                id += 3;
+            }
+        });
+        assert_eq!(live, replayed);
+        assert_eq!(enc.instr_count(), 3000);
+        // Sequential prediction: dst elided, addresses delta-0 after
+        // the first touch — well under 8 bytes per instruction versus
+        // the 40-byte materialized form.
+        assert!(
+            (enc.encoded_bytes() as u64) * 5 < enc.naive_bytes(),
+            "{} bytes encoded vs {} naive",
+            enc.encoded_bytes(),
+            enc.naive_bytes()
+        );
+    }
+
+    #[test]
+    fn value_id_wraparound_is_preserved() {
+        // The tracer skips the 0 sentinel on wrap: ...MAX-1, MAX, 1, 2.
+        let (live, replayed, _) = roundtrip(|sink| {
+            let mut id = u32::MAX - 1;
+            let mut prev = 0u32;
+            for _ in 0..5 {
+                sink.on_instr(&ins(Op::VAlu, Class::VInt, id, &[prev], None));
+                prev = id;
+                id = next_value_id(id);
+            }
+        });
+        assert_eq!(live, replayed);
+        // The wrapped successor really is 1 (sentinel skipped), and the
+        // sequential prediction followed it without explicit encoding.
+        match &replayed.calls[2] {
+            Call::Instr(i) => assert_eq!(i.dst, 1),
+            c => panic!("expected instr, got {c:?}"),
+        }
+    }
+
+    #[test]
+    fn overhead_runs_replay_as_runs() {
+        let (live, replayed, enc) = roundtrip(|sink| {
+            sink.on_instr(&ins(Op::SAlu, Class::SInt, 1, &[], None));
+            sink.on_overhead(Op::SBranch, Class::SInt, 2, 1_000_000);
+            sink.on_instr(&ins(
+                Op::SAlu,
+                Class::SInt,
+                advance_value_id(2, 1_000_000),
+                &[],
+                None,
+            ));
+            // A run crossing the id wraparound.
+            sink.on_overhead(Op::SAlu, Class::SInt, u32::MAX - 3, 10);
+        });
+        assert_eq!(live, replayed);
+        assert_eq!(enc.instr_count(), 2 + 1_000_000 + 10);
+        assert_eq!(enc.record_count(), 4);
+        assert!(matches!(
+            replayed.calls[1],
+            Call::Overhead(Op::SBranch, Class::SInt, 2, 1_000_000)
+        ));
+    }
+
+    #[test]
+    fn explicit_ids_and_zero_operands_roundtrip() {
+        let (live, replayed, _) = roundtrip(|sink| {
+            // Non-sequential dst, dst = 0, untracked (0) sources, and
+            // sources larger than dst.
+            sink.on_instr(&ins(Op::VMul, Class::VInt, 77, &[0, 200], None));
+            sink.on_instr(&ins(Op::VAlu, Class::VInt, 0, &[77], None));
+            sink.on_instr(&ins(Op::SAlu, Class::SInt, u32::MAX, &[1, 2, 3, 4], None));
+            sink.on_overhead(Op::SAlu, Class::SInt, 0, 3);
+        });
+        assert_eq!(live, replayed);
+    }
+
+    #[test]
+    fn max_delta_address_jumps_roundtrip() {
+        // Alternating extremes through one op: deltas near ±u64::MAX,
+        // plus every arena/pool region in one stream.
+        let addrs = [
+            0u64,
+            u64::MAX,
+            1,
+            u64::MAX - 7,
+            0xF000_0000_0000_0000, // buffer arena
+            0xFFFE_0000_0000_0040, // anonymous pool
+            0xFFFF_F000_0000_0010, // literal pool
+            64,
+        ];
+        let (live, replayed, _) = roundtrip(|sink| {
+            let mut id = 1;
+            for &addr in &addrs {
+                sink.on_instr(&ins(
+                    Op::SLoad,
+                    Class::SInt,
+                    id,
+                    &[],
+                    Some(MemRef { addr, bytes: 8 }),
+                ));
+                sink.on_instr(&ins(
+                    Op::VSt1,
+                    Class::VStore,
+                    id + 1,
+                    &[id],
+                    Some(MemRef {
+                        addr: addr ^ 0x8000_0000_0000_0000,
+                        bytes: 64,
+                    }),
+                ));
+                id = next_value_id(next_value_id(id));
+            }
+        });
+        assert_eq!(live, replayed);
+    }
+
+    #[test]
+    fn every_op_and_class_roundtrips() {
+        let (live, replayed, _) = roundtrip(|sink| {
+            let mut id = 1;
+            for (i, &op) in Op::ALL.iter().enumerate() {
+                let class = Class::ALL[i % Class::ALL.len()];
+                let mem = if op.is_load() || op.is_store() {
+                    Some(MemRef {
+                        addr: 4096 + i as u64 * 64,
+                        bytes: 16,
+                    })
+                } else {
+                    None
+                };
+                sink.on_instr(&ins(op, class, id, &[id.wrapping_sub(1)], mem));
+                id = next_value_id(id);
+            }
+        });
+        assert_eq!(live, replayed);
+        assert!(OP_COUNT <= u8::MAX as usize, "op tags must fit one byte");
+    }
+
+    #[test]
+    fn tee_records_while_forwarding() {
+        let mut tee = TeeRecord::new(VecSink::default());
+        let a = ins(
+            Op::VLd1,
+            Class::VLoad,
+            1,
+            &[],
+            Some(MemRef {
+                addr: 64,
+                bytes: 16,
+            }),
+        );
+        tee.on_instr(&a);
+        tee.on_overhead(Op::SAlu, Class::SInt, 2, 5);
+        let (enc, inner) = tee.finish();
+        // Inner sink saw the live stream (VecSink expands overhead).
+        assert_eq!(inner.instrs.len(), 6);
+        assert_eq!(inner.instrs[0], a);
+        // The recording replays the identical call sequence.
+        let mut log = CallLog::default();
+        enc.replay_into(&mut log);
+        assert_eq!(log.calls.len(), 2);
+        assert_eq!(log.calls[0], Call::Instr(a));
+    }
+
+    #[test]
+    fn recorded_totals_are_monotone() {
+        let (b0, i0) = recorded_totals();
+        let mut rec = RecordSink::new();
+        rec.on_instr(&ins(Op::VAlu, Class::VInt, 1, &[], None));
+        let enc = rec.finish();
+        let (b1, i1) = recorded_totals();
+        assert!(b1 >= b0 + enc.encoded_bytes() as u64);
+        assert!(i1 > i0);
+    }
+
+    #[test]
+    fn replay_matches_vec_sink_expansion() {
+        // Replaying into a sink without an on_overhead override must
+        // expand runs exactly like the live default implementation.
+        let feed = |sink: &mut dyn TraceSink| {
+            sink.on_instr(&ins(Op::VAlu, Class::VInt, 1, &[], None));
+            sink.on_overhead(Op::SAlu, Class::SInt, 2, 7);
+            sink.on_instr(&ins(Op::VMul, Class::VInt, 9, &[8], None));
+        };
+        let mut live = VecSink::default();
+        feed(&mut live);
+        let mut rec = RecordSink::new();
+        feed(&mut rec);
+        let mut replayed = VecSink::default();
+        rec.finish().replay_into(&mut replayed);
+        assert_eq!(live.instrs, replayed.instrs);
+    }
+}

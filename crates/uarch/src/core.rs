@@ -13,7 +13,7 @@
 use crate::cache::{CacheHierarchy, CacheStats};
 use crate::config::CoreConfig;
 use swan_simd::trace::{CLASS_COUNT, OP_COUNT};
-use swan_simd::{Op, TraceData, TraceInstr, TraceSink};
+use swan_simd::{EncodedTrace, Op, TraceData, TraceInstr, TraceSink};
 
 /// Functional-unit pools.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -489,6 +489,22 @@ impl CoreModel {
         }
         self.finalize()
     }
+
+    /// Warm the caches from a recorded stream ([`EncodedTrace`]) —
+    /// the record-once/replay-many twin of [`CoreModel::warm`], and
+    /// bit-identical to being fed the live execution.
+    pub fn warm_encoded(&mut self, enc: &EncodedTrace) {
+        self.begin_warm();
+        enc.replay_into(self);
+    }
+
+    /// Timed run fed from a recorded stream — the
+    /// record-once/replay-many twin of [`CoreModel::run`].
+    pub fn run_encoded(&mut self, enc: &EncodedTrace) -> SimResult {
+        self.begin_timed();
+        enc.replay_into(self);
+        self.finalize()
+    }
 }
 
 impl TraceSink for CoreModel {
@@ -534,6 +550,13 @@ impl MultiCore {
         for m in &mut self.models {
             m.begin_warm();
         }
+    }
+
+    /// Warm every model's caches from a recorded stream (the fan-out
+    /// form of [`CoreModel::warm_encoded`]).
+    pub fn warm_encoded(&mut self, enc: &EncodedTrace) {
+        self.begin_warm();
+        enc.replay_into(self);
     }
 
     /// Enter the timed phase on every model.
@@ -861,6 +884,57 @@ mod tests {
                 assert_eq!(small, big_r, "cfg {}", cfg.name);
             }
         }
+    }
+
+    #[test]
+    fn replay_fed_model_matches_live_fed_model() {
+        // Record the stream once; feeding warm+timed passes from the
+        // recording must be bit-identical to feeding the live stream
+        // twice — the record-once/replay-many contract the campaign
+        // executor relies on. Exercised at the CoreModel and MultiCore
+        // layers, including the on_overhead bulk path.
+        use swan_simd::{RecordSink, VecSink};
+        let data: Vec<i32> = (0..4096).collect();
+        let run = || {
+            let w = Width::W128;
+            let mut acc = Vreg::<i32>::zero(w);
+            for off in (0..4096).step_by(4) {
+                let v = Vreg::load(w, &data, off);
+                acc = acc.add(v.mul(v));
+            }
+            std::hint::black_box(acc.lane_value(0));
+        };
+        let (_, rec, ()) = swan_simd::stream_into(RecordSink::new(), run);
+        let enc = rec.finish();
+        let (_, live, ()) = swan_simd::stream_into(VecSink::default(), run);
+        let live = TraceData {
+            instrs: live.instrs,
+            ..TraceData::default()
+        };
+        for cfg in [CoreConfig::prime(), CoreConfig::silver()] {
+            let mut a = CoreModel::new(cfg.clone());
+            a.warm(&live);
+            let batch = a.run(&live);
+            let mut b = CoreModel::new(cfg.clone());
+            b.warm_encoded(&enc);
+            let replayed = b.run_encoded(&enc);
+            assert_eq!(batch, replayed, "cfg {}", cfg.name);
+        }
+        let cfgs = [CoreConfig::prime(), CoreConfig::gold()];
+        let mut multi = MultiCore::new(&cfgs);
+        multi.warm_encoded(&enc);
+        multi.begin_timed();
+        enc.replay_into(&mut multi);
+        let fanned = multi.finalize();
+        let solo: Vec<SimResult> = cfgs
+            .iter()
+            .map(|c| {
+                let mut m = CoreModel::new(c.clone());
+                m.warm_encoded(&enc);
+                m.run_encoded(&enc)
+            })
+            .collect();
+        assert_eq!(solo, fanned);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! swan-report [...] --only FILTER [--only FILTER]...
 //! swan-report [--scale F] [--seed N] [--threads N] --write-golden <path>
 //! swan-report [--scale F] [--seed N] [--threads N] --golden <path>
+//! swan-report [--scale F] [--seed N] --replay-smoke
 //! ```
 //!
 //! where `<what>` is any of `tab2 tab3 fig1 fig2 fig3 tab4 tab5 fig4
@@ -32,6 +33,12 @@
 //! to the quick scale and seed 42 (the committed
 //! `tests/golden/suite.json` parameters) unless `--scale`/`--seed`
 //! are given explicitly.
+//!
+//! `--replay-smoke` checks the record-once/replay-many codec in
+//! seconds: one kernel executes once while being recorded and
+//! digested, the recording is replayed into a fresh digest, and the
+//! two must match bit for bit (exit non-zero otherwise). CI runs it
+//! ahead of the full golden check.
 
 use swan_core::report::{self, SuiteResults};
 use swan_core::{golden, Scale, Scenario, ScenarioFilter, SuiteRunner};
@@ -49,6 +56,7 @@ fn main() {
     let mut golden_write: Option<String> = None;
     let mut golden_check: Option<String> = None;
     let mut list_scenarios = false;
+    let mut replay_smoke = false;
     let mut filters: Vec<ScenarioFilter> = Vec::new();
     let mut wants: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -84,6 +92,7 @@ fn main() {
                 threads = if n == 0 { auto_threads() } else { n };
             }
             "--list-scenarios" => list_scenarios = true,
+            "--replay-smoke" => replay_smoke = true,
             "--only" => {
                 let spec = args.next().expect("--only needs a key=value[,...] filter");
                 match ScenarioFilter::parse(&spec) {
@@ -105,6 +114,58 @@ fn main() {
     }
 
     let kernels = swan_kernels::all_kernels();
+
+    if replay_smoke {
+        // Record one kernel's dynamic stream while digesting it live,
+        // replay the recording, and require bit-identical digests —
+        // the fast stand-in for the full replay ≡ execute proof the
+        // golden suite provides.
+        if golden_write.is_some() || golden_check.is_some() || list_scenarios || !wants.is_empty() {
+            eprintln!(
+                "error: --replay-smoke is a standalone check; run --golden / \
+                 --write-golden / --list-scenarios / table-figure reports as \
+                 separate invocations"
+            );
+            std::process::exit(2);
+        }
+        if !filters.is_empty() {
+            eprintln!("warning: --replay-smoke always records ZL.adler32; --only filters ignored");
+        }
+        if !scale_explicit {
+            scale = Scale::quick();
+        }
+        let id = "ZL.adler32";
+        let kernel = kernels
+            .iter()
+            .find(|k| k.meta().id() == id)
+            .expect("replay-smoke kernel");
+        let mut inst = kernel.instantiate(scale, seed);
+        let (data, tee, ()) = swan_simd::stream_into_at(
+            swan_simd::Width::W128,
+            swan_simd::TeeRecord::new(swan_simd::HashSink::new()),
+            || inst.run(swan_core::Impl::Neon, swan_simd::trace::session_width()),
+        );
+        let (enc, live) = tee.finish();
+        let mut replayed = swan_simd::HashSink::new();
+        enc.replay_into(&mut replayed);
+        eprintln!(
+            "replay smoke {id} (scale {:.5}, seed {seed}): {} instrs, \
+             live digest {:016x}, replay digest {:016x}, {} encoded bytes \
+             ({} materialized)",
+            scale.0,
+            data.total(),
+            live.digest(),
+            replayed.digest(),
+            enc.encoded_bytes(),
+            enc.naive_bytes(),
+        );
+        if live.digest() != replayed.digest() || live.count() != replayed.count() {
+            eprintln!("replay smoke FAILED: recorded replay diverges from the live stream");
+            std::process::exit(1);
+        }
+        eprintln!("replay smoke OK: replay is bit-identical to the live execution");
+        return;
+    }
 
     if list_scenarios {
         if golden_write.is_some() || golden_check.is_some() {

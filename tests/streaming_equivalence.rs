@@ -9,9 +9,13 @@
 //! and (2) the incremental core model consumes a stream identically to
 //! a batch replay.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use swan::prelude::*;
+use swan_core::Runnable;
 use swan_simd::trace::{stream_into, Mode, Session};
-use swan_uarch::MultiCore;
+use swan_uarch::{MultiCore, SimResult};
 
 const SEED: u64 = 7;
 
@@ -260,4 +264,172 @@ fn permuted_and_filtered_plans_are_scenario_bit_identical() {
     for (sc, m) in subset.iter().zip(sub_results.iter()) {
         assert_eq!(m.sim, by_id[&sc.id()].sim, "{}: subset must match", sc.id());
     }
+}
+
+/// Differential proof of replay ≡ execute at campaign level: the
+/// record-once/replay-many executor must produce *exact* `SimResult`
+/// equality with a functional-execution reference (a fresh
+/// materialized capture batch-replayed per scenario) — at thread
+/// counts {1, 2, 7} and under a permuted plan.
+#[test]
+fn replayed_campaign_matches_functionally_executed_campaign() {
+    let kernels: Vec<_> = swan::suite().into_iter().take(4).collect();
+    let plan = swan_core::plan(&kernels, Scale::test(), SEED);
+
+    // Reference: functionally execute every stream once more,
+    // materialize the trace, and batch warm+timed simulate each
+    // scenario's core from it — the paper's capture-then-replay flow
+    // with no codec anywhere in the path.
+    let mut captures: HashMap<String, swan_simd::TraceData> = HashMap::new();
+    let mut reference: HashMap<String, SimResult> = HashMap::new();
+    for sc in &plan {
+        let tr = captures.entry(sc.stream_id()).or_insert_with(|| {
+            let (tr, _) = swan_core::capture(
+                kernels[sc.kernel].as_ref(),
+                sc.imp,
+                sc.width,
+                sc.scale,
+                sc.seed,
+            );
+            tr
+        });
+        reference.insert(sc.id(), swan_uarch::simulate(tr, &sc.core.config()));
+    }
+
+    for threads in [1, 2, 7] {
+        let results = swan_core::execute_plan(&kernels, &plan, threads, |_| {});
+        for (sc, m) in plan.iter().zip(&results) {
+            assert_eq!(
+                m.sim,
+                reference[&sc.id()],
+                "{} ({threads} threads): replayed recording must equal \
+                 functional execution exactly",
+                sc.id()
+            );
+        }
+    }
+
+    // The equality must also hold when the plan order is permuted
+    // (groups broken up, kernels inverted).
+    let mut permuted = plan.clone();
+    permuted.reverse();
+    let results = swan_core::execute_plan(&kernels, &permuted, 2, |_| {});
+    for (sc, m) in permuted.iter().zip(&results) {
+        assert_eq!(m.sim, reference[&sc.id()], "{}: permuted plan", sc.id());
+    }
+}
+
+/// A kernel wrapper counting functional executions (`Runnable::run`
+/// calls) across all of its instances.
+struct CountingKernel {
+    inner: Box<dyn Kernel>,
+    runs: Arc<AtomicUsize>,
+}
+
+struct CountingRunnable {
+    inner: Box<dyn Runnable>,
+    runs: Arc<AtomicUsize>,
+}
+
+impl Kernel for CountingKernel {
+    fn meta(&self) -> KernelMeta {
+        self.inner.meta()
+    }
+    fn instantiate(&self, scale: Scale, seed: u64) -> Box<dyn Runnable> {
+        Box::new(CountingRunnable {
+            inner: self.inner.instantiate(scale, seed),
+            runs: self.runs.clone(),
+        })
+    }
+}
+
+impl Runnable for CountingRunnable {
+    fn run(&mut self, imp: Impl, w: Width) {
+        self.runs.fetch_add(1, Ordering::SeqCst);
+        self.inner.run(imp, w);
+    }
+    fn output(&self) -> Vec<f64> {
+        self.inner.output()
+    }
+    fn work_ops(&self) -> u64 {
+        self.inner.work_ops()
+    }
+}
+
+/// The record-once guarantee, asserted directly: executing a campaign
+/// plan performs exactly one functional kernel execution per scenario
+/// group — not a warm+timed pair, and independent of how many cores
+/// the group fans out to or how many workers shard it.
+#[test]
+fn each_scenario_group_executes_its_kernel_exactly_once() {
+    let runs = Arc::new(AtomicUsize::new(0));
+    let kernels: Vec<Box<dyn Kernel>> = swan::suite()
+        .into_iter()
+        .take(3)
+        .map(|inner| {
+            Box::new(CountingKernel {
+                inner,
+                runs: runs.clone(),
+            }) as Box<dyn Kernel>
+        })
+        .collect();
+    let plan = swan_core::plan(&kernels, Scale::test(), SEED);
+    let groups: std::collections::HashSet<String> = plan.iter().map(|sc| sc.stream_id()).collect();
+    assert!(plan.len() > groups.len(), "groups must fan out to cores");
+    for threads in [1, 2] {
+        runs.store(0, Ordering::SeqCst);
+        let results = swan_core::execute_plan(&kernels, &plan, threads, |_| {});
+        assert_eq!(results.len(), plan.len());
+        assert_eq!(
+            runs.load(Ordering::SeqCst),
+            groups.len(),
+            "exactly one functional execution per scenario group \
+             ({threads} threads)"
+        );
+    }
+    // The single-kernel convenience path keeps the same discipline.
+    runs.store(0, Ordering::SeqCst);
+    let _ = swan_core::measure_kernel(kernels[0].as_ref(), Scale::test(), SEED);
+    let single_groups: std::collections::HashSet<String> = plan
+        .iter()
+        .filter(|sc| sc.kernel == 0)
+        .map(|sc| sc.stream_id())
+        .collect();
+    assert_eq!(runs.load(Ordering::SeqCst), single_groups.len());
+}
+
+/// Codec memory bound: the encoded recording of a scenario group's
+/// stream must be far smaller than the `Vec<TraceInstr>` it replaces,
+/// at the golden (quick) scale — and the process-wide codec counters
+/// must report it.
+#[test]
+fn recorded_stream_is_far_smaller_than_materialized_trace() {
+    let kernels = swan::suite();
+    let kernel = kernels
+        .iter()
+        .find(|k| k.meta().id() == "ZL.adler32")
+        .expect("ZL.adler32");
+    let (before_bytes, before_instrs) = swan_simd::trace::codec::recorded_totals();
+    let (data, enc, _) =
+        swan_core::record(kernel.as_ref(), Impl::Neon, Width::W128, Scale::quick(), 42);
+    assert_eq!(
+        enc.instr_count(),
+        data.total(),
+        "recording covers the stream"
+    );
+    let naive = enc.naive_bytes();
+    assert_eq!(
+        naive,
+        data.total() * std::mem::size_of::<swan_simd::TraceInstr>() as u64
+    );
+    assert!(
+        (enc.encoded_bytes() as u64) * 8 < naive,
+        "encoded {} bytes vs naive {} bytes: the replay buffer must be \
+         an order of magnitude below the materialized trace",
+        enc.encoded_bytes(),
+        naive
+    );
+    let (after_bytes, after_instrs) = swan_simd::trace::codec::recorded_totals();
+    assert!(after_bytes >= before_bytes + enc.encoded_bytes() as u64);
+    assert!(after_instrs >= before_instrs + enc.instr_count());
 }
