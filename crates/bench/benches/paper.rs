@@ -7,7 +7,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use swan_bench::{find, measure_point, REPRESENTATIVES};
 use swan_core::report;
-use swan_core::{capture, measure_multi, simulate_trace, Impl, Kernel, Scale, SuiteRunner};
+use swan_core::{
+    capture, measure_multi, measure_multi_with, simulate_trace, Impl, Kernel, Scale, SuiteRunner,
+    TraceStore,
+};
 use swan_simd::trace::stream_into;
 use swan_simd::Width;
 use swan_uarch::{CoreConfig, EnergyModel, MultiCore};
@@ -250,6 +253,38 @@ fn campaign_threads(c: &mut Criterion) {
         g.bench_function("record_replay_3cores", |b| {
             b.iter(|| black_box(measure_multi(k, Impl::Neon, Width::W128, &cfgs, SCALE, 42).len()))
         });
+        // Trace-store triple: a miss that records the group's stream
+        // into the store (record_to_store), a hit that replays it from
+        // disk with no functional execution (replay_from_store), and
+        // the pre-codec flow that re-executes the kernel for the warm
+        // pass (reexecute_3cores below). The spread between the three
+        // is the store's value: record once per cache lifetime, then
+        // drop both emulator runs on every later campaign.
+        let dir = std::env::temp_dir().join(format!("swan-bench-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let kernels_for_digest = swan_kernels::all_kernels();
+        let store = TraceStore::open(&dir, &kernels_for_digest).expect("open bench trace store");
+        g.bench_function("record_to_store_3cores", |b| {
+            b.iter(|| {
+                // Every iteration must miss: empty the store first.
+                store.clear().expect("clear bench store");
+                black_box(
+                    measure_multi_with(k, Impl::Neon, Width::W128, &cfgs, SCALE, 42, Some(&store))
+                        .len(),
+                )
+            })
+        });
+        // Prime the store once; every iteration below is a pure hit.
+        let _ = measure_multi_with(k, Impl::Neon, Width::W128, &cfgs, SCALE, 42, Some(&store));
+        g.bench_function("replay_from_store_3cores", |b| {
+            b.iter(|| {
+                black_box(
+                    measure_multi_with(k, Impl::Neon, Width::W128, &cfgs, SCALE, 42, Some(&store))
+                        .len(),
+                )
+            })
+        });
+        let _ = std::fs::remove_dir_all(&dir);
         g.bench_function("reexecute_3cores", |b| {
             b.iter(|| {
                 // The pre-codec flow: two functional executions (warm

@@ -22,11 +22,12 @@
 
 use crate::kernel::{Impl, Kernel, KernelMeta, Scale};
 use crate::report::{KernelResults, SuiteResults, FIG5_KERNELS};
-use crate::runner::{measure_multi, Measurement};
+use crate::runner::{measure_multi_with, Measurement};
 use crate::scenario::Scenario;
+use crate::tracestore::TraceStore;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use swan_simd::Width;
 use swan_uarch::{CoreConfig, CoreId};
 
@@ -153,13 +154,20 @@ pub(crate) fn execution_groups(plan: &[Scenario]) -> Vec<Vec<usize>> {
 }
 
 /// Measure one execution group: the group's kernel executes *once*,
-/// recorded through the trace codec, and the recording's warm+timed
-/// replays drive one core model per member scenario. Returns one
-/// [`Measurement`] per group member, in group order.
-fn measure_group(kernel: &dyn Kernel, plan: &[Scenario], group: &[usize]) -> Vec<Measurement> {
+/// recorded through the trace codec (or not at all, when `store`
+/// holds a verified recording of the group's stream), and the
+/// recording's warm+timed replays drive one core model per member
+/// scenario. Returns one [`Measurement`] per group member, in group
+/// order.
+fn measure_group(
+    kernel: &dyn Kernel,
+    plan: &[Scenario],
+    group: &[usize],
+    store: Option<&TraceStore>,
+) -> Vec<Measurement> {
     let sc = &plan[group[0]];
     let cfgs: Vec<CoreConfig> = group.iter().map(|&i| plan[i].core.config()).collect();
-    measure_multi(kernel, sc.imp, sc.width, &cfgs, sc.scale, sc.seed)
+    measure_multi_with(kernel, sc.imp, sc.width, &cfgs, sc.scale, sc.seed, store)
 }
 
 fn group_progress(plan: &[Scenario], group: &[usize]) -> String {
@@ -201,6 +209,17 @@ pub(crate) fn scatter_groups<T>(
 pub fn execute_plan_serial(
     kernels: &[Box<dyn Kernel>],
     plan: &[Scenario],
+    progress: impl FnMut(&str),
+) -> Vec<Measurement> {
+    execute_plan_serial_with(kernels, plan, None, progress)
+}
+
+/// [`execute_plan_serial`] consulting an optional persistent
+/// [`TraceStore`] before each group's functional execution.
+pub fn execute_plan_serial_with(
+    kernels: &[Box<dyn Kernel>],
+    plan: &[Scenario],
+    store: Option<&TraceStore>,
     mut progress: impl FnMut(&str),
 ) -> Vec<Measurement> {
     let groups = execution_groups(plan);
@@ -208,7 +227,7 @@ pub fn execute_plan_serial(
         .iter()
         .map(|group| {
             progress(&group_progress(plan, group));
-            measure_group(kernels[plan[group[0]].kernel].as_ref(), plan, group)
+            measure_group(kernels[plan[group[0]].kernel].as_ref(), plan, group, store)
         })
         .collect();
     scatter_groups(plan.len(), &groups, per_group)
@@ -232,7 +251,22 @@ pub fn execute_plan(
     threads: usize,
     progress: impl Fn(&str) + Send + Sync,
 ) -> Vec<Measurement> {
-    let (measurements, failures) = try_execute_plan(kernels, plan, threads, progress);
+    execute_plan_with(kernels, plan, threads, None, progress)
+}
+
+/// [`execute_plan`] consulting an optional persistent [`TraceStore`]:
+/// each group's worker replays a verified store entry when one exists
+/// (hit → no functional execution) and records into the store
+/// otherwise (miss → record-and-insert). Cold-store, warm-store, and
+/// store-disabled runs are bit-identical.
+pub fn execute_plan_with(
+    kernels: &[Box<dyn Kernel>],
+    plan: &[Scenario],
+    threads: usize,
+    store: Option<&TraceStore>,
+    progress: impl Fn(&str) + Send + Sync,
+) -> Vec<Measurement> {
+    let (measurements, failures) = try_execute_plan_with(kernels, plan, threads, store, progress);
     assert_no_failures(&failures);
     measurements
         .into_iter()
@@ -251,6 +285,18 @@ pub fn try_execute_plan(
     threads: usize,
     progress: impl Fn(&str) + Send + Sync,
 ) -> (Vec<Option<Measurement>>, Vec<KernelFailure>) {
+    try_execute_plan_with(kernels, plan, threads, None, progress)
+}
+
+/// [`try_execute_plan`] consulting an optional persistent
+/// [`TraceStore`] (see [`execute_plan_with`]).
+pub fn try_execute_plan_with(
+    kernels: &[Box<dyn Kernel>],
+    plan: &[Scenario],
+    threads: usize,
+    store: Option<&TraceStore>,
+    progress: impl Fn(&str) + Send + Sync,
+) -> (Vec<Option<Measurement>>, Vec<KernelFailure>) {
     let groups = execution_groups(plan);
     // The worker closure cannot panic, as `shard_indexed` requires:
     // measurement panics are converted to failures here.
@@ -260,7 +306,10 @@ pub fn try_execute_plan(
             progress(&group_progress(plan, group));
             let sc = &plan[group[0]];
             let kernel = kernels[sc.kernel].as_ref();
-            catch_unwind(AssertUnwindSafe(|| measure_group(kernel, plan, group))).map_err(|p| {
+            catch_unwind(AssertUnwindSafe(|| {
+                measure_group(kernel, plan, group, store)
+            }))
+            .map_err(|p| {
                 let message = if let Some(s) = p.downcast_ref::<&str>() {
                     (*s).to_string()
                 } else if let Some(s) = p.downcast_ref::<String>() {
@@ -401,7 +450,7 @@ pub fn measure_kernel(kernel: &dyn Kernel, scale: Scale, seed: u64) -> KernelRes
     let groups = execution_groups(&plan);
     let per_group: Vec<Vec<Measurement>> = groups
         .iter()
-        .map(|group| measure_group(kernel, &plan, group))
+        .map(|group| measure_group(kernel, &plan, group, None))
         .collect();
     let measurements = scatter_groups(plan.len(), &groups, per_group);
     aggregate_kernel(
@@ -414,12 +463,14 @@ pub fn measure_kernel(kernel: &dyn Kernel, scale: Scale, seed: u64) -> KernelRes
 }
 
 /// A campaign over a kernel inventory, optionally sharded across
-/// threads at scenario(-group) granularity.
+/// threads at scenario(-group) granularity and optionally backed by a
+/// persistent trace store.
 #[derive(Clone, Debug)]
 pub struct SuiteRunner {
     scale: Scale,
     seed: u64,
     threads: usize,
+    store: Option<Arc<TraceStore>>,
 }
 
 impl SuiteRunner {
@@ -429,12 +480,21 @@ impl SuiteRunner {
             scale,
             seed,
             threads: 1,
+            store: None,
         }
     }
 
     /// Shard scenario groups across `n` worker threads (1 = serial).
     pub fn threads(mut self, n: usize) -> SuiteRunner {
         self.threads = n.max(1);
+        self
+    }
+
+    /// Consult (and fill) a persistent [`TraceStore`] instead of
+    /// functionally executing scenario groups whose recordings it
+    /// already holds.
+    pub fn store(mut self, store: Arc<TraceStore>) -> SuiteRunner {
+        self.store = Some(store);
         self
     }
 
@@ -452,10 +512,11 @@ impl SuiteRunner {
         progress: impl FnMut(&str),
     ) -> SuiteResults {
         let plan = plan(kernels, self.scale, self.seed);
-        let measurements: Vec<Option<Measurement>> = execute_plan_serial(kernels, &plan, progress)
-            .into_iter()
-            .map(Some)
-            .collect();
+        let measurements: Vec<Option<Measurement>> =
+            execute_plan_serial_with(kernels, &plan, self.store.as_deref(), progress)
+                .into_iter()
+                .map(Some)
+                .collect();
         aggregate(kernels, &plan, &measurements, self.scale)
     }
 
@@ -489,8 +550,13 @@ impl SuiteRunner {
         progress: impl Fn(&str) + Send + Sync,
     ) -> (SuiteResults, Vec<KernelFailure>) {
         let plan = plan(kernels, self.scale, self.seed);
-        let (measurements, group_failures) =
-            try_execute_plan(kernels, &plan, self.threads, progress);
+        let (measurements, group_failures) = try_execute_plan_with(
+            kernels,
+            &plan,
+            self.threads,
+            self.store.as_deref(),
+            progress,
+        );
         // One failure per kernel (a kernel that panics usually panics
         // in every one of its groups), keeping the first message.
         let mut failures: Vec<KernelFailure> = Vec::new();

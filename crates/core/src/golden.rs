@@ -19,11 +19,11 @@
 
 use crate::campaign::{execution_groups, scatter_groups, shard_indexed};
 use crate::kernel::{Kernel, Scale};
+use crate::runner::record_group;
 use crate::scenario::Scenario;
+use crate::tracestore::TraceStore;
 use std::fmt::Write as _;
-use swan_simd::trace::{
-    self, session_width, stream_into_at, HashSink, RecordSink, TraceInstr, TraceSink,
-};
+use swan_simd::trace::{HashSink, TraceInstr, TraceSink};
 use swan_uarch::{MultiCore, SimResult};
 
 /// One golden record: everything that must stay bit-identical for one
@@ -68,42 +68,41 @@ impl TraceSink for Tee {
 }
 
 /// Measure one execution group of golden points with the executor's
-/// record-once / replay-many discipline: the kernel runs exactly once
-/// under a [`RecordSink`]; the recording then warms every member
+/// record-once / replay-many discipline: the group's recording comes
+/// from [`record_group`] (one functional execution on a store miss,
+/// none at all on a verified store hit); it then warms every member
 /// scenario's core, and the timed replay is teed through the fan-out
 /// models and the trace digest at once. Replay is bit-identical to
 /// the live stream, so digests and statistics are unchanged from a
-/// warm+timed execution pair. Returns one entry per group member, in
-/// group order.
-fn collect_group(kernel: &dyn Kernel, plan: &[Scenario], group: &[usize]) -> Vec<GoldenEntry> {
+/// warm+timed execution pair — and identical with a cold store, a
+/// warm store, and no store.
+fn collect_group(
+    kernel: &dyn Kernel,
+    plan: &[Scenario],
+    group: &[usize],
+    store: Option<&TraceStore>,
+) -> Vec<GoldenEntry> {
     let sc = &plan[group[0]];
-    let mut inst = kernel.instantiate(sc.scale, sc.seed);
-    // Read the fallback counter *inside* the session, right after the
-    // recorded run, so the value is bound to this session's registry
-    // and not to whatever thread-local state survives `finish`.
-    let (data, rec, fallback_refs) = stream_into_at(sc.width, RecordSink::new(), || {
-        inst.run(sc.imp, session_width());
-        trace::buffer_fallback_refs()
-    });
-    let enc = rec.finish();
+    let mut rec = record_group(kernel, sc.imp, sc.width, sc.scale, sc.seed, store);
     let cfgs: Vec<_> = group.iter().map(|&i| plan[i].core.config()).collect();
     let mut cores = MultiCore::new(&cfgs);
-    cores.warm_encoded(&enc);
+    cores.begin_warm();
+    rec.replay_into(&mut cores);
     let mut tee = Tee {
         cores,
         hash: HashSink::new(),
     };
     tee.cores.begin_timed();
-    enc.replay_into(&mut tee);
+    rec.replay_into(&mut tee);
     let trace_hash = tee.hash.digest();
     group
         .iter()
         .zip(tee.cores.finalize())
         .map(|(&i, sim)| GoldenEntry {
             id: plan[i].id(),
-            instrs: data.total(),
+            instrs: rec.data.total(),
             trace_hash,
-            fallback_refs,
+            fallback_refs: rec.fallback_refs,
             sim,
         })
         .collect()
@@ -119,12 +118,25 @@ pub fn collect_plan(
     threads: usize,
     progress: impl Fn(&str) + Send + Sync,
 ) -> Vec<GoldenEntry> {
+    collect_plan_with(kernels, plan, threads, None, progress)
+}
+
+/// [`collect_plan`] consulting an optional persistent [`TraceStore`]
+/// before each group's functional execution; collections with a cold
+/// store, a warm store, and no store are byte-identical.
+pub fn collect_plan_with(
+    kernels: &[Box<dyn Kernel>],
+    plan: &[Scenario],
+    threads: usize,
+    store: Option<&TraceStore>,
+    progress: impl Fn(&str) + Send + Sync,
+) -> Vec<GoldenEntry> {
     let groups = execution_groups(plan);
     let per_group = shard_indexed(groups.len(), threads, |gi| {
         let group = &groups[gi];
         let sc = &plan[group[0]];
         progress(&format!("golden {}", sc.stream_id()));
-        collect_group(kernels[sc.kernel].as_ref(), plan, group)
+        collect_group(kernels[sc.kernel].as_ref(), plan, group, store)
     });
     scatter_groups(plan.len(), &groups, per_group)
         .into_iter()
@@ -141,8 +153,20 @@ pub fn collect(
     threads: usize,
     progress: impl Fn(&str) + Send + Sync,
 ) -> Vec<GoldenEntry> {
+    collect_with(kernels, scale, seed, threads, None, progress)
+}
+
+/// [`collect`] consulting an optional persistent [`TraceStore`].
+pub fn collect_with(
+    kernels: &[Box<dyn Kernel>],
+    scale: Scale,
+    seed: u64,
+    threads: usize,
+    store: Option<&TraceStore>,
+    progress: impl Fn(&str) + Send + Sync,
+) -> Vec<GoldenEntry> {
     let plan = crate::campaign::plan(kernels, scale, seed);
-    collect_plan(kernels, &plan, threads, progress)
+    collect_plan_with(kernels, &plan, threads, store, progress)
 }
 
 /// Serialize a golden collection to its canonical JSON form: fixed key

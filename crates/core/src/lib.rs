@@ -19,16 +19,19 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod stats;
+pub mod tracestore;
 
 pub use campaign::{
-    aggregate, execute_plan, execute_plan_serial, measure_kernel, plan, try_execute_plan,
-    KernelFailure, SuiteRunner,
+    aggregate, execute_plan, execute_plan_serial, execute_plan_serial_with, execute_plan_with,
+    measure_kernel, plan, try_execute_plan, try_execute_plan_with, KernelFailure, SuiteRunner,
 };
 pub use golden::GoldenEntry;
 pub use kernel::{
     AutoObstacle, AutoOutcome, Impl, Kernel, KernelMeta, Library, Pattern, Runnable, Scale, VsNeon,
 };
 pub use runner::{
-    capture, measure, measure_multi, record, simulate_trace, verify_kernel, Measurement,
+    capture, measure, measure_multi, measure_multi_with, measure_recorded, record, record_group,
+    simulate_trace, verify_kernel, GroupRecording, Measurement,
 };
 pub use scenario::{filter_plan, Scenario, ScenarioFilter};
+pub use tracestore::{inventory_digest, StoreStats, TraceStore};

@@ -17,7 +17,8 @@
 //! integration tests).
 
 use crate::kernel::{Impl, Kernel, Scale};
-use swan_simd::trace::{session_width, stream_into_at, Mode, Session};
+use crate::tracestore::{StoreKey, StoredRecording, TraceStore};
+use swan_simd::trace::{self, session_width, stream_into_at, Mode, Session, TraceSink};
 use swan_simd::{EncodedTrace, RecordSink, TraceData, Width};
 use swan_uarch::{simulate, CoreConfig, EnergyModel, MultiCore, SimResult};
 
@@ -118,6 +119,162 @@ pub fn record(
     (data, rec.finish(), inst.work_ops())
 }
 
+/// A scenario group's recording, however it was obtained: freshly
+/// executed into memory, freshly executed while spilling into a
+/// trace-store entry, or replayed straight from a verified store hit.
+/// All three replay the bit-identical stream.
+#[derive(Debug)]
+pub struct GroupRecording {
+    /// Instruction histograms of the recorded stream (never a
+    /// materialized trace).
+    pub data: TraceData,
+    /// Useful-operation count of the recorded invocation.
+    pub work_ops: u64,
+    /// Fallback-pool references of the recorded session.
+    pub fallback_refs: u64,
+    source: RecordingSource,
+}
+
+#[derive(Debug)]
+enum RecordingSource {
+    Memory(EncodedTrace),
+    Store(Box<StoredRecording>),
+}
+
+impl GroupRecording {
+    /// Whether this recording replays from a trace-store file
+    /// (O(chunk) resident) rather than an in-memory buffer.
+    pub fn from_store(&self) -> bool {
+        matches!(self.source, RecordingSource::Store(_))
+    }
+
+    /// Drive the recorded stream into `sink`, reproducing the live
+    /// execution's sink calls bit-identically.
+    pub fn replay_into(&mut self, sink: &mut dyn TraceSink) {
+        match &mut self.source {
+            RecordingSource::Memory(enc) => enc.replay_into(sink),
+            RecordingSource::Store(stored) => stored.replay_into(sink),
+        }
+    }
+}
+
+/// Execute a kernel configuration exactly once and hold the session's
+/// fallback counter alongside the usual outputs — the shared recording
+/// closure of the memory and store paths.
+fn execute_recorded<S: TraceSink>(
+    kernel: &dyn Kernel,
+    imp: Impl,
+    w: Width,
+    scale: Scale,
+    seed: u64,
+    sink: S,
+) -> (TraceData, S, u64, u64) {
+    let mut inst = kernel.instantiate(scale, seed);
+    let (data, sink, fallback_refs) = stream_into_at(w, sink, || {
+        inst.run(imp, session_width());
+        // Read inside the session so the value is bound to this
+        // session's registry.
+        trace::buffer_fallback_refs()
+    });
+    (data, sink, fallback_refs, inst.work_ops())
+}
+
+/// Obtain a scenario group's recording, consulting `store` first when
+/// one is given: a verified hit replays from disk with **no**
+/// functional execution; a miss executes the kernel exactly once,
+/// spilling the encoding chunk by chunk into a new store entry
+/// (O(chunk budget) resident); without a store the recording stays in
+/// memory, exactly as before the store existed. All three paths yield
+/// bit-identical replays, which is the store's cardinal invariant.
+///
+/// Store I/O failures never fail the measurement: they are logged and
+/// the group falls back to an in-memory recording.
+pub fn record_group(
+    kernel: &dyn Kernel,
+    imp: Impl,
+    w: Width,
+    scale: Scale,
+    seed: u64,
+    store: Option<&TraceStore>,
+) -> GroupRecording {
+    if let Some(store) = store {
+        let key = StoreKey::group(&kernel.meta().id(), imp, w, scale, seed);
+        if let Some(stored) = store.lookup(&key) {
+            return GroupRecording {
+                data: stored.histograms.histograms(),
+                work_ops: stored.work_ops,
+                fallback_refs: stored.fallback_refs,
+                source: RecordingSource::Store(Box::new(stored)),
+            };
+        }
+        match store.begin_insert(&key) {
+            Ok((pending, spill)) => {
+                let (data, spill, fallback_refs, work_ops) =
+                    execute_recorded(kernel, imp, w, scale, seed, spill);
+                match store.commit(pending, spill, work_ops, fallback_refs, data.histograms()) {
+                    Ok(stored) => {
+                        return GroupRecording {
+                            data: data.histograms(),
+                            work_ops,
+                            fallback_refs,
+                            source: RecordingSource::Store(Box::new(stored)),
+                        }
+                    }
+                    Err(e) => eprintln!(
+                        "trace store: commit of {} failed ({e}); re-recording in memory",
+                        key.stream_id()
+                    ),
+                }
+            }
+            Err(e) => eprintln!(
+                "trace store: cannot start entry for {} ({e}); recording in memory",
+                key.stream_id()
+            ),
+        }
+    }
+    let (data, rec, fallback_refs, work_ops) =
+        execute_recorded(kernel, imp, w, scale, seed, RecordSink::new());
+    GroupRecording {
+        data: data.histograms(),
+        work_ops,
+        fallback_refs,
+        source: RecordingSource::Memory(rec.finish()),
+    }
+}
+
+/// Vector-op energy scale factor for an implementation at a width.
+fn width_factor(imp: Impl, w: Width) -> f64 {
+    if imp == Impl::Neon {
+        w.factor() as f64
+    } else {
+        1.0
+    }
+}
+
+/// Measure a group recording on several core configurations: the
+/// recording drives a fan-out of one incremental core model per
+/// configuration twice — a first replay warms every model's caches
+/// (§4.3) and a second replay is timed. Returns one [`Measurement`]
+/// per entry of `cfgs`, in order.
+pub fn measure_recorded(
+    rec: &mut GroupRecording,
+    cfgs: &[CoreConfig],
+    width_factor: f64,
+) -> Vec<Measurement> {
+    let mut multi = MultiCore::new(cfgs);
+    multi.begin_warm();
+    rec.replay_into(&mut multi);
+    multi.begin_timed();
+    rec.replay_into(&mut multi);
+    let sims = multi.finalize();
+    cfgs.iter()
+        .zip(sims)
+        .map(|(cfg, sim)| {
+            attach_energy(rec.data.histograms(), sim, cfg, width_factor, rec.work_ops)
+        })
+        .collect()
+}
+
 /// Measure one kernel configuration on several core configurations at
 /// once, without materializing the trace.
 ///
@@ -139,23 +296,25 @@ pub fn measure_multi(
     scale: Scale,
     seed: u64,
 ) -> Vec<Measurement> {
-    let width_factor = if imp == Impl::Neon {
-        w.factor() as f64
-    } else {
-        1.0
-    };
-    let (data, enc, work_ops) = record(kernel, imp, w, scale, seed);
+    measure_multi_with(kernel, imp, w, cfgs, scale, seed, None)
+}
 
-    let mut multi = MultiCore::new(cfgs);
-    multi.warm_encoded(&enc);
-    multi.begin_timed();
-    enc.replay_into(&mut multi);
-
-    let sims = multi.finalize();
-    cfgs.iter()
-        .zip(sims)
-        .map(|(cfg, sim)| attach_energy(data.histograms(), sim, cfg, width_factor, work_ops))
-        .collect()
+/// [`measure_multi`] consulting an optional persistent [`TraceStore`]:
+/// a store hit replays the group's recording from disk and skips the
+/// functional execution entirely; a miss records into the store for
+/// every later run. Results are bit-identical with a cold store, a
+/// warm store, and no store at all.
+pub fn measure_multi_with(
+    kernel: &dyn Kernel,
+    imp: Impl,
+    w: Width,
+    cfgs: &[CoreConfig],
+    scale: Scale,
+    seed: u64,
+    store: Option<&TraceStore>,
+) -> Vec<Measurement> {
+    let mut rec = record_group(kernel, imp, w, scale, seed, store);
+    measure_recorded(&mut rec, cfgs, width_factor(imp, w))
 }
 
 /// Measure one configuration of a kernel (streaming; single-core

@@ -52,8 +52,9 @@ pub mod width;
 pub use elem::{Elem, Half};
 pub use scalar::Tr;
 pub use trace::{
-    session_width, stream_into, stream_into_at, BufferRegistry, Class, EncodedTrace, HashSink,
-    Mode, Op, RecordSink, Session, TeeRecord, TraceData, TraceInstr, TraceSink, VecSink,
+    replay_chunked, session_width, stream_into, stream_into_at, BufferRegistry, ChunkedSummary,
+    Class, CodecError, EncodedTrace, HashSink, Mode, Op, RecordSink, Session, SpillSink, TeeRecord,
+    TraceData, TraceInstr, TraceSink, VecSink,
 };
 pub use vreg::Vreg;
 pub use width::Width;

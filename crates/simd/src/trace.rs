@@ -16,7 +16,10 @@
 
 pub mod codec;
 
-pub use codec::{EncodedTrace, RecordSink, TeeRecord};
+pub use codec::{
+    replay_chunked, ChunkedSummary, CodecError, EncodedTrace, RecordSink, SpillSink, TeeRecord,
+    CHUNK_FORMAT_VERSION, DEFAULT_CHUNK_BUDGET,
+};
 
 use crate::Width;
 use std::any::Any;

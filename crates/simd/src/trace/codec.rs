@@ -35,8 +35,24 @@
 //! channel: encode → decode is lossless for any instruction sequence
 //! whose `srcs[nsrc..]` entries are zero (which the tracer guarantees;
 //! see [`TraceInstr`]).
+//!
+//! # Chunked container (persistence)
+//!
+//! The same record encoding also has a *segmented* on-disk form so a
+//! recording never has to be resident in one piece: [`SpillSink`]
+//! seals the encode buffer into fixed-budget chunks (split only at
+//! record boundaries) and spills each completed chunk through an
+//! [`std::io::Write`], and [`replay_chunked`] drives any sink back out
+//! from an [`std::io::Read`] with only one chunk resident — per-worker
+//! recording footprint becomes O(chunk budget) instead of O(stream).
+//! Every chunk carries its byte length, record/instruction counts, and
+//! an FNV-1a digest of its payload; the trailer repeats the totals and
+//! the running digest of the whole payload, so truncation, bit flips,
+//! and stale format versions are all detected before a single record
+//! reaches a sink ([`CodecError`]).
 
 use super::{advance_value_id, next_value_id, Class, MemRef, Op, TraceInstr, TraceSink};
+use std::io::{self, Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Record kinds (low bit of the header byte).
@@ -50,22 +66,48 @@ const F_MEM: u8 = 1 << 2;
 /// Source count shift (3 bits: 0..=4).
 const NSRC_SHIFT: u8 = 3;
 
-/// Running totals of every [`RecordSink::finish`] in this process:
-/// (encoded bytes, dynamic instructions). Campaign-level observability
-/// for the codec's memory bound — the encoded footprint of a scenario
-/// group versus the `Vec<TraceInstr>` it replaces.
+/// Running totals of every finished recording in this process.
+/// Campaign-level observability for the codec's memory bound — the
+/// encoded footprint of a scenario group versus the `Vec<TraceInstr>`
+/// it replaces, and (for spilling recorders) how much of it was ever
+/// resident at once.
 static RECORDED_BYTES: AtomicU64 = AtomicU64::new(0);
 static RECORDED_INSTRS: AtomicU64 = AtomicU64::new(0);
+static SPILLED_BYTES: AtomicU64 = AtomicU64::new(0);
+static RESIDENT_PEAK: AtomicU64 = AtomicU64::new(0);
 
-/// Process-wide codec counters: total encoded bytes and total dynamic
-/// instructions across every finished recording. Monotone; used by
-/// tests and diagnostics to bound the campaign's replay-buffer
-/// footprint against the naive materialized-trace cost.
-pub fn recorded_totals() -> (u64, u64) {
-    (
-        RECORDED_BYTES.load(Ordering::Relaxed),
-        RECORDED_INSTRS.load(Ordering::Relaxed),
-    )
+/// Process-wide codec counters (see [`recorded_totals`]). All fields
+/// are monotone over the process lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecordedTotals {
+    /// Encoded bytes across every finished recording, in-memory
+    /// ([`RecordSink`]) and spilled ([`SpillSink`]) alike.
+    pub bytes: u64,
+    /// Dynamic instructions across every finished recording.
+    pub instrs: u64,
+    /// Encoded bytes that left the process through a [`SpillSink`]'s
+    /// writer instead of staying resident.
+    pub spilled_bytes: u64,
+    /// Largest chunk buffer any [`SpillSink`] ever held resident —
+    /// the spill path's actual per-recording memory bound, O(chunk
+    /// budget) by construction (in-memory [`RecordSink`]s, whose
+    /// residency is the whole encoded stream by design, do not count
+    /// here).
+    pub resident_peak: u64,
+}
+
+/// Process-wide codec counters: encoded bytes, dynamic instructions,
+/// spilled bytes, and the peak resident chunk buffer across every
+/// finished recording. Monotone; used by tests and diagnostics to
+/// bound the campaign's replay-buffer footprint — O(chunk budget) on
+/// the spill path — against the naive materialized-trace cost.
+pub fn recorded_totals() -> RecordedTotals {
+    RecordedTotals {
+        bytes: RECORDED_BYTES.load(Ordering::Relaxed),
+        instrs: RECORDED_INSTRS.load(Ordering::Relaxed),
+        spilled_bytes: SPILLED_BYTES.load(Ordering::Relaxed),
+        resident_peak: RESIDENT_PEAK.load(Ordering::Relaxed),
+    }
 }
 
 /// Shared encoder/decoder prediction state. Both sides advance it from
@@ -146,6 +188,119 @@ fn get_zigzag(buf: &[u8], pos: &mut usize) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
+/// Encode one instruction record into `buf`, advancing `pred` exactly
+/// as the decoder will. The shared encode core of [`RecordSink`] and
+/// [`SpillSink`].
+fn encode_instr(buf: &mut Vec<u8>, pred: &mut Pred, ins: &TraceInstr) {
+    debug_assert!(
+        ins.srcs[ins.nsrc as usize..].iter().all(|&s| s == 0),
+        "sources beyond nsrc must be zero (tracer invariant)"
+    );
+    let nsrc = ins.nsrc.min(4);
+    let mut header = KIND_INSTR | (nsrc << NSRC_SHIFT);
+    let explicit = ins.dst != pred.next_id;
+    if explicit {
+        header |= F_EXPLICIT_ID;
+    }
+    if ins.mem.is_some() {
+        header |= F_MEM;
+    }
+    buf.push(header);
+    buf.push(ins.op as u8);
+    buf.push(ins.class as u8);
+    if explicit {
+        put_varint(buf, ins.dst as u64);
+    }
+    for &s in &ins.srcs[..nsrc as usize] {
+        put_zigzag(buf, (ins.dst as i64).wrapping_sub(s as i64));
+    }
+    if let Some(m) = ins.mem {
+        let predicted = pred.next_addr[ins.op as usize];
+        put_zigzag(buf, m.addr.wrapping_sub(predicted) as i64);
+        put_varint(buf, m.bytes as u64);
+    }
+    pred.after_instr(ins);
+}
+
+/// Encode one overhead-run record into `buf`, advancing `pred`.
+fn encode_overhead(
+    buf: &mut Vec<u8>,
+    pred: &mut Pred,
+    op: Op,
+    class: Class,
+    first_id: u32,
+    n: u64,
+) {
+    let mut header = KIND_OVERHEAD;
+    let explicit = first_id != pred.next_id;
+    if explicit {
+        header |= F_EXPLICIT_ID;
+    }
+    buf.push(header);
+    buf.push(op as u8);
+    buf.push(class as u8);
+    if explicit {
+        put_varint(buf, first_id as u64);
+    }
+    put_varint(buf, n);
+    pred.after_overhead(first_id, n);
+}
+
+/// Decode the record at `pos`, drive it into `sink`, and return the
+/// number of dynamic instructions it carried (1 for an instruction,
+/// the run length for an overhead record). The shared decode core of
+/// [`EncodedTrace::replay_into`] and [`replay_chunked`]; `buf` must
+/// hold whole records (both producers split only at record
+/// boundaries).
+fn decode_record(buf: &[u8], pos: &mut usize, pred: &mut Pred, sink: &mut dyn TraceSink) -> u64 {
+    let header = buf[*pos];
+    *pos += 1;
+    let op = Op::ALL[buf[*pos] as usize];
+    *pos += 1;
+    let class = Class::ALL[buf[*pos] as usize];
+    *pos += 1;
+    if header & 1 == KIND_OVERHEAD {
+        let first_id = if header & F_EXPLICIT_ID != 0 {
+            get_varint(buf, pos) as u32
+        } else {
+            pred.next_id
+        };
+        let n = get_varint(buf, pos);
+        pred.after_overhead(first_id, n);
+        sink.on_overhead(op, class, first_id, n);
+        return n;
+    }
+    let dst = if header & F_EXPLICIT_ID != 0 {
+        get_varint(buf, pos) as u32
+    } else {
+        pred.next_id
+    };
+    let nsrc = (header >> NSRC_SHIFT) & 0x7;
+    let mut srcs = [0u32; 4];
+    for s in srcs.iter_mut().take(nsrc as usize) {
+        *s = (dst as i64).wrapping_sub(get_zigzag(buf, pos)) as u32;
+    }
+    let mem = if header & F_MEM != 0 {
+        let delta = get_zigzag(buf, pos);
+        let addr = pred.next_addr[op as usize].wrapping_add(delta as u64);
+        let bytes = get_varint(buf, pos) as u32;
+        Some(MemRef { addr, bytes })
+    } else {
+        None
+    };
+    let ins = TraceInstr {
+        op,
+        class,
+        dst,
+        srcs,
+        nsrc,
+        mem,
+    };
+    pred.after_instr(&ins);
+    sink.on_instr(&ins);
+    1
+}
+
 /// A finished recording: the compact binary form of one dynamic
 /// instruction stream, replayable any number of times.
 #[derive(Clone, Debug, Default)]
@@ -184,56 +339,25 @@ impl EncodedTrace {
     /// addresses included) and the same [`TraceSink::on_overhead`]
     /// runs, in the same order.
     pub fn replay_into(&self, sink: &mut dyn TraceSink) {
-        let buf = &self.bytes;
         let mut pos = 0usize;
         let mut pred = Pred::new();
-        while pos < buf.len() {
-            let header = buf[pos];
-            pos += 1;
-            let op = Op::ALL[buf[pos] as usize];
-            pos += 1;
-            let class = Class::ALL[buf[pos] as usize];
-            pos += 1;
-            if header & 1 == KIND_OVERHEAD {
-                let first_id = if header & F_EXPLICIT_ID != 0 {
-                    get_varint(buf, &mut pos) as u32
-                } else {
-                    pred.next_id
-                };
-                let n = get_varint(buf, &mut pos);
-                pred.after_overhead(first_id, n);
-                sink.on_overhead(op, class, first_id, n);
-                continue;
-            }
-            let dst = if header & F_EXPLICIT_ID != 0 {
-                get_varint(buf, &mut pos) as u32
-            } else {
-                pred.next_id
-            };
-            let nsrc = (header >> NSRC_SHIFT) & 0x7;
-            let mut srcs = [0u32; 4];
-            for s in srcs.iter_mut().take(nsrc as usize) {
-                *s = (dst as i64).wrapping_sub(get_zigzag(buf, &mut pos)) as u32;
-            }
-            let mem = if header & F_MEM != 0 {
-                let delta = get_zigzag(buf, &mut pos);
-                let addr = pred.next_addr[op as usize].wrapping_add(delta as u64);
-                let bytes = get_varint(buf, &mut pos) as u32;
-                Some(MemRef { addr, bytes })
-            } else {
-                None
-            };
-            let ins = TraceInstr {
-                op,
-                class,
-                dst,
-                srcs,
-                nsrc,
-                mem,
-            };
-            pred.after_instr(&ins);
-            sink.on_instr(&ins);
+        while pos < self.bytes.len() {
+            decode_record(&self.bytes, &mut pos, &mut pred, sink);
         }
+    }
+
+    /// Write this recording in the segmented container form: the same
+    /// record bytes re-chunked at `budget`-byte boundaries through a
+    /// fresh [`SpillSink`]. `replay_chunked` of the result is
+    /// bit-identical to [`EncodedTrace::replay_into`].
+    pub fn write_chunked<W: Write + 'static>(
+        &self,
+        budget: usize,
+        writer: W,
+    ) -> io::Result<(ChunkedSummary, W)> {
+        let mut spill = SpillSink::new(writer, budget);
+        self.replay_into(&mut spill);
+        spill.finish()
     }
 }
 
@@ -285,54 +409,434 @@ impl RecordSink {
 
 impl TraceSink for RecordSink {
     fn on_instr(&mut self, ins: &TraceInstr) {
-        debug_assert!(
-            ins.srcs[ins.nsrc as usize..].iter().all(|&s| s == 0),
-            "sources beyond nsrc must be zero (tracer invariant)"
-        );
-        let nsrc = ins.nsrc.min(4);
-        let mut header = KIND_INSTR | (nsrc << NSRC_SHIFT);
-        let explicit = ins.dst != self.pred.next_id;
-        if explicit {
-            header |= F_EXPLICIT_ID;
-        }
-        if ins.mem.is_some() {
-            header |= F_MEM;
-        }
-        self.buf.push(header);
-        self.buf.push(ins.op as u8);
-        self.buf.push(ins.class as u8);
-        if explicit {
-            put_varint(&mut self.buf, ins.dst as u64);
-        }
-        for &s in &ins.srcs[..nsrc as usize] {
-            put_zigzag(&mut self.buf, (ins.dst as i64).wrapping_sub(s as i64));
-        }
-        if let Some(m) = ins.mem {
-            let predicted = self.pred.next_addr[ins.op as usize];
-            put_zigzag(&mut self.buf, m.addr.wrapping_sub(predicted) as i64);
-            put_varint(&mut self.buf, m.bytes as u64);
-        }
-        self.pred.after_instr(ins);
+        encode_instr(&mut self.buf, &mut self.pred, ins);
         self.instrs += 1;
         self.records += 1;
     }
 
     fn on_overhead(&mut self, op: Op, class: Class, first_id: u32, n: u64) {
-        let mut header = KIND_OVERHEAD;
-        let explicit = first_id != self.pred.next_id;
-        if explicit {
-            header |= F_EXPLICIT_ID;
-        }
-        self.buf.push(header);
-        self.buf.push(op as u8);
-        self.buf.push(class as u8);
-        if explicit {
-            put_varint(&mut self.buf, first_id as u64);
-        }
-        put_varint(&mut self.buf, n);
-        self.pred.after_overhead(first_id, n);
+        encode_overhead(&mut self.buf, &mut self.pred, op, class, first_id, n);
         self.instrs += n;
         self.records += 1;
+    }
+}
+
+// =====================================================================
+// Chunked container
+// =====================================================================
+
+/// Version of the chunked container format. Bump on any change to the
+/// record encoding or the container layout: decoders refuse other
+/// versions ([`CodecError::Version`]), which is what invalidates
+/// persisted trace-store entries across codec changes.
+pub const CHUNK_FORMAT_VERSION: u32 = 1;
+
+/// Container magic: "SWan Trace Chunks".
+const CHUNK_MAGIC: [u8; 4] = *b"SWTC";
+/// Record-stream tag bytes. Deliberately far apart in Hamming distance
+/// so a low-order bit flip cannot turn one into the other.
+const TAG_CHUNK: u8 = 0xC5;
+const TAG_TRAILER: u8 = 0x3A;
+
+/// Default chunk budget in bytes. At the codec's ~4-5 bytes per
+/// instruction one chunk holds roughly 13-16 k instructions — small
+/// enough that a worker's resident recording state is negligible,
+/// large enough that chunk framing overhead disappears.
+pub const DEFAULT_CHUNK_BUDGET: usize = 64 * 1024;
+
+/// Hard ceiling on one chunk's payload. [`SpillSink`] clamps its
+/// budget to this, and the decoder refuses larger declared lengths
+/// *before* allocating — so a corrupted length varint in a damaged
+/// stream yields a clean [`CodecError`] (→ the store's
+/// delete-and-re-record fallback) instead of an unbounded allocation.
+pub const MAX_CHUNK_BYTES: usize = 64 << 20;
+
+/// FNV-1a offset basis (the running payload digest starts here).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Fold `bytes` into an FNV-1a digest.
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash = (hash ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Shape of a finished chunked stream: what the trailer records, what
+/// the decoder verifies, and what both sides hand back to callers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChunkedSummary {
+    /// Number of chunks written.
+    pub chunks: u64,
+    /// Encoded records across all chunks.
+    pub records: u64,
+    /// Dynamic instructions across all chunks (overhead runs counted
+    /// at their full length).
+    pub instrs: u64,
+    /// Payload bytes across all chunks (excluding container framing).
+    pub payload_bytes: u64,
+    /// FNV-1a digest of the concatenated chunk payloads.
+    pub digest: u64,
+}
+
+/// Why a chunked stream failed to decode. Every variant means the
+/// bytes must not be trusted: callers fall back to re-recording (the
+/// trace store deletes the entry and records a replacement).
+#[derive(Debug)]
+pub enum CodecError {
+    /// The underlying reader failed (includes truncation inside a
+    /// fixed-size field or chunk payload).
+    Io(io::Error),
+    /// The stream does not start with the container magic.
+    BadMagic,
+    /// The stream was written by a different codec format version.
+    Version {
+        /// Version found in the header.
+        found: u32,
+        /// Version this decoder speaks ([`CHUNK_FORMAT_VERSION`]).
+        expected: u32,
+    },
+    /// A record-stream tag byte was neither chunk nor trailer.
+    BadTag(u8),
+    /// A chunk's payload digest did not match its header (bit flip or
+    /// in-place tampering), or its decoded record/instruction counts
+    /// disagreed with its header.
+    Chunk {
+        /// Zero-based index of the failing chunk.
+        chunk: u64,
+        /// What mismatched.
+        what: &'static str,
+    },
+    /// The stream ended without a trailer (truncated at a chunk
+    /// boundary), or the trailer's totals/digest did not match the
+    /// chunks actually read.
+    Trailer(&'static str),
+    /// Bytes followed the trailer.
+    TrailingData,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Io(e) => write!(f, "chunked trace read failed: {e}"),
+            CodecError::BadMagic => write!(f, "not a chunked trace (bad magic)"),
+            CodecError::Version { found, expected } => {
+                write!(
+                    f,
+                    "chunked trace format version {found} (expected {expected})"
+                )
+            }
+            CodecError::BadTag(t) => write!(f, "unknown record-stream tag {t:#04x}"),
+            CodecError::Chunk { chunk, what } => write!(f, "chunk {chunk}: {what} mismatch"),
+            CodecError::Trailer(what) => write!(f, "trailer: {what}"),
+            CodecError::TrailingData => write!(f, "trailing bytes after the trailer"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CodecError {
+    fn from(e: io::Error) -> CodecError {
+        CodecError::Io(e)
+    }
+}
+
+/// A [`TraceSink`] that encodes the stream it receives and spills
+/// completed fixed-budget chunks through an [`std::io::Write`], so the
+/// resident recording state is one chunk buffer — O(chunk budget) —
+/// no matter how long the stream runs. Chunks split only at record
+/// boundaries (the buffer may briefly exceed the budget by one
+/// record's bytes before sealing).
+///
+/// Writer errors cannot surface through the sink interface, so they
+/// are held and returned by [`SpillSink::finish`]; once a write has
+/// failed the sink stops encoding (the recording is lost either way).
+#[derive(Debug)]
+pub struct SpillSink<W: Write> {
+    writer: W,
+    budget: usize,
+    buf: Vec<u8>,
+    pred: Pred,
+    chunk_records: u64,
+    chunk_instrs: u64,
+    summary: ChunkedSummary,
+    resident_peak: usize,
+    header_written: bool,
+    err: Option<io::Error>,
+}
+
+impl<W: Write> SpillSink<W> {
+    /// A spilling recorder writing chunks of (about) `budget` bytes
+    /// into `writer` (see [`DEFAULT_CHUNK_BUDGET`]; clamped to
+    /// `1..=`[`MAX_CHUNK_BYTES`]). The container header is written
+    /// lazily with the first bytes.
+    pub fn new(writer: W, budget: usize) -> SpillSink<W> {
+        SpillSink {
+            writer,
+            budget: budget.clamp(1, MAX_CHUNK_BYTES),
+            buf: Vec::new(),
+            pred: Pred::new(),
+            chunk_records: 0,
+            chunk_instrs: 0,
+            summary: ChunkedSummary {
+                digest: FNV_OFFSET,
+                ..ChunkedSummary::default()
+            },
+            resident_peak: 0,
+            header_written: false,
+            err: None,
+        }
+    }
+
+    /// Largest chunk buffer this sink has held resident so far.
+    pub fn resident_peak(&self) -> usize {
+        self.resident_peak
+    }
+
+    fn try_io(&mut self, f: impl FnOnce(&mut W) -> io::Result<()>) {
+        if self.err.is_none() {
+            if let Err(e) = f(&mut self.writer) {
+                self.err = Some(e);
+            }
+        }
+    }
+
+    /// Seal the current buffer as one chunk and spill it.
+    fn flush_chunk(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        if !self.header_written {
+            self.header_written = true;
+            self.try_io(|w| {
+                w.write_all(&CHUNK_MAGIC)?;
+                w.write_all(&CHUNK_FORMAT_VERSION.to_le_bytes())
+            });
+        }
+        let digest = fnv1a(FNV_OFFSET, &self.buf);
+        let mut frame = Vec::with_capacity(40);
+        frame.push(TAG_CHUNK);
+        put_varint(&mut frame, self.buf.len() as u64);
+        put_varint(&mut frame, self.chunk_records);
+        put_varint(&mut frame, self.chunk_instrs);
+        frame.extend_from_slice(&digest.to_le_bytes());
+        let payload = std::mem::take(&mut self.buf);
+        self.try_io(|w| {
+            w.write_all(&frame)?;
+            w.write_all(&payload)
+        });
+        self.buf = payload;
+        self.summary.chunks += 1;
+        self.summary.records += self.chunk_records;
+        self.summary.instrs += self.chunk_instrs;
+        self.summary.payload_bytes += self.buf.len() as u64;
+        self.summary.digest = fnv1a(self.summary.digest, &self.buf);
+        self.buf.clear();
+        self.chunk_records = 0;
+        self.chunk_instrs = 0;
+    }
+
+    fn after_record(&mut self) {
+        self.resident_peak = self.resident_peak.max(self.buf.len());
+        if self.buf.len() >= self.budget {
+            self.flush_chunk();
+        }
+    }
+
+    /// Seal the final chunk, write the trailer, flush the writer, and
+    /// return the stream summary together with the writer. Updates the
+    /// process-wide [`recorded_totals`] counters (spill path).
+    pub fn finish(mut self) -> io::Result<(ChunkedSummary, W)> {
+        self.flush_chunk();
+        if !self.header_written {
+            // Empty stream: still a well-formed container.
+            self.header_written = true;
+            self.try_io(|w| {
+                w.write_all(&CHUNK_MAGIC)?;
+                w.write_all(&CHUNK_FORMAT_VERSION.to_le_bytes())
+            });
+        }
+        let mut frame = Vec::with_capacity(40);
+        frame.push(TAG_TRAILER);
+        put_varint(&mut frame, self.summary.chunks);
+        put_varint(&mut frame, self.summary.records);
+        put_varint(&mut frame, self.summary.instrs);
+        frame.extend_from_slice(&self.summary.digest.to_le_bytes());
+        self.try_io(|w| {
+            w.write_all(&frame)?;
+            w.flush()
+        });
+        if let Some(e) = self.err {
+            return Err(e);
+        }
+        RECORDED_BYTES.fetch_add(self.summary.payload_bytes, Ordering::Relaxed);
+        RECORDED_INSTRS.fetch_add(self.summary.instrs, Ordering::Relaxed);
+        SPILLED_BYTES.fetch_add(self.summary.payload_bytes, Ordering::Relaxed);
+        RESIDENT_PEAK.fetch_max(self.resident_peak as u64, Ordering::Relaxed);
+        Ok((self.summary, self.writer))
+    }
+}
+
+impl<W: Write + 'static> TraceSink for SpillSink<W> {
+    fn on_instr(&mut self, ins: &TraceInstr) {
+        if self.err.is_some() {
+            return;
+        }
+        encode_instr(&mut self.buf, &mut self.pred, ins);
+        self.chunk_instrs += 1;
+        self.chunk_records += 1;
+        self.after_record();
+    }
+
+    fn on_overhead(&mut self, op: Op, class: Class, first_id: u32, n: u64) {
+        if self.err.is_some() {
+            return;
+        }
+        encode_overhead(&mut self.buf, &mut self.pred, op, class, first_id, n);
+        self.chunk_instrs += n;
+        self.chunk_records += 1;
+        self.after_record();
+    }
+}
+
+/// Read exactly `n` bytes into `buf` (resized), mapping EOF to
+/// [`CodecError::Io`] with `UnexpectedEof` — a truncated stream.
+fn read_payload(r: &mut impl Read, buf: &mut Vec<u8>, n: usize) -> Result<(), CodecError> {
+    buf.resize(n, 0);
+    r.read_exact(buf)?;
+    Ok(())
+}
+
+/// Read one varint from a byte-at-a-time reader.
+fn read_varint(r: &mut impl Read) -> Result<u64, CodecError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut b = [0u8; 1];
+        r.read_exact(&mut b)?;
+        v |= ((b[0] & 0x7f) as u64) << shift;
+        if b[0] & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(CodecError::Trailer("varint overflow"));
+        }
+    }
+}
+
+/// Replay a chunked stream from `reader` into `sink` with only one
+/// chunk resident, verifying every chunk digest and the trailer before
+/// trusting a byte: records reach the sink only from chunks whose
+/// payload digest already checked out, so a corrupt stream fails
+/// cleanly instead of driving garbage into a model. The sink-visible
+/// call sequence is bit-identical to replaying the equivalent
+/// in-memory [`EncodedTrace`].
+pub fn replay_chunked<R: Read>(
+    mut reader: R,
+    sink: &mut dyn TraceSink,
+) -> Result<ChunkedSummary, CodecError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if magic != CHUNK_MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let mut ver = [0u8; 4];
+    reader.read_exact(&mut ver)?;
+    let found = u32::from_le_bytes(ver);
+    if found != CHUNK_FORMAT_VERSION {
+        return Err(CodecError::Version {
+            found,
+            expected: CHUNK_FORMAT_VERSION,
+        });
+    }
+    let mut pred = Pred::new();
+    let mut seen = ChunkedSummary {
+        digest: FNV_OFFSET,
+        ..ChunkedSummary::default()
+    };
+    let mut payload = Vec::new();
+    loop {
+        let mut tag = [0u8; 1];
+        if let Err(e) = reader.read_exact(&mut tag) {
+            return Err(if e.kind() == io::ErrorKind::UnexpectedEof {
+                CodecError::Trailer("stream ended before the trailer")
+            } else {
+                CodecError::Io(e)
+            });
+        }
+        match tag[0] {
+            TAG_CHUNK => {
+                let len = read_varint(&mut reader)?;
+                // Reject before allocating: the encoder can overshoot
+                // its (clamped) budget by at most one record, so any
+                // larger declared length is corruption.
+                if len > (MAX_CHUNK_BYTES + 1024) as u64 {
+                    return Err(CodecError::Chunk {
+                        chunk: seen.chunks,
+                        what: "payload length",
+                    });
+                }
+                let len = len as usize;
+                let records = read_varint(&mut reader)?;
+                let instrs = read_varint(&mut reader)?;
+                let mut digest = [0u8; 8];
+                reader.read_exact(&mut digest)?;
+                read_payload(&mut reader, &mut payload, len)?;
+                if fnv1a(FNV_OFFSET, &payload) != u64::from_le_bytes(digest) {
+                    return Err(CodecError::Chunk {
+                        chunk: seen.chunks,
+                        what: "payload digest",
+                    });
+                }
+                let mut pos = 0usize;
+                let mut got_records = 0u64;
+                let mut got_instrs = 0u64;
+                while pos < payload.len() {
+                    got_instrs += decode_record(&payload, &mut pos, &mut pred, sink);
+                    got_records += 1;
+                }
+                if got_records != records || got_instrs != instrs {
+                    return Err(CodecError::Chunk {
+                        chunk: seen.chunks,
+                        what: "record/instruction count",
+                    });
+                }
+                seen.chunks += 1;
+                seen.records += records;
+                seen.instrs += instrs;
+                seen.payload_bytes += len as u64;
+                seen.digest = fnv1a(seen.digest, &payload);
+            }
+            TAG_TRAILER => {
+                let chunks = read_varint(&mut reader)?;
+                let records = read_varint(&mut reader)?;
+                let instrs = read_varint(&mut reader)?;
+                let mut digest = [0u8; 8];
+                reader.read_exact(&mut digest)?;
+                if chunks != seen.chunks || records != seen.records || instrs != seen.instrs {
+                    return Err(CodecError::Trailer("totals"));
+                }
+                if u64::from_le_bytes(digest) != seen.digest {
+                    return Err(CodecError::Trailer("stream digest"));
+                }
+                let mut extra = [0u8; 1];
+                return match reader.read_exact(&mut extra) {
+                    Ok(()) => Err(CodecError::TrailingData),
+                    Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Ok(seen),
+                    Err(e) => Err(CodecError::Io(e)),
+                };
+            }
+            t => return Err(CodecError::BadTag(t)),
+        }
     }
 }
 
@@ -632,13 +1136,159 @@ mod tests {
 
     #[test]
     fn recorded_totals_are_monotone() {
-        let (b0, i0) = recorded_totals();
+        let t0 = recorded_totals();
         let mut rec = RecordSink::new();
         rec.on_instr(&ins(Op::VAlu, Class::VInt, 1, &[], None));
         let enc = rec.finish();
-        let (b1, i1) = recorded_totals();
-        assert!(b1 >= b0 + enc.encoded_bytes() as u64);
-        assert!(i1 > i0);
+        let t1 = recorded_totals();
+        assert!(t1.bytes >= t0.bytes + enc.encoded_bytes() as u64);
+        assert!(t1.instrs > t0.instrs);
+        // In-memory recordings never count as spilled.
+        assert!(t1.spilled_bytes >= t0.spilled_bytes);
+    }
+
+    /// Encode a stream twice — unsegmented and chunked at `budget` —
+    /// and return (unsegmented, chunked container bytes).
+    fn chunked(feed: impl Fn(&mut dyn TraceSink), budget: usize) -> (EncodedTrace, Vec<u8>) {
+        let mut rec = RecordSink::new();
+        feed(&mut rec);
+        let enc = rec.finish();
+        let mut spill = SpillSink::new(Vec::new(), budget);
+        feed(&mut spill);
+        let (_, bytes) = spill.finish().expect("Vec writer cannot fail");
+        (enc, bytes)
+    }
+
+    fn workload(sink: &mut dyn TraceSink) {
+        let mut id = 1u32;
+        for i in 0..500u64 {
+            sink.on_instr(&ins(
+                Op::VLd1,
+                Class::VLoad,
+                id,
+                &[],
+                Some(MemRef {
+                    addr: 0xF000_0000_0000_0000 + i * 16,
+                    bytes: 16,
+                }),
+            ));
+            sink.on_instr(&ins(Op::VAlu, Class::VInt, id + 1, &[id], None));
+            id += 2;
+            if i % 64 == 0 {
+                sink.on_overhead(Op::SBranch, Class::SInt, id, 3);
+                id += 3;
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_replay_is_bit_identical_to_unsegmented() {
+        for budget in [1usize, 7, 256, 1 << 20] {
+            let (enc, bytes) = chunked(workload, budget);
+            let mut from_memory = CallLog::default();
+            enc.replay_into(&mut from_memory);
+            let mut from_chunks = CallLog::default();
+            let summary =
+                replay_chunked(&bytes[..], &mut from_chunks).expect("valid stream decodes");
+            assert_eq!(from_memory, from_chunks, "budget {budget}");
+            assert_eq!(summary.instrs, enc.instr_count());
+            assert_eq!(summary.records, enc.record_count());
+            assert_eq!(summary.payload_bytes, enc.encoded_bytes() as u64);
+            if budget == 1 {
+                // One record per chunk at the smallest budget.
+                assert_eq!(summary.chunks, enc.record_count());
+            }
+        }
+    }
+
+    #[test]
+    fn spill_residency_is_bounded_by_the_budget() {
+        let budget = 128usize;
+        let mut spill = SpillSink::new(Vec::new(), budget);
+        workload(&mut spill);
+        let peak = spill.resident_peak();
+        let (summary, bytes) = spill.finish().expect("Vec writer cannot fail");
+        // The buffer may overshoot by at most one record before
+        // sealing; it must never hold the stream.
+        assert!(peak <= budget + 64, "peak {peak}");
+        assert!((peak as u64) < summary.payload_bytes / 4);
+        assert!(bytes.len() as u64 > summary.payload_bytes);
+        let t = recorded_totals();
+        assert!(t.spilled_bytes >= summary.payload_bytes);
+        assert!(t.resident_peak >= peak as u64);
+    }
+
+    #[test]
+    fn empty_chunked_stream_roundtrips() {
+        let (_, bytes) = chunked(|_| {}, 64);
+        let mut log = CallLog::default();
+        let summary = replay_chunked(&bytes[..], &mut log).expect("empty stream is well-formed");
+        assert_eq!(
+            summary,
+            ChunkedSummary {
+                digest: FNV_OFFSET,
+                ..ChunkedSummary::default()
+            }
+        );
+        assert!(log.calls.is_empty());
+    }
+
+    #[test]
+    fn chunked_decode_rejects_malformed_streams() {
+        let (_, bytes) = chunked(workload, 256);
+        let sink = &mut CallLog::default();
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            replay_chunked(&bad[..], sink),
+            Err(CodecError::BadMagic)
+        ));
+        // Stale format version.
+        let mut bad = bytes.clone();
+        bad[4] = 0xfe;
+        assert!(matches!(
+            replay_chunked(&bad[..], sink),
+            Err(CodecError::Version { found: 0xfe, .. })
+        ));
+        // Truncation: anywhere strictly inside the stream.
+        for cut in [8, 9, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                replay_chunked(&bytes[..cut], sink).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+        // Trailing garbage after the trailer.
+        let mut bad = bytes.clone();
+        bad.push(0);
+        assert!(matches!(
+            replay_chunked(&bad[..], sink),
+            Err(CodecError::TrailingData)
+        ));
+        // A flipped payload byte fails its chunk digest.
+        let mut bad = bytes.clone();
+        let payload_at = bad.len() - 40; // inside the last chunk
+        bad[payload_at] ^= 0x01;
+        assert!(replay_chunked(&bad[..], sink).is_err());
+    }
+
+    #[test]
+    fn absurd_chunk_length_is_rejected_before_allocation() {
+        // A hand-built stream whose first chunk declares a near-u64
+        // payload length: the decoder must fail cleanly (no attempt to
+        // allocate the declared size).
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&CHUNK_MAGIC);
+        bytes.extend_from_slice(&CHUNK_FORMAT_VERSION.to_le_bytes());
+        bytes.push(TAG_CHUNK);
+        put_varint(&mut bytes, u64::MAX - 7);
+        assert!(matches!(
+            replay_chunked(&bytes[..], &mut CallLog::default()),
+            Err(CodecError::Chunk {
+                chunk: 0,
+                what: "payload length"
+            })
+        ));
     }
 
     #[test]

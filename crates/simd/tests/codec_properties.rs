@@ -2,11 +2,16 @@
 //! arbitrary instruction sequences must survive encode → decode
 //! bit-identically — every field of every instruction, every overhead
 //! run, in order — including value-id wraparound past the 0 sentinel
-//! and maximal address deltas.
+//! and maximal address deltas. The chunked container must decode
+//! bit-identically to the unsegmented encoding at *any* chunk budget
+//! (down to one record per chunk), and its digests must catch any
+//! single-byte mutation.
 
 use proptest::prelude::*;
 use swan_simd::trace::{advance_value_id, next_value_id, OP_COUNT};
-use swan_simd::{Class, EncodedTrace, Op, RecordSink, TraceInstr, TraceSink};
+use swan_simd::{
+    replay_chunked, Class, EncodedTrace, Op, RecordSink, SpillSink, TraceInstr, TraceSink,
+};
 
 /// One sink event, so replay can be compared call for call.
 #[derive(Clone, Debug, PartialEq)]
@@ -212,5 +217,74 @@ proptest! {
         }
         let (_, replayed) = roundtrip(&events);
         prop_assert_eq!(&replayed, &events);
+    }
+
+    /// Chunked round-trip: the segmented container decodes
+    /// bit-identically to the unsegmented encoding for arbitrary
+    /// sequences at arbitrary chunk budgets — including budget 1,
+    /// which forces one record per chunk.
+    #[test]
+    fn chunked_roundtrips_match_unsegmented_at_any_budget(
+        seeds in proptest::collection::vec(any::<u64>(), 0..120),
+        addr_seeds in proptest::collection::vec(any::<u64>(), 120),
+        budget_seed in 0usize..4,
+    ) {
+        let budget = [1usize, 7, 300, 1 << 16][budget_seed];
+        let mut id = 1u32;
+        let mut events = Vec::with_capacity(seeds.len());
+        for (s, a) in seeds.iter().zip(&addr_seeds) {
+            let (e, next) = event_from(*s, *a, id);
+            events.push(e);
+            id = next;
+        }
+        let (enc, from_memory) = roundtrip(&events);
+
+        let mut spill = SpillSink::new(Vec::new(), budget);
+        feed(&events, &mut spill);
+        let (summary, bytes) = spill.finish().expect("Vec writer cannot fail");
+        let mut log = EventLog::default();
+        let decoded = replay_chunked(&bytes[..], &mut log).expect("well-formed stream");
+
+        prop_assert_eq!(&log.0, &events, "chunked replay must equal the live stream");
+        prop_assert_eq!(&log.0, &from_memory, "chunked replay must equal in-memory replay");
+        prop_assert_eq!(decoded, summary, "decoder and encoder agree on the summary");
+        prop_assert_eq!(summary.instrs, enc.instr_count());
+        prop_assert_eq!(summary.records, enc.record_count());
+        prop_assert_eq!(summary.payload_bytes, enc.encoded_bytes() as u64);
+        if budget == 1 {
+            prop_assert_eq!(summary.chunks, enc.record_count(), "one record per chunk");
+        }
+    }
+
+    /// Integrity: any single-byte mutation anywhere in a chunked
+    /// container — payload, framing, header, trailer — is detected
+    /// (some field mutations surface as structural errors rather than
+    /// digest mismatches; all of them must refuse to decode). The
+    /// mutated byte is XORed with a nonzero value so the stream really
+    /// changed.
+    #[test]
+    fn chunk_digests_detect_any_single_byte_mutation(
+        seeds in proptest::collection::vec(any::<u64>(), 1..80),
+        addr_seeds in proptest::collection::vec(any::<u64>(), 80),
+        pos_seed: u64,
+        flip in 1u8..=255,
+    ) {
+        let mut id = 1u32;
+        let mut events = Vec::with_capacity(seeds.len());
+        for (s, a) in seeds.iter().zip(&addr_seeds) {
+            let (e, next) = event_from(*s, *a, id);
+            events.push(e);
+            id = next;
+        }
+        let mut spill = SpillSink::new(Vec::new(), 64);
+        feed(&events, &mut spill);
+        let (_, mut bytes) = spill.finish().expect("Vec writer cannot fail");
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        bytes[pos] ^= flip;
+        let mut log = EventLog::default();
+        prop_assert!(
+            replay_chunked(&bytes[..], &mut log).is_err(),
+            "flipping byte {pos} by {flip:#04x} must be detected"
+        );
     }
 }

@@ -4,7 +4,8 @@
 //! Usage:
 //!
 //! ```text
-//! swan-report [--quick | --scale F] [--seed N] [--threads N] <what>...
+//! swan-report [--quick | --scale F] [--seed N] [--threads N]
+//!             [--trace-store DIR] [--trace-store-stats] <what>...
 //! swan-report [...] --list-scenarios [--only FILTER]...
 //! swan-report [...] --only FILTER [--only FILTER]...
 //! swan-report [--scale F] [--seed N] [--threads N] --write-golden <path>
@@ -39,9 +40,21 @@
 //! digested, the recording is replayed into a fresh digest, and the
 //! two must match bit for bit (exit non-zero otherwise). CI runs it
 //! ahead of the full golden check.
+//!
+//! `--trace-store DIR` backs every campaign (full suite, `--only`
+//! subsets, goldens) with the persistent chunked trace store rooted at
+//! `DIR`: scenario groups whose recordings the store already holds are
+//! replayed from disk instead of functionally executed, and misses
+//! record into the store for every later run. Results are bit-identical
+//! with a cold store, a warm store, or no store at all (corrupted
+//! entries are detected, deleted, and re-recorded). `--trace-store-stats`
+//! prints one machine-greppable `trace-store:` summary line (hits,
+//! misses, bytes, evictions) after the run — CI posts it to the step
+//! summary.
 
+use std::sync::Arc;
 use swan_core::report::{self, SuiteResults};
-use swan_core::{golden, Scale, Scenario, ScenarioFilter, SuiteRunner};
+use swan_core::{golden, Scale, Scenario, ScenarioFilter, SuiteRunner, TraceStore};
 use swan_kernels::xp::{conv_layers, GemmF32, Shape, SpmmF32};
 
 fn auto_threads() -> usize {
@@ -57,6 +70,8 @@ fn main() {
     let mut golden_check: Option<String> = None;
     let mut list_scenarios = false;
     let mut replay_smoke = false;
+    let mut store_dir: Option<String> = None;
+    let mut store_stats = false;
     let mut filters: Vec<ScenarioFilter> = Vec::new();
     let mut wants: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -93,6 +108,10 @@ fn main() {
             }
             "--list-scenarios" => list_scenarios = true,
             "--replay-smoke" => replay_smoke = true,
+            "--trace-store" => {
+                store_dir = Some(args.next().expect("--trace-store needs a directory"));
+            }
+            "--trace-store-stats" => store_stats = true,
             "--only" => {
                 let spec = args.next().expect("--only needs a key=value[,...] filter");
                 match ScenarioFilter::parse(&spec) {
@@ -115,6 +134,39 @@ fn main() {
 
     let kernels = swan_kernels::all_kernels();
 
+    // The persistent trace store, if requested. Opened once and shared
+    // by whichever campaign runs below; keyed by this inventory.
+    let store: Option<Arc<TraceStore>> = store_dir.as_ref().map(|dir| {
+        Arc::new(
+            TraceStore::open(dir, &kernels)
+                .unwrap_or_else(|e| panic!("open trace store {dir}: {e}")),
+        )
+    });
+    if store_stats && store.is_none() {
+        eprintln!("warning: --trace-store-stats without --trace-store; nothing to report");
+    }
+    let print_store_stats = || {
+        if !store_stats {
+            return;
+        }
+        if let Some(s) = &store {
+            let st = s.stats();
+            let (entries, bytes) = s.disk_usage();
+            eprintln!(
+                "trace-store: dir={} entries={entries} bytes={bytes} hits={} misses={} \
+                 inserts={} corrupt_replaced={} evictions={} read={} written={}",
+                s.dir().display(),
+                st.hits,
+                st.misses,
+                st.inserts,
+                st.corrupt_replaced,
+                st.evictions,
+                st.bytes_read,
+                st.bytes_written,
+            );
+        }
+    };
+
     if replay_smoke {
         // Record one kernel's dynamic stream while digesting it live,
         // replay the recording, and require bit-identical digests —
@@ -130,6 +182,11 @@ fn main() {
         }
         if !filters.is_empty() {
             eprintln!("warning: --replay-smoke always records ZL.adler32; --only filters ignored");
+        }
+        if store.is_some() {
+            eprintln!(
+                "warning: --replay-smoke exercises the in-memory codec; --trace-store ignored"
+            );
         }
         if !scale_explicit {
             scale = Scale::quick();
@@ -219,9 +276,11 @@ fn main() {
             scale.0,
             if threads == 1 { "" } else { "s" }
         );
-        let entries = golden::collect(&kernels, scale, seed, threads, |msg| {
-            eprintln!("  [{:6.1}s] {msg}", t0.elapsed().as_secs_f32());
-        });
+        let entries =
+            golden::collect_with(&kernels, scale, seed, threads, store.as_deref(), |msg| {
+                eprintln!("  [{:6.1}s] {msg}", t0.elapsed().as_secs_f32());
+            });
+        print_store_stats();
         let actual = golden::to_json(scale, seed, &entries);
         if let Some(path) = golden_write {
             std::fs::write(&path, &actual).expect("write golden baseline");
@@ -277,9 +336,11 @@ fn main() {
             scale.0,
             if threads == 1 { "" } else { "s" }
         );
-        let measurements = swan_core::execute_plan(&kernels, &selected, threads, |msg| {
-            eprintln!("  [{:6.1}s] {msg}", t0.elapsed().as_secs_f32());
-        });
+        let measurements =
+            swan_core::execute_plan_with(&kernels, &selected, threads, store.as_deref(), |msg| {
+                eprintln!("  [{:6.1}s] {msg}", t0.elapsed().as_secs_f32());
+            });
+        print_store_stats();
         print_scenarios(&selected, &measurements);
         eprintln!("done in {:.1}s", t0.elapsed().as_secs_f32());
         return;
@@ -313,12 +374,15 @@ fn main() {
             if threads == 1 { "" } else { "s" }
         );
         let t0 = std::time::Instant::now();
-        let s = SuiteRunner::new(scale, seed)
-            .threads(threads)
-            .run(&kernels, |msg| {
-                eprintln!("  [{:6.1}s] {msg}", t0.elapsed().as_secs_f32());
-            });
+        let mut runner = SuiteRunner::new(scale, seed).threads(threads);
+        if let Some(s) = &store {
+            runner = runner.store(s.clone());
+        }
+        let s = runner.run(&kernels, |msg| {
+            eprintln!("  [{:6.1}s] {msg}", t0.elapsed().as_secs_f32());
+        });
         eprintln!("suite done in {:.1}s", t0.elapsed().as_secs_f32());
+        print_store_stats();
         Some(s)
     } else {
         None

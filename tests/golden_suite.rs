@@ -10,7 +10,7 @@
 //! kernels, tracer, or timing model shows up as a reviewable diff
 //! (regenerate with `swan-report --write-golden tests/golden/suite.json`).
 
-use swan_core::{capture, golden, plan, Impl, Scale};
+use swan_core::{capture, golden, plan, Impl, Scale, TraceStore};
 use swan_simd::Width;
 
 /// The committed baseline's parameters: quick scale, seed 42.
@@ -20,22 +20,44 @@ fn baseline_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/suite.json")
 }
 
-/// The full scenario campaign, run twice in-process, must be
-/// byte-identical — trace digests (covering every instruction field
-/// and address) and cycle/cache statistics alike — with every memory
-/// reference resolved through a registered buffer, and must match the
-/// committed baseline exactly, one entry per planned scenario.
+/// The full scenario campaign, run twice in-process — once against a
+/// *cold* persistent trace store (every group recorded to disk) and
+/// once against the now-*warm* store (every group replayed from disk,
+/// zero functional executions) — must be byte-identical: trace
+/// digests (covering every instruction field and address) and
+/// cycle/cache statistics alike, with every memory reference resolved
+/// through a registered buffer. Both must match the committed
+/// baseline exactly, one entry per planned scenario — and the
+/// baseline was generated with *no* store, so this pins the cardinal
+/// invariant that cold-store, warm-store, and store-disabled
+/// campaigns agree on all 485 scenarios.
 #[test]
 fn golden_suite_reproduces_and_matches_baseline() {
     let kernels = swan_kernels::all_kernels();
     let scale = Scale::quick();
 
-    let first = golden::collect(&kernels, scale, GOLDEN_SEED, 1, |_| {});
-    let second = golden::collect(&kernels, scale, GOLDEN_SEED, 1, |_| {});
+    let dir = std::env::temp_dir().join(format!("swan-golden-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = TraceStore::open(&dir, &kernels).expect("open trace store");
+
+    let first = golden::collect_with(&kernels, scale, GOLDEN_SEED, 1, Some(&store), |_| {});
+    let cold = store.stats();
+    assert_eq!(cold.hits, 0, "first campaign runs against a cold store");
+    assert!(cold.inserts > 0 && cold.inserts == cold.misses);
+
+    let second = golden::collect_with(&kernels, scale, GOLDEN_SEED, 1, Some(&store), |_| {});
+    let warm = store.stats();
+    assert_eq!(
+        warm.misses, cold.misses,
+        "second campaign must be all hits (no new misses)"
+    );
+    assert_eq!(warm.hits, cold.inserts, "one hit per stored group");
+    assert_eq!(warm.corrupt_replaced, 0);
     assert_eq!(
         first, second,
-        "two in-process campaigns must be byte-identical"
+        "cold-store and warm-store campaigns must be byte-identical"
     );
+    let _ = std::fs::remove_dir_all(&dir);
 
     // The baseline covers the whole plan, keyed by scenario id: every
     // kernel × {Scalar, Auto, Neon} × its widths × its cores.

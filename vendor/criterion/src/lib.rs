@@ -6,8 +6,57 @@
 //! iterations and reported as a plain-text median line — enough to
 //! track relative perf trajectories without the real crate's
 //! statistics machinery.
+//!
+//! When the `CRITERION_JSON_PATH` environment variable is set, every
+//! result is also collected and written there as one machine-readable
+//! JSON document at `criterion_main!` exit (CI uploads it as the
+//! `BENCH_ci.json` artifact), so the perf trajectory is diffable
+//! across runs without scraping the text output.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Results accumulated for the JSON report: (benchmark id, median ns).
+static RESULTS: Mutex<Vec<(String, u128)>> = Mutex::new(Vec::new());
+
+fn record_result(id: &str, median: Duration) {
+    RESULTS
+        .lock()
+        .expect("bench results lock")
+        .push((id.to_string(), median.as_nanos()));
+}
+
+/// Write every recorded benchmark result as a JSON document to the
+/// path named by `CRITERION_JSON_PATH` (no-op when unset). Called by
+/// the `criterion_main!` expansion after all groups have run.
+pub fn write_json_report() {
+    let Ok(path) = std::env::var("CRITERION_JSON_PATH") else {
+        return;
+    };
+    let results = RESULTS.lock().expect("bench results lock");
+    let mut s = String::from("{\n  \"format\": 1,\n  \"benches\": [\n");
+    for (i, (id, ns)) in results.iter().enumerate() {
+        let escaped: String = id
+            .chars()
+            .map(|c| match c {
+                '"' => "\\\"".to_string(),
+                '\\' => "\\\\".to_string(),
+                c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32),
+                c => c.to_string(),
+            })
+            .collect();
+        s.push_str(&format!(
+            "    {{\"id\": \"{escaped}\", \"median_ns\": {ns}}}{}\n",
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, s) {
+        eprintln!("warning: cannot write bench JSON to {path}: {e}");
+    } else {
+        eprintln!("bench JSON written to {path} ({} benches)", results.len());
+    }
+}
 
 /// Per-invocation timer handed to benchmark closures.
 #[derive(Debug)]
@@ -76,11 +125,13 @@ impl BenchmarkGroup<'_> {
             sample_count: self.sample_size,
         };
         f(&mut b);
+        let median = b.median();
+        record_result(&format!("{}/{}", self.name, id.as_ref()), median);
         println!(
             "bench: {}/{:<40} {}",
             self.name,
             id.as_ref(),
-            fmt_duration(b.median())
+            fmt_duration(median)
         );
         self
     }
@@ -116,7 +167,9 @@ impl Criterion {
             sample_count: 10,
         };
         f(&mut b);
-        println!("bench: {:<40} {}", id.as_ref(), fmt_duration(b.median()));
+        let median = b.median();
+        record_result(id.as_ref(), median);
+        println!("bench: {:<40} {}", id.as_ref(), fmt_duration(median));
         self
     }
 }
@@ -141,6 +194,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_report();
         }
     };
 }
