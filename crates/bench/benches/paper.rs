@@ -3,13 +3,13 @@
 //! DESIGN.md; each iteration produces exactly the rows/series the
 //! corresponding `swan-report` subcommand prints at full scale.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use swan_bench::{find, measure_point, REPRESENTATIVES};
 use swan_core::report;
 use swan_core::{
-    capture, measure_multi, measure_multi_with, simulate_trace, Impl, Kernel, Scale, SuiteRunner,
-    TraceStore,
+    capture, measure_multi, measure_multi_with, record, simulate_trace, Impl, Kernel, Scale,
+    SuiteRunner, TraceStore,
 };
 use swan_simd::trace::stream_into;
 use swan_simd::Width;
@@ -332,6 +332,45 @@ fn campaign_threads(c: &mut Criterion) {
                     .threads(threads)
                     .run(&subset, |_| {});
                 black_box(suite.kernels.len())
+            })
+        });
+    }
+    // The hot-loop pair the CI throughput gate watches: one recorded
+    // stream replayed through the 3-core fan-out, batch-stepped vs
+    // per-instruction virtual dispatch. Declared element throughput
+    // (model steps per iteration: instrs x 3 cores x 2 passes) makes
+    // BENCH_ci.json carry elems_per_sec for the --bench-gate check.
+    // Placed last in the group because the throughput setting persists
+    // to subsequent benches.
+    {
+        let cfgs = [
+            CoreConfig::prime(),
+            CoreConfig::gold(),
+            CoreConfig::silver(),
+        ];
+        let k = find(&subset, "ZL", "adler32");
+        let (_data, enc, _ops) = record(k, Impl::Neon, Width::W128, SCALE, 42);
+        let mut instrs = 0u64;
+        enc.replay_batches(|batch| instrs += batch.len() as u64);
+        g.throughput(Throughput::Elements(instrs * 3 * 2));
+        g.bench_function("batch_vs_per_instr_3cores/batch", |b| {
+            b.iter(|| {
+                let mut multi = MultiCore::new(&cfgs);
+                multi.begin_warm();
+                enc.replay_batches(|batch| multi.warm_batch(batch));
+                multi.begin_timed();
+                enc.replay_batches(|batch| multi.step_batch(batch));
+                black_box(multi.finalize().len())
+            })
+        });
+        g.bench_function("batch_vs_per_instr_3cores/per_instr", |b| {
+            b.iter(|| {
+                let mut multi = MultiCore::new(&cfgs);
+                multi.begin_warm();
+                enc.replay_into(&mut multi);
+                multi.begin_timed();
+                enc.replay_into(&mut multi);
+                black_box(multi.finalize().len())
             })
         });
     }

@@ -11,30 +11,10 @@ use swan_core::{measure, Impl, Kernel, Measurement, Scale};
 use swan_simd::Width;
 use swan_uarch::CoreConfig;
 
-/// One representative kernel per library, covering every figure's mix.
-pub const REPRESENTATIVES: [(&str, &str); 12] = [
-    ("LJ", "rgb_to_ycbcr"),
-    ("LP", "filter_paeth"),
-    ("LW", "tm_predict"),
-    ("SK", "convolve_vertical"),
-    ("WA", "audible"),
-    ("PF", "fft_forward"),
-    ("ZL", "adler32"),
-    ("BS", "aes128_ctr"),
-    ("OR", "memchr"),
-    ("LO", "pitch_corr"),
-    ("LV", "sad16x16"),
-    ("XP", "gemm_f32"),
-];
-
-/// Look up a kernel by `(library symbol, name)`.
-pub fn find<'a>(kernels: &'a [Box<dyn Kernel>], lib: &str, name: &str) -> &'a dyn Kernel {
-    kernels
-        .iter()
-        .find(|k| k.meta().library.info().symbol == lib && k.meta().name == name)
-        .unwrap_or_else(|| panic!("{lib}.{name} not in suite"))
-        .as_ref()
-}
+// The representative-kernel registry lives in `swan_core::perf` (the
+// self-timing perf harness probes the same kernels the benches
+// exercise); re-exported here so benches keep one import path.
+pub use swan_core::perf::{find, REPRESENTATIVES};
 
 /// Trace + simulate one configuration end to end (what one data point
 /// of Figures 2-5 costs). Uses the streaming pipeline: the kernel
@@ -63,6 +43,20 @@ mod tests {
             libs.insert(k.meta().library);
         }
         assert_eq!(libs.len(), 12);
+    }
+
+    #[test]
+    fn perf_probe_times_every_phase_and_checks_identity() {
+        let kernels = swan_kernels::all_kernels();
+        let rep = swan_core::probe(&kernels, Scale::test(), 42, None);
+        assert_eq!(rep.kernels, 12);
+        assert_eq!(rep.cores, 3);
+        assert!(rep.instrs > 0);
+        assert!(rep.timed_ns > 0);
+        assert!(rep.instrs_per_sec() > 0.0);
+        let text = rep.render();
+        assert!(text.contains("instrs/sec"), "headline missing: {text}");
+        assert!(text.contains("timed batch"));
     }
 
     #[test]

@@ -23,7 +23,7 @@ use crate::runner::record_group;
 use crate::scenario::Scenario;
 use crate::tracestore::TraceStore;
 use std::fmt::Write as _;
-use swan_simd::trace::{HashSink, TraceInstr, TraceSink};
+use swan_simd::trace::{HashSink, TraceSink};
 use swan_uarch::{MultiCore, SimResult};
 
 /// One golden record: everything that must stay bit-identical for one
@@ -47,35 +47,16 @@ pub struct GoldenEntry {
     pub sim: SimResult,
 }
 
-/// Forwards one stream to the fan-out timing models and the trace
-/// digest at once, so the golden collection stays O(core window) in
-/// memory.
-struct Tee {
-    cores: MultiCore,
-    hash: HashSink,
-}
-
-impl TraceSink for Tee {
-    fn on_instr(&mut self, ins: &TraceInstr) {
-        self.cores.on_instr(ins);
-        self.hash.on_instr(ins);
-    }
-
-    fn on_overhead(&mut self, op: swan_simd::Op, class: swan_simd::Class, first_id: u32, n: u64) {
-        TraceSink::on_overhead(&mut self.cores, op, class, first_id, n);
-        TraceSink::on_overhead(&mut self.hash, op, class, first_id, n);
-    }
-}
-
 /// Measure one execution group of golden points with the executor's
 /// record-once / replay-many discipline: the group's recording comes
 /// from [`record_group`] (one functional execution on a store miss,
 /// none at all on a verified store hit); it then warms every member
-/// scenario's core, and the timed replay is teed through the fan-out
-/// models and the trace digest at once. Replay is bit-identical to
-/// the live stream, so digests and statistics are unchanged from a
-/// warm+timed execution pair — and identical with a cold store, a
-/// warm store, and no store.
+/// scenario's core, and each decoded batch of the timed replay is
+/// stepped through the fan-out models and folded into the trace
+/// digest at once. Batch decode expands overhead runs exactly like
+/// [`HashSink`]'s default sink expansion, so digests and statistics
+/// are unchanged from a warm+timed execution pair — and identical
+/// with a cold store, a warm store, and no store.
 fn collect_group(
     kernel: &dyn Kernel,
     plan: &[Scenario],
@@ -87,17 +68,19 @@ fn collect_group(
     let cfgs: Vec<_> = group.iter().map(|&i| plan[i].core.config()).collect();
     let mut cores = MultiCore::new(&cfgs);
     cores.begin_warm();
-    rec.replay_into(&mut cores);
-    let mut tee = Tee {
-        cores,
-        hash: HashSink::new(),
-    };
-    tee.cores.begin_timed();
-    rec.replay_into(&mut tee);
-    let trace_hash = tee.hash.digest();
+    rec.replay_batches(|b| cores.warm_batch(b));
+    cores.begin_timed();
+    let mut hash = HashSink::new();
+    rec.replay_batches(|b| {
+        cores.step_batch(b);
+        for ins in b {
+            hash.on_instr(ins);
+        }
+    });
+    let trace_hash = hash.digest();
     group
         .iter()
-        .zip(tee.cores.finalize())
+        .zip(cores.finalize())
         .map(|(&i, sim)| GoldenEntry {
             id: plan[i].id(),
             instrs: rec.data.total(),

@@ -15,6 +15,7 @@
 pub mod campaign;
 pub mod golden;
 pub mod kernel;
+pub mod perf;
 pub mod report;
 pub mod runner;
 pub mod scenario;
@@ -29,6 +30,7 @@ pub use golden::GoldenEntry;
 pub use kernel::{
     AutoObstacle, AutoOutcome, Impl, Kernel, KernelMeta, Library, Pattern, Runnable, Scale, VsNeon,
 };
+pub use perf::{find, gate, parse_bench_json, probe, BenchRow, GateOutcome, PerfReport};
 pub use runner::{
     capture, measure, measure_multi, measure_multi_with, measure_recorded, record, record_group,
     simulate_trace, verify_kernel, GroupRecording, Measurement,

@@ -19,7 +19,7 @@
 use crate::kernel::{Impl, Kernel, Scale};
 use crate::tracestore::{StoreKey, StoredRecording, TraceStore};
 use swan_simd::trace::{self, session_width, stream_into_at, Mode, Session, TraceSink};
-use swan_simd::{EncodedTrace, RecordSink, TraceData, Width};
+use swan_simd::{EncodedTrace, RecordSink, TraceData, TraceInstr, Width};
 use swan_uarch::{simulate, CoreConfig, EnergyModel, MultiCore, SimResult};
 
 /// One measured (kernel, implementation, width, core) point.
@@ -156,6 +156,20 @@ impl GroupRecording {
             RecordingSource::Store(stored) => stored.replay_into(sink),
         }
     }
+
+    /// Drive the recorded stream out as decoded instruction batches —
+    /// the monomorphic fast path for core-model consumers. Store-backed
+    /// recordings decode double-buffered (chunk `k+1` is read and
+    /// verified while the consumer simulates chunk `k`); in-memory
+    /// recordings decode serially into one reusable arena. The
+    /// concatenated batches equal what a sink without an `on_overhead`
+    /// override receives from [`GroupRecording::replay_into`].
+    pub fn replay_batches(&mut self, consume: impl FnMut(&[TraceInstr])) {
+        match &mut self.source {
+            RecordingSource::Memory(enc) => enc.replay_batches(consume),
+            RecordingSource::Store(stored) => stored.replay_batches(consume),
+        }
+    }
 }
 
 /// Execute a kernel configuration exactly once and hold the session's
@@ -254,8 +268,12 @@ fn width_factor(imp: Impl, w: Width) -> f64 {
 /// Measure a group recording on several core configurations: the
 /// recording drives a fan-out of one incremental core model per
 /// configuration twice — a first replay warms every model's caches
-/// (§4.3) and a second replay is timed. Returns one [`Measurement`]
-/// per entry of `cfgs`, in order.
+/// (§4.3) and a second replay is timed. Both replays run on the batch
+/// path: each arena of decoded instructions is stepped through all N
+/// models while (for store-backed recordings) the next chunk decodes
+/// on a second thread. Bit-identical to the per-instruction sink path
+/// (`tests/batch_equivalence.rs`). Returns one [`Measurement`] per
+/// entry of `cfgs`, in order.
 pub fn measure_recorded(
     rec: &mut GroupRecording,
     cfgs: &[CoreConfig],
@@ -263,9 +281,9 @@ pub fn measure_recorded(
 ) -> Vec<Measurement> {
     let mut multi = MultiCore::new(cfgs);
     multi.begin_warm();
-    rec.replay_into(&mut multi);
+    rec.replay_batches(|b| multi.warm_batch(b));
     multi.begin_timed();
-    rec.replay_into(&mut multi);
+    rec.replay_batches(|b| multi.step_batch(b));
     let sims = multi.finalize();
     cfgs.iter()
         .zip(sims)

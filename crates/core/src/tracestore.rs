@@ -45,7 +45,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use swan_simd::trace::codec::{self, ChunkedSummary, SpillSink};
 use swan_simd::trace::{Class, Op, TraceInstr, TraceSink, CLASS_COUNT, OP_COUNT};
-use swan_simd::{replay_chunked, TraceData, Width};
+use swan_simd::{replay_chunked, replay_chunked_batches, TraceData, Width};
 
 /// Version of the entry-file layout around the chunked trace. Bumping
 /// it (or [`codec::CHUNK_FORMAT_VERSION`]) re-keys every entry.
@@ -540,6 +540,22 @@ impl StoredRecording {
             .seek(SeekFrom::Start(self.data_start))
             .expect("seek stored recording");
         let summary = replay_chunked(BufReader::new(&self.file), sink)
+            .expect("verified store entry must replay");
+        assert_eq!(summary, self.summary, "stored recording changed shape");
+    }
+
+    /// Replay the recording as decoded instruction batches,
+    /// double-buffered: chunk `k+1` is read, verified, and decoded
+    /// while the consumer simulates chunk `k`
+    /// ([`swan_simd::replay_chunked_batches`]). Same verification and
+    /// panic contract as [`StoredRecording::replay_into`]; the
+    /// concatenated batches equal what a sink without an
+    /// `on_overhead` override would receive from it.
+    pub fn replay_batches(&mut self, consume: impl FnMut(&[TraceInstr])) {
+        (&self.file)
+            .seek(SeekFrom::Start(self.data_start))
+            .expect("seek stored recording");
+        let summary = replay_chunked_batches(BufReader::new(&self.file), consume)
             .expect("verified store entry must replay");
         assert_eq!(summary, self.summary, "stored recording changed shape");
     }

@@ -52,9 +52,9 @@ pub mod width;
 pub use elem::{Elem, Half};
 pub use scalar::Tr;
 pub use trace::{
-    replay_chunked, session_width, stream_into, stream_into_at, BufferRegistry, ChunkedSummary,
-    Class, CodecError, EncodedTrace, HashSink, Mode, Op, RecordSink, Session, SpillSink, TeeRecord,
-    TraceData, TraceInstr, TraceSink, VecSink,
+    replay_chunked, replay_chunked_batches, session_width, stream_into, stream_into_at,
+    BufferRegistry, ChunkedSummary, Class, CodecError, DecodedBatch, EncodedTrace, HashSink, Mode,
+    Op, RecordSink, Session, SpillSink, TeeRecord, TraceData, TraceInstr, TraceSink, VecSink,
 };
 pub use vreg::Vreg;
 pub use width::Width;

@@ -17,8 +17,9 @@
 pub mod codec;
 
 pub use codec::{
-    replay_chunked, ChunkedSummary, CodecError, EncodedTrace, RecordSink, SpillSink, TeeRecord,
-    CHUNK_FORMAT_VERSION, DEFAULT_CHUNK_BUDGET,
+    replay_chunked, replay_chunked_batches, replay_chunked_batches_with, ChunkedSummary,
+    CodecError, DecodedBatch, EncodedTrace, RecordSink, SpillSink, TeeRecord, CHUNK_FORMAT_VERSION,
+    DEFAULT_BATCH_INSTRS, DEFAULT_CHUNK_BUDGET,
 };
 
 use crate::Width;

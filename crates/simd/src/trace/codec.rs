@@ -246,13 +246,23 @@ fn encode_overhead(
     pred.after_overhead(first_id, n);
 }
 
-/// Decode the record at `pos`, drive it into `sink`, and return the
-/// number of dynamic instructions it carried (1 for an instruction,
-/// the run length for an overhead record). The shared decode core of
-/// [`EncodedTrace::replay_into`] and [`replay_chunked`]; `buf` must
-/// hold whole records (both producers split only at record
-/// boundaries).
-fn decode_record(buf: &[u8], pos: &mut usize, pred: &mut Pred, sink: &mut dyn TraceSink) -> u64 {
+/// One parsed record, before it is handed to a consumer: either a
+/// single instruction or an overhead run still in its compact form.
+enum Rec {
+    Instr(TraceInstr),
+    Run {
+        op: Op,
+        class: Class,
+        first_id: u32,
+        n: u64,
+    },
+}
+
+/// Parse the record at `pos`, advancing `pred`. The shared decode core
+/// of the sink path ([`decode_record`]) and the batch path
+/// ([`BatchFill`]); `buf` must hold whole records (all producers split
+/// only at record boundaries).
+fn parse_record(buf: &[u8], pos: &mut usize, pred: &mut Pred) -> Rec {
     let header = buf[*pos];
     *pos += 1;
     let op = Op::ALL[buf[*pos] as usize];
@@ -267,8 +277,12 @@ fn decode_record(buf: &[u8], pos: &mut usize, pred: &mut Pred, sink: &mut dyn Tr
         };
         let n = get_varint(buf, pos);
         pred.after_overhead(first_id, n);
-        sink.on_overhead(op, class, first_id, n);
-        return n;
+        return Rec::Run {
+            op,
+            class,
+            first_id,
+            n,
+        };
     }
     let dst = if header & F_EXPLICIT_ID != 0 {
         get_varint(buf, pos) as u32
@@ -297,8 +311,163 @@ fn decode_record(buf: &[u8], pos: &mut usize, pred: &mut Pred, sink: &mut dyn Tr
         mem,
     };
     pred.after_instr(&ins);
-    sink.on_instr(&ins);
-    1
+    Rec::Instr(ins)
+}
+
+/// Decode the record at `pos`, drive it into `sink`, and return the
+/// number of dynamic instructions it carried (1 for an instruction,
+/// the run length for an overhead record). The sink-path dispatch over
+/// [`parse_record`], shared by [`EncodedTrace::replay_into`] and
+/// [`replay_chunked`].
+fn decode_record(buf: &[u8], pos: &mut usize, pred: &mut Pred, sink: &mut dyn TraceSink) -> u64 {
+    match parse_record(buf, pos, pred) {
+        Rec::Instr(ins) => {
+            sink.on_instr(&ins);
+            1
+        }
+        Rec::Run {
+            op,
+            class,
+            first_id,
+            n,
+        } => {
+            sink.on_overhead(op, class, first_id, n);
+            n
+        }
+    }
+}
+
+// =====================================================================
+// Batch decode
+// =====================================================================
+
+/// Default capacity of a [`DecodedBatch`] arena in instructions. Large
+/// enough to amortize the per-batch consumer call to nothing, small
+/// enough (~320 KiB of `TraceInstr`) to stay cache- and
+/// memory-friendly even with two arenas in flight.
+pub const DEFAULT_BATCH_INSTRS: usize = 8 * 1024;
+
+/// A reusable arena of decoded instructions — the batch replay path's
+/// alternative to pushing every instruction through a
+/// `&mut dyn TraceSink` virtual call. Overhead runs arrive *expanded*,
+/// exactly as the default [`TraceSink::on_overhead`] would expand
+/// them, so a batch consumer sees the identical instruction sequence a
+/// sink-path consumer without an `on_overhead` override sees.
+#[derive(Debug)]
+pub struct DecodedBatch {
+    instrs: Vec<TraceInstr>,
+    cap: usize,
+}
+
+impl DecodedBatch {
+    /// An empty arena that fills up to `cap` instructions per batch
+    /// (at least 1).
+    pub fn with_capacity(cap: usize) -> DecodedBatch {
+        let cap = cap.max(1);
+        DecodedBatch {
+            instrs: Vec::with_capacity(cap),
+            cap,
+        }
+    }
+
+    /// The decoded instructions currently in the arena.
+    pub fn instrs(&self) -> &[TraceInstr] {
+        &self.instrs
+    }
+
+    /// Whether the arena holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Whether the arena reached its per-batch capacity.
+    fn is_full(&self) -> bool {
+        self.instrs.len() >= self.cap
+    }
+
+    /// Drop the instructions, keeping the allocation.
+    fn clear(&mut self) {
+        self.instrs.clear();
+    }
+}
+
+/// Streaming decoder state for the batch path: the codec prediction
+/// state plus the unexpanded remainder of an overhead run, so runs of
+/// any length (they exceed `u32::MAX` in adversarial streams) expand
+/// incrementally across batches with bounded memory.
+struct BatchFill {
+    pred: Pred,
+    run_op: Op,
+    run_class: Class,
+    run_id: u32,
+    run_left: u64,
+}
+
+impl BatchFill {
+    fn new() -> BatchFill {
+        BatchFill {
+            pred: Pred::new(),
+            run_op: Op::SAlu,
+            run_class: Class::SInt,
+            run_id: 0,
+            run_left: 0,
+        }
+    }
+
+    /// Expand the pending overhead run into `batch` until the batch is
+    /// full or the run is exhausted. The expansion shape — zero
+    /// sources, no memory reference, sequential destination ids — is
+    /// exactly the default [`TraceSink::on_overhead`] expansion.
+    fn drain_run(&mut self, batch: &mut DecodedBatch) {
+        while self.run_left > 0 && !batch.is_full() {
+            batch.instrs.push(TraceInstr {
+                op: self.run_op,
+                class: self.run_class,
+                dst: self.run_id,
+                srcs: [0; 4],
+                nsrc: 0,
+                mem: None,
+            });
+            self.run_id = next_value_id(self.run_id);
+            self.run_left -= 1;
+        }
+    }
+
+    /// Decode records from `buf[*pos..]` into `batch` until the batch
+    /// is full or the buffer is exhausted (whole records only; a run
+    /// that overflows the batch is held as pending state). Returns the
+    /// `(records, instrs)` consumed *from the buffer* — instruction
+    /// counts accrue when a record is parsed, matching the sink path's
+    /// per-chunk accounting even when the expansion spills into later
+    /// batches.
+    fn fill(&mut self, buf: &[u8], pos: &mut usize, batch: &mut DecodedBatch) -> (u64, u64) {
+        let mut records = 0u64;
+        let mut instrs = 0u64;
+        self.drain_run(batch);
+        while !batch.is_full() && *pos < buf.len() {
+            match parse_record(buf, pos, &mut self.pred) {
+                Rec::Instr(ins) => {
+                    batch.instrs.push(ins);
+                    instrs += 1;
+                }
+                Rec::Run {
+                    op,
+                    class,
+                    first_id,
+                    n,
+                } => {
+                    self.run_op = op;
+                    self.run_class = class;
+                    self.run_id = first_id;
+                    self.run_left = n;
+                    instrs += n;
+                    self.drain_run(batch);
+                }
+            }
+            records += 1;
+        }
+        (records, instrs)
+    }
 }
 
 /// A finished recording: the compact binary form of one dynamic
@@ -343,6 +512,33 @@ impl EncodedTrace {
         let mut pred = Pred::new();
         while pos < self.bytes.len() {
             decode_record(&self.bytes, &mut pos, &mut pred, sink);
+        }
+    }
+
+    /// Drive the recorded stream out as [`DecodedBatch`]-sized slices
+    /// of expanded instructions — the monomorphic fast path for
+    /// consumers that step every instruction anyway (core models).
+    /// The concatenated batches equal what a sink without an
+    /// `on_overhead` override would receive from
+    /// [`EncodedTrace::replay_into`], instruction for instruction.
+    pub fn replay_batches(&self, consume: impl FnMut(&[TraceInstr])) {
+        self.replay_batches_with(DEFAULT_BATCH_INSTRS, consume)
+    }
+
+    /// [`EncodedTrace::replay_batches`] with an explicit per-batch
+    /// instruction capacity (tests use tiny capacities to exercise
+    /// batch boundaries).
+    pub fn replay_batches_with(&self, cap: usize, mut consume: impl FnMut(&[TraceInstr])) {
+        let mut fill = BatchFill::new();
+        let mut batch = DecodedBatch::with_capacity(cap);
+        let mut pos = 0usize;
+        loop {
+            batch.clear();
+            fill.fill(&self.bytes, &mut pos, &mut batch);
+            if batch.is_empty() {
+                return;
+            }
+            consume(batch.instrs());
         }
     }
 
@@ -840,6 +1036,186 @@ pub fn replay_chunked<R: Read>(
     }
 }
 
+/// Replay a chunked stream as expanded instruction batches, decoding
+/// chunk `k+1` on a second thread while the caller consumes chunk `k`
+/// — store I/O, digest verification, and record decode overlap the
+/// consumer's (model) time. Degrades gracefully to interleaved
+/// execution on a single hardware thread. Verification is identical
+/// to [`replay_chunked`]: instructions reach the consumer only from
+/// chunks whose payload digest already checked out, and the trailer's
+/// totals and stream digest are enforced. The concatenated batches
+/// equal what a sink without an `on_overhead` override receives from
+/// [`replay_chunked`], instruction for instruction.
+pub fn replay_chunked_batches<R: Read + Send>(
+    reader: R,
+    consume: impl FnMut(&[TraceInstr]),
+) -> Result<ChunkedSummary, CodecError> {
+    replay_chunked_batches_with(reader, DEFAULT_BATCH_INSTRS, consume)
+}
+
+/// [`replay_chunked_batches`] with an explicit per-batch instruction
+/// capacity (tests use tiny capacities to exercise batch and chunk
+/// boundary interleavings).
+pub fn replay_chunked_batches_with<R: Read + Send>(
+    reader: R,
+    cap: usize,
+    mut consume: impl FnMut(&[TraceInstr]),
+) -> Result<ChunkedSummary, CodecError> {
+    use std::sync::mpsc;
+    std::thread::scope(|scope| {
+        // Two arenas in flight plus one resident with the decoder:
+        // the decoder refills one batch while the consumer drains
+        // another, and neither ever blocks on a well-paced peer.
+        let (full_tx, full_rx) = mpsc::sync_channel::<DecodedBatch>(2);
+        let (free_tx, free_rx) = mpsc::channel::<DecodedBatch>();
+        for _ in 0..3 {
+            free_tx
+                .send(DecodedBatch::with_capacity(cap))
+                .expect("free channel open at seed time");
+        }
+        let decoder = scope.spawn(move || decode_chunked_into_batches(reader, full_tx, free_rx));
+        while let Ok(batch) = full_rx.recv() {
+            consume(batch.instrs());
+            // A send failure means the decoder bailed on an error; the
+            // channel then drains and `recv` ends the loop.
+            let _ = free_tx.send(batch);
+        }
+        drop(free_tx);
+        decoder.join().expect("chunk decoder thread panicked")
+    })
+}
+
+/// The consumer of a batch replay disappeared mid-stream — only
+/// possible when its closure panicked, in which case this error is
+/// discarded and the panic resurfaces from the thread scope.
+fn consumer_gone() -> CodecError {
+    CodecError::Io(io::Error::new(
+        io::ErrorKind::BrokenPipe,
+        "batch consumer disconnected",
+    ))
+}
+
+/// Decoder half of [`replay_chunked_batches`]: frame parsing, digest
+/// and count verification exactly as [`replay_chunked`], with decoded
+/// instructions accumulating into arenas that cycle through the
+/// channel pair. Batches span chunk boundaries freely; only the final
+/// batch may be partial.
+fn decode_chunked_into_batches<R: Read>(
+    mut reader: R,
+    full_tx: std::sync::mpsc::SyncSender<DecodedBatch>,
+    free_rx: std::sync::mpsc::Receiver<DecodedBatch>,
+) -> Result<ChunkedSummary, CodecError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if magic != CHUNK_MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let mut ver = [0u8; 4];
+    reader.read_exact(&mut ver)?;
+    let found = u32::from_le_bytes(ver);
+    if found != CHUNK_FORMAT_VERSION {
+        return Err(CodecError::Version {
+            found,
+            expected: CHUNK_FORMAT_VERSION,
+        });
+    }
+    let mut fill = BatchFill::new();
+    let mut batch = free_rx.recv().map_err(|_| consumer_gone())?;
+    batch.clear();
+    let mut seen = ChunkedSummary {
+        digest: FNV_OFFSET,
+        ..ChunkedSummary::default()
+    };
+    let mut payload = Vec::new();
+    loop {
+        let mut tag = [0u8; 1];
+        if let Err(e) = reader.read_exact(&mut tag) {
+            return Err(if e.kind() == io::ErrorKind::UnexpectedEof {
+                CodecError::Trailer("stream ended before the trailer")
+            } else {
+                CodecError::Io(e)
+            });
+        }
+        match tag[0] {
+            TAG_CHUNK => {
+                let len = read_varint(&mut reader)?;
+                if len > (MAX_CHUNK_BYTES + 1024) as u64 {
+                    return Err(CodecError::Chunk {
+                        chunk: seen.chunks,
+                        what: "payload length",
+                    });
+                }
+                let len = len as usize;
+                let records = read_varint(&mut reader)?;
+                let instrs = read_varint(&mut reader)?;
+                let mut digest = [0u8; 8];
+                reader.read_exact(&mut digest)?;
+                read_payload(&mut reader, &mut payload, len)?;
+                if fnv1a(FNV_OFFSET, &payload) != u64::from_le_bytes(digest) {
+                    return Err(CodecError::Chunk {
+                        chunk: seen.chunks,
+                        what: "payload digest",
+                    });
+                }
+                let mut pos = 0usize;
+                let mut got_records = 0u64;
+                let mut got_instrs = 0u64;
+                loop {
+                    let (r, i) = fill.fill(&payload, &mut pos, &mut batch);
+                    got_records += r;
+                    got_instrs += i;
+                    if !batch.is_full() {
+                        // Payload exhausted and any pending run fully
+                        // expanded; the partial batch keeps filling
+                        // from the next chunk.
+                        break;
+                    }
+                    full_tx.send(batch).map_err(|_| consumer_gone())?;
+                    batch = free_rx.recv().map_err(|_| consumer_gone())?;
+                    batch.clear();
+                }
+                if got_records != records || got_instrs != instrs {
+                    return Err(CodecError::Chunk {
+                        chunk: seen.chunks,
+                        what: "record/instruction count",
+                    });
+                }
+                seen.chunks += 1;
+                seen.records += records;
+                seen.instrs += instrs;
+                seen.payload_bytes += len as u64;
+                seen.digest = fnv1a(seen.digest, &payload);
+            }
+            TAG_TRAILER => {
+                // Ship the final partial batch first: the sink path
+                // likewise delivers every record before the trailer is
+                // verified.
+                if !batch.is_empty() {
+                    full_tx.send(batch).map_err(|_| consumer_gone())?;
+                }
+                let chunks = read_varint(&mut reader)?;
+                let records = read_varint(&mut reader)?;
+                let instrs = read_varint(&mut reader)?;
+                let mut digest = [0u8; 8];
+                reader.read_exact(&mut digest)?;
+                if chunks != seen.chunks || records != seen.records || instrs != seen.instrs {
+                    return Err(CodecError::Trailer("totals"));
+                }
+                if u64::from_le_bytes(digest) != seen.digest {
+                    return Err(CodecError::Trailer("stream digest"));
+                }
+                let mut extra = [0u8; 1];
+                return match reader.read_exact(&mut extra) {
+                    Ok(()) => Err(CodecError::TrailingData),
+                    Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Ok(seen),
+                    Err(e) => Err(CodecError::Io(e)),
+                };
+            }
+            t => return Err(CodecError::BadTag(t)),
+        }
+    }
+}
+
 /// Record everything `f` emits while also forwarding it to `inner` —
 /// the tee that lets a live execution warm a model (or feed a digest)
 /// in the same pass that produces the recording.
@@ -1307,5 +1683,97 @@ mod tests {
         let mut replayed = VecSink::default();
         rec.finish().replay_into(&mut replayed);
         assert_eq!(live.instrs, replayed.instrs);
+    }
+
+    #[test]
+    fn batch_replay_matches_vec_sink_expansion() {
+        let mut live = VecSink::default();
+        workload(&mut live);
+        let mut rec = RecordSink::new();
+        workload(&mut rec);
+        let enc = rec.finish();
+        for cap in [1usize, 3, 100, DEFAULT_BATCH_INSTRS] {
+            let mut got: Vec<TraceInstr> = Vec::new();
+            enc.replay_batches_with(cap, |b| {
+                assert!(!b.is_empty() && b.len() <= cap);
+                got.extend_from_slice(b);
+            });
+            assert_eq!(live.instrs, got, "cap {cap}");
+        }
+        // The default-capacity entry point sees the same stream.
+        let mut got = Vec::new();
+        enc.replay_batches(|b| got.extend_from_slice(b));
+        assert_eq!(live.instrs, got);
+    }
+
+    #[test]
+    fn batch_replay_expands_runs_across_batch_boundaries() {
+        // Runs longer than the batch capacity, crossing the id
+        // wraparound, plus the arbitrary-sink first_id == 0 case.
+        let feed = |sink: &mut dyn TraceSink| {
+            sink.on_instr(&ins(Op::VAlu, Class::VInt, 1, &[], None));
+            sink.on_overhead(Op::SBranch, Class::SInt, u32::MAX - 5, 1000);
+            sink.on_overhead(Op::SAlu, Class::SInt, 0, 3);
+            sink.on_overhead(Op::SAlu, Class::SInt, 7, 0);
+            sink.on_instr(&ins(Op::VMul, Class::VInt, 9, &[8], None));
+        };
+        let mut live = VecSink::default();
+        feed(&mut live);
+        let mut rec = RecordSink::new();
+        feed(&mut rec);
+        let enc = rec.finish();
+        let mut got = Vec::new();
+        enc.replay_batches_with(64, |b| got.extend_from_slice(b));
+        assert_eq!(live.instrs, got);
+    }
+
+    #[test]
+    fn chunked_batch_replay_is_bit_identical_to_sink_path() {
+        for budget in [1usize, 7, 256, 1 << 20] {
+            let (_, bytes) = chunked(workload, budget);
+            let mut sink = VecSink::default();
+            let s1 = replay_chunked(&bytes[..], &mut sink).expect("valid stream decodes");
+            for cap in [1usize, 5, DEFAULT_BATCH_INSTRS] {
+                let mut got: Vec<TraceInstr> = Vec::new();
+                let s2 = replay_chunked_batches_with(&bytes[..], cap, |b| got.extend_from_slice(b))
+                    .expect("valid stream decodes");
+                assert_eq!(sink.instrs, got, "budget {budget} cap {cap}");
+                assert_eq!(s1, s2, "budget {budget} cap {cap}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_chunked_stream_batch_replays_nothing() {
+        let (_, bytes) = chunked(|_| {}, 64);
+        let mut batches = 0usize;
+        let summary =
+            replay_chunked_batches(&bytes[..], |_| batches += 1).expect("empty stream decodes");
+        assert_eq!(batches, 0);
+        assert_eq!(summary.instrs, 0);
+    }
+
+    #[test]
+    fn chunked_batch_replay_rejects_malformed_streams() {
+        let (_, bytes) = chunked(workload, 256);
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            replay_chunked_batches(&bad[..], |_| {}),
+            Err(CodecError::BadMagic)
+        ));
+        // Truncation anywhere strictly inside the stream.
+        for cut in [8, 9, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                replay_chunked_batches(&bytes[..cut], |_| {}).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+        // A flipped payload byte fails its chunk digest.
+        let mut bad = bytes.clone();
+        let payload_at = bad.len() - 40;
+        bad[payload_at] ^= 0x01;
+        assert!(replay_chunked_batches(&bad[..], |_| {}).is_err());
     }
 }

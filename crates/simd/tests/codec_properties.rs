@@ -8,6 +8,7 @@
 //! single-byte mutation.
 
 use proptest::prelude::*;
+use swan_simd::trace::replay_chunked_batches_with;
 use swan_simd::trace::{advance_value_id, next_value_id, OP_COUNT};
 use swan_simd::{
     replay_chunked, Class, EncodedTrace, Op, RecordSink, SpillSink, TraceInstr, TraceSink,
@@ -286,5 +287,56 @@ proptest! {
             replay_chunked(&bytes[..], &mut log).is_err(),
             "flipping byte {pos} by {flip:#04x} must be detected"
         );
+    }
+
+    /// Double-buffered batch replay (decoder thread + arena recycling)
+    /// must equal the single-buffered sink path instruction for
+    /// instruction — for arbitrary sequences, at arbitrary chunk
+    /// budgets (including one record per chunk, where every batch
+    /// handoff crosses a chunk boundary) and arbitrary batch arena
+    /// capacities (including one instruction per batch).
+    #[test]
+    fn double_buffered_batch_replay_matches_sink_replay(
+        seeds in proptest::collection::vec(any::<u64>(), 0..120),
+        addr_seeds in proptest::collection::vec(any::<u64>(), 120),
+        budget_seed in 0usize..4,
+        cap_seed in 0usize..3,
+    ) {
+        let budget = [1usize, 7, 300, 1 << 16][budget_seed];
+        let cap = [1usize, 33, 8192][cap_seed];
+        let mut id = 1u32;
+        let mut events = Vec::with_capacity(seeds.len());
+        for (s, a) in seeds.iter().zip(&addr_seeds) {
+            let (e, next) = event_from(*s, *a, id);
+            // The sink path expands overhead runs one call per
+            // instruction; keep runs short enough to materialize.
+            if let Event::Overhead(op, class, first, n) = e {
+                let n = n % 5000;
+                let next = if first == 0 { id } else { advance_value_id(first, n) };
+                events.push(Event::Overhead(op, class, first, n));
+                id = next;
+            } else {
+                events.push(e);
+                id = next;
+            }
+        }
+        let mut spill = SpillSink::new(Vec::new(), budget);
+        feed(&events, &mut spill);
+        let (summary, bytes) = spill.finish().expect("Vec writer cannot fail");
+
+        // Single-buffered reference: the sink path with the default
+        // on_overhead expansion materializes every instruction.
+        let mut sink = swan_simd::VecSink::default();
+        let sink_summary = replay_chunked(&bytes[..], &mut sink).expect("well-formed stream");
+
+        // Double-buffered batch path.
+        let mut collected = Vec::new();
+        let batch_summary =
+            replay_chunked_batches_with(&bytes[..], cap, |b| collected.extend_from_slice(b))
+                .expect("well-formed stream");
+
+        prop_assert_eq!(&collected, &sink.instrs, "batch stream != sink stream");
+        prop_assert_eq!(batch_summary, sink_summary.clone());
+        prop_assert_eq!(sink_summary, summary);
     }
 }

@@ -18,54 +18,82 @@ use swan_simd::{EncodedTrace, Op, TraceData, TraceInstr, TraceSink};
 /// Functional-unit pools.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Fu {
-    Alu,
-    Asimd,
-    Load,
-    Store,
+    Alu = 0,
+    Asimd = 1,
+    Load = 2,
+    Store = 3,
 }
+
+/// Number of functional-unit pools.
+const FU_COUNT: usize = 4;
 
 /// Execution properties of an op: unit pool, latency (cycles; loads
 /// add cache latency), and whether it blocks its unit (non-pipelined).
-fn op_cost(op: Op) -> (Fu, u32, bool) {
+#[derive(Clone, Copy, Debug)]
+struct OpCost {
+    fu: Fu,
+    lat: u32,
+    blocking: bool,
+}
+
+const fn cost(fu: Fu, lat: u32, blocking: bool) -> OpCost {
+    OpCost { fu, lat, blocking }
+}
+
+const fn op_cost(op: Op) -> OpCost {
     use Op::*;
     match op {
-        SAlu | SBranch => (Fu::Alu, 1, false),
-        SMul => (Fu::Alu, 3, false),
-        SDiv => (Fu::Alu, 12, true),
-        SLoad => (Fu::Load, 0, false),
-        SStore => (Fu::Store, 1, false),
+        SAlu | SBranch => cost(Fu::Alu, 1, false),
+        SMul => cost(Fu::Alu, 3, false),
+        SDiv => cost(Fu::Alu, 12, true),
+        SLoad => cost(Fu::Load, 0, false),
+        SStore => cost(Fu::Store, 1, false),
         // Scalar FP executes on the ASIMD pipes (Cortex-A76).
-        SFAdd => (Fu::Asimd, 2, false),
-        SFMul => (Fu::Asimd, 3, false),
-        SFma => (Fu::Asimd, 4, false),
-        SFDiv => (Fu::Asimd, 10, true),
-        VLd1 => (Fu::Load, 0, false),
-        VLd2 => (Fu::Load, 2, false),
-        VLd3 => (Fu::Load, 3, false),
-        VLd4 => (Fu::Load, 4, false),
-        VSt1 => (Fu::Store, 1, false),
-        VSt2 => (Fu::Store, 2, false),
-        VSt3 => (Fu::Store, 3, false),
-        VSt4 => (Fu::Store, 4, false),
-        VAlu | VAbd | VShift | VCmp | VBsl | VPadd => (Fu::Asimd, 2, false),
-        VMul | VMla | VMull => (Fu::Asimd, 4, false),
-        VFAdd => (Fu::Asimd, 2, false),
-        VFMul => (Fu::Asimd, 3, false),
-        VFma => (Fu::Asimd, 4, false),
-        VFDiv => (Fu::Asimd, 10, true),
-        VFCvt => (Fu::Asimd, 3, false),
-        VAddv => (Fu::Asimd, 5, false),
-        VAddlv => (Fu::Asimd, 6, false),
-        VMaxv | VMinv => (Fu::Asimd, 5, false),
-        VZip | VUzp | VTrn | VExt | VRev | VDup => (Fu::Asimd, 2, false),
-        VTbl => (Fu::Asimd, 3, false),
-        VGetLane | VSetLane => (Fu::Asimd, 2, false),
-        VWiden | VNarrow => (Fu::Asimd, 2, false),
-        VAes => (Fu::Asimd, 2, false),
-        VSha => (Fu::Asimd, 4, false),
-        VPmull => (Fu::Asimd, 3, false),
+        SFAdd => cost(Fu::Asimd, 2, false),
+        SFMul => cost(Fu::Asimd, 3, false),
+        SFma => cost(Fu::Asimd, 4, false),
+        SFDiv => cost(Fu::Asimd, 10, true),
+        VLd1 => cost(Fu::Load, 0, false),
+        VLd2 => cost(Fu::Load, 2, false),
+        VLd3 => cost(Fu::Load, 3, false),
+        VLd4 => cost(Fu::Load, 4, false),
+        VSt1 => cost(Fu::Store, 1, false),
+        VSt2 => cost(Fu::Store, 2, false),
+        VSt3 => cost(Fu::Store, 3, false),
+        VSt4 => cost(Fu::Store, 4, false),
+        VAlu | VAbd | VShift | VCmp | VBsl | VPadd => cost(Fu::Asimd, 2, false),
+        VMul | VMla | VMull => cost(Fu::Asimd, 4, false),
+        VFAdd => cost(Fu::Asimd, 2, false),
+        VFMul => cost(Fu::Asimd, 3, false),
+        VFma => cost(Fu::Asimd, 4, false),
+        VFDiv => cost(Fu::Asimd, 10, true),
+        VFCvt => cost(Fu::Asimd, 3, false),
+        VAddv => cost(Fu::Asimd, 5, false),
+        VAddlv => cost(Fu::Asimd, 6, false),
+        VMaxv | VMinv => cost(Fu::Asimd, 5, false),
+        VZip | VUzp | VTrn | VExt | VRev | VDup => cost(Fu::Asimd, 2, false),
+        VTbl => cost(Fu::Asimd, 3, false),
+        VGetLane | VSetLane => cost(Fu::Asimd, 2, false),
+        VWiden | VNarrow => cost(Fu::Asimd, 2, false),
+        VAes => cost(Fu::Asimd, 2, false),
+        VSha => cost(Fu::Asimd, 4, false),
+        VPmull => cost(Fu::Asimd, 3, false),
     }
 }
+
+/// [`op_cost`] as a const lookup table indexed by the op tag, so the
+/// hot loop replaces the 50-arm match with one array load.
+/// `Op::ALL[i] as usize == i` is the same invariant the trace codec's
+/// one-byte op encoding relies on.
+const OP_COST: [OpCost; OP_COUNT] = {
+    let mut t = [cost(Fu::Alu, 0, false); OP_COUNT];
+    let mut i = 0;
+    while i < OP_COUNT {
+        t[i] = op_cost(Op::ALL[i]);
+        i += 1;
+    }
+    t
+};
 
 /// Ring buffer mapping value ids to completion cycles. Ids are
 /// monotonically increasing; entries older than the ring are treated
@@ -86,7 +114,17 @@ struct ReadyRing {
 
 impl ReadyRing {
     fn new(rob: usize) -> ReadyRing {
-        ReadyRing::with_size((rob * 4).next_power_of_two().max(1024))
+        // Exact ROB bound: dispatch of instruction `i` waits for the
+        // commit of instruction `i - rob`, so only producers at most
+        // `rob` instructions back can still be pending at dispatch.
+        // Ids advance by one per instruction but skip the 0 sentinel
+        // on wrap, so a producer `k` instructions back differs
+        // numerically by `k` or `k + 1` (mod 2^32); with at least
+        // `rob + 2` slots neither residue is 0 mod the ring size for
+        // any `k` in `1..=rob`, i.e. no pending producer can alias a
+        // newer value's slot. `rob_bounded_ready_ring_is_exact`
+        // checks this against a trace-length ring.
+        ReadyRing::with_size((rob + 2).next_power_of_two())
     }
 
     fn with_size(size: usize) -> ReadyRing {
@@ -175,17 +213,60 @@ impl SimResult {
     }
 }
 
+/// Upper bound on units per functional-unit pool. Fixed-size arrays
+/// keep the issue stage's min-scan free of pointer chasing; every
+/// registered configuration stays far below this (the widest sweep
+/// point has 8 ASIMD units).
+const MAX_UNITS: usize = 16;
+
+/// One functional-unit pool: next-free cycle per unit, in a fixed
+/// array scanned branch-light at issue.
+#[derive(Clone, Copy, Debug)]
+struct Pool {
+    free_at: [u64; MAX_UNITS],
+    n: usize,
+}
+
+impl Pool {
+    fn new(n: u32) -> Pool {
+        assert!(
+            (1..=MAX_UNITS as u32).contains(&n),
+            "unit pool size {n} outside 1..={MAX_UNITS}"
+        );
+        Pool {
+            free_at: [0; MAX_UNITS],
+            n: n as usize,
+        }
+    }
+
+    /// The unit with the earliest next-free cycle. Strict `<` keeps
+    /// the *first* minimum on ties — the same unit the previous
+    /// `min_by_key` scan over `Vec` pools picked, so batch results
+    /// stay bit-identical to the historical per-instruction path.
+    #[inline]
+    fn earliest(&self) -> (usize, u64) {
+        let mut ui = 0usize;
+        let mut best = self.free_at[0];
+        for u in 1..self.n {
+            let t = self.free_at[u];
+            if t < best {
+                best = t;
+                ui = u;
+            }
+        }
+        (ui, best)
+    }
+}
+
 /// Per-run scheduler state of the incremental core model. Reset by
-/// [`CoreModel::begin_timed`]; advanced one instruction at a time by
-/// [`CoreModel::step`]. This is the entire O(core window) resident
-/// state of a measurement — the trace itself is never materialized.
+/// [`CoreModel::begin_timed`]; advanced by [`CoreModel::step_batch`]
+/// (and its single-instruction wrapper [`CoreModel::step`]). This is
+/// the entire O(core window) resident state of a measurement — the
+/// trace itself is never materialized.
 struct Sched {
     ready: ReadyRing,
-    // Functional-unit pools: next-free cycle per unit.
-    alu: Vec<u64>,
-    asimd: Vec<u64>,
-    ld: Vec<u64>,
-    st: Vec<u64>,
+    // Functional-unit pools, indexed by `Fu as usize`.
+    pools: [Pool; FU_COUNT],
     // Fetch group accounting.
     fetch_cycle: u64,
     fetched_in_cycle: u32,
@@ -210,10 +291,12 @@ impl Sched {
     fn new(cfg: &CoreConfig) -> Sched {
         Sched {
             ready: ReadyRing::new(cfg.rob as usize),
-            alu: vec![0; cfg.scalar_alus as usize],
-            asimd: vec![0; cfg.asimd_units as usize],
-            ld: vec![0; cfg.load_units as usize],
-            st: vec![0; cfg.store_units as usize],
+            pools: [
+                Pool::new(cfg.scalar_alus),
+                Pool::new(cfg.asimd_units),
+                Pool::new(cfg.load_units),
+                Pool::new(cfg.store_units),
+            ],
             fetch_cycle: 0,
             fetched_in_cycle: 0,
             commit_cycle: 0,
@@ -234,10 +317,9 @@ impl Sched {
     fn reset(&mut self) {
         self.ready.times.fill(0);
         self.ready.ids.fill(0);
-        self.alu.fill(0);
-        self.asimd.fill(0);
-        self.ld.fill(0);
-        self.st.fill(0);
+        for p in &mut self.pools {
+            p.free_at = [0; MAX_UNITS];
+        }
         self.fetch_cycle = 0;
         self.fetched_in_cycle = 0;
         self.commit_cycle = 0;
@@ -333,115 +415,143 @@ impl CoreModel {
         self.phase = Phase::Timed;
     }
 
-    /// Consume one dynamic instruction (warm or timed, per phase).
+    /// Consume one dynamic instruction (warm or timed, per phase). A
+    /// thin wrapper over the batch loops, so streaming and batch
+    /// consumption share one scheduler implementation and stay
+    /// bit-identical by construction.
     #[inline]
     pub fn step(&mut self, ins: &TraceInstr) {
-        if self.phase == Phase::Warm {
+        self.step_batch(std::slice::from_ref(ins));
+    }
+
+    /// Replay a batch's memory reference stream into the caches — the
+    /// warm pass, with no per-instruction phase check. Touches only
+    /// cache state; never allocates (see CONTRIBUTING, "The hot
+    /// loop").
+    pub fn warm_batch(&mut self, batch: &[TraceInstr]) {
+        for ins in batch {
             if let Some(m) = ins.mem {
                 self.caches.access(m.addr, m.bytes);
             }
-            return;
         }
-        let cfg = &self.cfg;
+    }
+
+    /// Consume a batch of dynamic instructions: one phase dispatch for
+    /// the whole slice, then the monomorphic warm or timed loop. This
+    /// is the devirtualized fast path the replay engine feeds with
+    /// [`swan_simd::EncodedTrace::replay_batches`]-style decoded
+    /// arenas; results are bit-identical to stepping the same
+    /// instructions one at a time through the [`TraceSink`] interface.
+    pub fn step_batch(&mut self, batch: &[TraceInstr]) {
+        match self.phase {
+            Phase::Warm => self.warm_batch(batch),
+            Phase::Timed => self.timed_batch(batch),
+        }
+    }
+
+    /// The timed hot loop. Loop-invariant configuration reads are
+    /// hoisted into the prologue; the body is one `OP_COST` load, the
+    /// fixed-array unit min-scan, and the cache walk — no allocation,
+    /// no virtual calls, no re-derived invariants (see CONTRIBUTING,
+    /// "The hot loop").
+    fn timed_batch(&mut self, batch: &[TraceInstr]) {
+        let caches = &mut self.caches;
         let s = &mut self.sched;
-        s.by_op[ins.op as usize] += 1;
-        s.by_class[ins.class as usize] += 1;
-
-        // --- fetch/decode ---
-        if s.fetched_in_cycle >= cfg.decode_width {
-            s.fetch_cycle += 1;
-            s.fetched_in_cycle = 0;
-        }
-        s.fetched_in_cycle += 1;
-
-        // --- dispatch: ROB space ---
+        // --- prologue: loop-invariant config reads ---
+        let decode_width = self.cfg.decode_width;
+        let commit_width = self.cfg.commit_width;
+        let in_order = self.cfg.in_order;
+        let mispredict_per_mille = self.cfg.mispredict_per_mille as u64;
+        let mispredict_penalty = self.cfg.mispredict_penalty as u64;
         let rob = s.rob_ring.len();
-        let rob_free = s.rob_ring[s.idx % rob];
-        let mut dispatch = s.fetch_cycle;
-        if rob_free > dispatch {
-            // Attribute the blocked interval once (intervals are
-            // monotone in program order, so `be_mark` dedups).
-            let start = dispatch.max(s.be_mark);
-            if rob_free > start {
-                s.be_stalls += rob_free - start;
+        for ins in batch {
+            s.by_op[ins.op as usize] += 1;
+            s.by_class[ins.class as usize] += 1;
+
+            // --- fetch/decode ---
+            if s.fetched_in_cycle >= decode_width {
+                s.fetch_cycle += 1;
+                s.fetched_in_cycle = 0;
             }
-            s.be_mark = s.be_mark.max(rob_free);
-            dispatch = rob_free;
-            // Fetch stream also pauses while dispatch is blocked.
-            s.fetch_cycle = dispatch;
-            s.fetched_in_cycle = 1;
-        }
+            s.fetched_in_cycle += 1;
 
-        // --- operand readiness ---
-        let mut ready_at = dispatch;
-        for i in 0..ins.nsrc as usize {
-            ready_at = ready_at.max(s.ready.get(ins.srcs[i]));
-        }
+            // --- dispatch: ROB space ---
+            let rob_free = s.rob_ring[s.idx % rob];
+            let mut dispatch = s.fetch_cycle;
+            if rob_free > dispatch {
+                // Attribute the blocked interval once (intervals are
+                // monotone in program order, so `be_mark` dedups).
+                let start = dispatch.max(s.be_mark);
+                if rob_free > start {
+                    s.be_stalls += rob_free - start;
+                }
+                s.be_mark = s.be_mark.max(rob_free);
+                dispatch = rob_free;
+                // Fetch stream also pauses while dispatch is blocked.
+                s.fetch_cycle = dispatch;
+                s.fetched_in_cycle = 1;
+            }
 
-        // --- issue: structural hazard on the unit pool ---
-        let (fu, lat, blocking) = op_cost(ins.op);
-        if cfg.in_order {
-            ready_at = ready_at.max(s.last_issue);
-        }
-        let pool: &mut Vec<u64> = match fu {
-            Fu::Alu => &mut s.alu,
-            Fu::Asimd => &mut s.asimd,
-            Fu::Load => &mut s.ld,
-            Fu::Store => &mut s.st,
-        };
-        let (ui, unit_free) = pool
-            .iter()
-            .enumerate()
-            .map(|(u, &t)| (u, t))
-            .min_by_key(|&(_, t)| t)
-            .expect("unit pool is never empty");
-        let issue = ready_at.max(unit_free);
-        s.last_issue = issue;
+            // --- operand readiness ---
+            let mut ready_at = dispatch;
+            for i in 0..ins.nsrc as usize {
+                ready_at = ready_at.max(s.ready.get(ins.srcs[i]));
+            }
 
-        // --- execute ---
-        let exec_lat = if ins.op.is_load() {
-            let m = ins.mem.expect("load without memory reference");
-            lat + self.caches.access(m.addr, m.bytes)
-        } else if ins.op.is_store() {
-            let m = ins.mem.expect("store without memory reference");
-            self.caches.access(m.addr, m.bytes);
-            lat // store buffer hides the cache latency
-        } else {
-            lat.max(1)
-        };
-        pool[ui] = issue + if blocking { exec_lat as u64 } else { 1 };
-        let complete = issue + exec_lat as u64;
-        s.ready.set(ins.dst, complete);
+            // --- issue: structural hazard on the unit pool ---
+            let OpCost { fu, lat, blocking } = OP_COST[ins.op as usize];
+            if in_order {
+                ready_at = ready_at.max(s.last_issue);
+            }
+            let (ui, unit_free) = s.pools[fu as usize].earliest();
+            let issue = ready_at.max(unit_free);
+            s.last_issue = issue;
 
-        // --- branch misprediction: front-end bubble ---
-        if ins.op == Op::SBranch && ins.nsrc > 0 {
-            s.branch_seed = s
-                .branch_seed
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            if (s.branch_seed >> 33) % 1000 < cfg.mispredict_per_mille as u64 {
-                let redirect = complete + cfg.mispredict_penalty as u64;
-                if redirect > s.fetch_cycle {
-                    s.fe_stalls += redirect - s.fetch_cycle;
-                    s.fetch_cycle = redirect;
-                    s.fetched_in_cycle = 0;
+            // --- execute ---
+            let exec_lat = if ins.op.is_load() {
+                let m = ins.mem.expect("load without memory reference");
+                lat + caches.access(m.addr, m.bytes)
+            } else if ins.op.is_store() {
+                let m = ins.mem.expect("store without memory reference");
+                caches.access(m.addr, m.bytes);
+                lat // store buffer hides the cache latency
+            } else {
+                lat.max(1)
+            };
+            s.pools[fu as usize].free_at[ui] = issue + if blocking { exec_lat as u64 } else { 1 };
+            let complete = issue + exec_lat as u64;
+            s.ready.set(ins.dst, complete);
+
+            // --- branch misprediction: front-end bubble ---
+            if ins.op == Op::SBranch && ins.nsrc > 0 {
+                s.branch_seed = s
+                    .branch_seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if (s.branch_seed >> 33) % 1000 < mispredict_per_mille {
+                    let redirect = complete + mispredict_penalty;
+                    if redirect > s.fetch_cycle {
+                        s.fe_stalls += redirect - s.fetch_cycle;
+                        s.fetch_cycle = redirect;
+                        s.fetched_in_cycle = 0;
+                    }
                 }
             }
-        }
 
-        // --- commit: in order, width-limited ---
-        let mut c = complete.max(s.commit_cycle);
-        if c == s.commit_cycle && s.committed_in_cycle >= cfg.commit_width {
-            c += 1;
+            // --- commit: in order, width-limited ---
+            let mut c = complete.max(s.commit_cycle);
+            if c == s.commit_cycle && s.committed_in_cycle >= commit_width {
+                c += 1;
+            }
+            if c > s.commit_cycle {
+                s.commit_cycle = c;
+                s.committed_in_cycle = 0;
+            }
+            s.committed_in_cycle += 1;
+            s.rob_ring[s.idx % rob] = c;
+            s.last_commit = c;
+            s.idx += 1;
         }
-        if c > s.commit_cycle {
-            s.commit_cycle = c;
-            s.committed_in_cycle = 0;
-        }
-        s.committed_in_cycle += 1;
-        s.rob_ring[s.idx % rob] = c;
-        s.last_commit = c;
-        s.idx += 1;
     }
 
     /// Finish a timed run: aggregate statistics, reset the scheduler
@@ -563,6 +673,24 @@ impl MultiCore {
     pub fn begin_timed(&mut self) {
         for m in &mut self.models {
             m.begin_timed();
+        }
+    }
+
+    /// Warm every model's caches from one resident decoded batch: the
+    /// batch is decoded once and walked N times (the fan-out form of
+    /// [`CoreModel::warm_batch`]).
+    pub fn warm_batch(&mut self, batch: &[TraceInstr]) {
+        for m in &mut self.models {
+            m.warm_batch(batch);
+        }
+    }
+
+    /// Step every model over one resident decoded batch, per its
+    /// phase (the fan-out form of [`CoreModel::step_batch`]): decode
+    /// once, simulate all N configurations.
+    pub fn step_batch(&mut self, batch: &[TraceInstr]) {
+        for m in &mut self.models {
+            m.step_batch(batch);
         }
     }
 
@@ -883,6 +1011,84 @@ mod tests {
                 let big_r = big.run(t);
                 assert_eq!(small, big_r, "cfg {}", cfg.name);
             }
+        }
+    }
+
+    #[test]
+    fn op_tags_index_the_cost_table() {
+        // OP_COST[op as usize] must be op's cost: the discriminants
+        // must equal the Op::ALL positions (the same invariant the
+        // codec's one-byte op encoding relies on).
+        for (i, &op) in Op::ALL.iter().enumerate() {
+            assert_eq!(op as usize, i, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn step_batch_matches_per_instruction_step_bit_for_bit() {
+        let t = mixed_trace();
+        for cfg in [
+            CoreConfig::prime(),
+            CoreConfig::silver(),
+            CoreConfig::sweep(8, 8),
+        ] {
+            let mut per = CoreModel::new(cfg.clone());
+            per.begin_warm();
+            for ins in &t.instrs {
+                per.step(ins);
+            }
+            per.begin_timed();
+            for ins in &t.instrs {
+                per.step(ins);
+            }
+            let per = per.finalize();
+            // Awkward batch sizes, different between warm and timed.
+            let mut batched = CoreModel::new(cfg.clone());
+            batched.begin_warm();
+            for chunk in t.instrs.chunks(7) {
+                batched.step_batch(chunk);
+            }
+            batched.begin_timed();
+            for chunk in t.instrs.chunks(13) {
+                batched.step_batch(chunk);
+            }
+            let batched = batched.finalize();
+            assert_eq!(per, batched, "cfg {}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn batch_replay_fed_multicore_matches_sink_fed_multicore() {
+        // The executor's actual fast path: a recorded stream decoded
+        // into batches feeding MultiCore::warm_batch/step_batch must
+        // equal the same recording pushed through the TraceSink
+        // fan-out, including overhead-run expansion.
+        use swan_simd::RecordSink;
+        let t = mixed_trace();
+        let mut rec = RecordSink::new();
+        for ins in &t.instrs {
+            rec.on_instr(ins);
+        }
+        rec.on_overhead(Op::SBranch, swan_simd::Class::SInt, 424242, 1000);
+        let enc = rec.finish();
+        let cfgs = [
+            CoreConfig::prime(),
+            CoreConfig::gold(),
+            CoreConfig::silver(),
+        ];
+        let mut sunk = MultiCore::new(&cfgs);
+        sunk.warm_encoded(&enc);
+        sunk.begin_timed();
+        enc.replay_into(&mut sunk);
+        let sunk = sunk.finalize();
+        for cap in [1usize, 33, 8192] {
+            let mut batched = MultiCore::new(&cfgs);
+            batched.begin_warm();
+            enc.replay_batches_with(cap, |b| batched.warm_batch(b));
+            batched.begin_timed();
+            enc.replay_batches_with(cap, |b| batched.step_batch(b));
+            let batched = batched.finalize();
+            assert_eq!(sunk, batched, "cap {cap}");
         }
     }
 

@@ -11,6 +11,8 @@
 //! swan-report [--scale F] [--seed N] [--threads N] --write-golden <path>
 //! swan-report [--scale F] [--seed N] [--threads N] --golden <path>
 //! swan-report [--scale F] [--seed N] --replay-smoke
+//! swan-report [--scale F] [--seed N] [--trace-store DIR] --perf
+//! swan-report --bench-gate <current.json> <baseline.json>
 //! ```
 //!
 //! where `<what>` is any of `tab2 tab3 fig1 fig2 fig3 tab4 tab5 fig4
@@ -41,6 +43,20 @@
 //! two must match bit for bit (exit non-zero otherwise). CI runs it
 //! ahead of the full golden check.
 //!
+//! `--perf` times the simulator against itself: each representative
+//! kernel is recorded once and replayed through every pipeline phase
+//! (decode-only, batch warm, batch timed, per-instruction reference),
+//! printing ns/instr per phase and **instructions simulated per
+//! second** as the headline — and asserting the batch and
+//! per-instruction paths agree bit for bit. Defaults to the quick
+//! scale unless `--scale` is given.
+//!
+//! `--bench-gate current.json baseline.json` compares the
+//! element-throughput benches of a `cargo bench` JSON report
+//! (`CRITERION_JSON_PATH`) against a committed baseline and exits
+//! non-zero if any regressed more than 25% — the CI guard on the
+//! replay hot loop's throughput.
+//!
 //! `--trace-store DIR` backs every campaign (full suite, `--only`
 //! subsets, goldens) with the persistent chunked trace store rooted at
 //! `DIR`: scenario groups whose recordings the store already holds are
@@ -70,6 +86,8 @@ fn main() {
     let mut golden_check: Option<String> = None;
     let mut list_scenarios = false;
     let mut replay_smoke = false;
+    let mut perf = false;
+    let mut bench_gate: Option<(String, String)> = None;
     let mut store_dir: Option<String> = None;
     let mut store_stats = false;
     let mut filters: Vec<ScenarioFilter> = Vec::new();
@@ -108,6 +126,12 @@ fn main() {
             }
             "--list-scenarios" => list_scenarios = true,
             "--replay-smoke" => replay_smoke = true,
+            "--perf" => perf = true,
+            "--bench-gate" => {
+                let cur = args.next().expect("--bench-gate needs <current.json>");
+                let base = args.next().expect("--bench-gate needs <baseline.json>");
+                bench_gate = Some((cur, base));
+            }
             "--trace-store" => {
                 store_dir = Some(args.next().expect("--trace-store needs a directory"));
             }
@@ -130,6 +154,46 @@ fn main() {
             }
             other => wants.push(other.to_string()),
         }
+    }
+
+    if let Some((cur_path, base_path)) = bench_gate {
+        // Pure file comparison — no kernels, no measurement.
+        let read = |path: &str| {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("read bench report {path}: {e}"));
+            let rows = swan_core::parse_bench_json(&text);
+            if rows.is_empty() {
+                eprintln!("error: no bench rows parsed from {path}");
+                std::process::exit(2);
+            }
+            rows
+        };
+        let current = read(&cur_path);
+        let baseline = read(&base_path);
+        let outcome = swan_core::gate(&current, &baseline, 0.25);
+        if outcome.lines.is_empty() {
+            eprintln!("warning: baseline {base_path} has no throughput benches; nothing gated");
+        }
+        for line in &outcome.lines {
+            println!("{line}");
+        }
+        if outcome.ok() {
+            eprintln!(
+                "bench gate OK: {} throughput bench{} within 25% of {base_path}",
+                outcome.lines.len(),
+                if outcome.lines.len() == 1 { "" } else { "es" }
+            );
+        } else {
+            for r in &outcome.regressions {
+                eprintln!("bench gate FAILED: {r}");
+            }
+            eprintln!(
+                "(regenerate the baseline with `CRITERION_JSON_PATH={base_path} \
+                 cargo bench -p swan-bench` if the change is intended)"
+            );
+            std::process::exit(1);
+        }
+        return;
     }
 
     let kernels = swan_kernels::all_kernels();
@@ -166,6 +230,30 @@ fn main() {
             );
         }
     };
+
+    if perf {
+        if golden_write.is_some() || golden_check.is_some() || list_scenarios || replay_smoke {
+            eprintln!("error: --perf is a standalone mode; run other checks separately");
+            std::process::exit(2);
+        }
+        if !filters.is_empty() {
+            eprintln!("warning: --perf always probes the representative kernels; --only ignored");
+        }
+        if !scale_explicit {
+            scale = Scale::quick();
+        }
+        let t0 = std::time::Instant::now();
+        eprintln!(
+            "perf probe at scale {:.5} (seed {seed}, {} kernels)...",
+            scale.0,
+            swan_core::perf::REPRESENTATIVES.len()
+        );
+        let rep = swan_core::probe(&kernels, scale, seed, store.as_deref());
+        print_store_stats();
+        print!("{}", rep.render());
+        eprintln!("perf probe done in {:.1}s", t0.elapsed().as_secs_f32());
+        return;
+    }
 
     if replay_smoke {
         // Record one kernel's dynamic stream while digesting it live,

@@ -1,0 +1,182 @@
+//! Batch-step equivalence: the devirtualized hot loop must be
+//! invisible in the results.
+//!
+//! The replay engine's fast path decodes recorded streams into
+//! resident instruction batches (`replay_batches`) and steps them
+//! through monomorphic `warm_batch`/`step_batch` loops; the reference
+//! path delivers the same stream one virtual `TraceSink::on_instr`
+//! call at a time. These tests hold the two paths to exact
+//! `SimResult` equality across the *full quick-scale golden plan* —
+//! every kernel, implementation, width, and core of the committed
+//! baseline — and pin the double-buffered (threaded) store replay to
+//! the in-memory batch path bit for bit.
+
+use std::collections::HashMap;
+use swan_core::{plan, record_group, Scale, Scenario, TraceStore};
+use swan_simd::trace::{HashSink, TraceSink};
+use swan_uarch::{CoreConfig, MultiCore, SimResult};
+
+const GOLDEN_SEED: u64 = 42;
+
+/// Group a plan's scenarios by shared instruction stream, preserving
+/// first-appearance order (the campaign executor's grouping, done by
+/// hand here: the campaign's helpers are internal).
+fn stream_groups(plan: &[Scenario]) -> Vec<Vec<&Scenario>> {
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut groups: Vec<Vec<&Scenario>> = Vec::new();
+    for sc in plan {
+        let i = *index.entry(sc.stream_id()).or_insert_with(|| {
+            groups.push(Vec::new());
+            groups.len() - 1
+        });
+        groups[i].push(sc);
+    }
+    groups
+}
+
+/// Warm + timed batch replay of a recording through one model per
+/// config, returning the finalized results.
+fn run_batched(rec: &mut swan_core::GroupRecording, cfgs: &[CoreConfig]) -> Vec<SimResult> {
+    let mut multi = MultiCore::new(cfgs);
+    multi.begin_warm();
+    rec.replay_batches(|b| multi.warm_batch(b));
+    multi.begin_timed();
+    rec.replay_batches(|b| multi.step_batch(b));
+    multi.finalize()
+}
+
+/// Warm + timed per-instruction replay (virtual dispatch through the
+/// `TraceSink` impl, one `step` per instruction) — the reference.
+fn run_per_instr(rec: &mut swan_core::GroupRecording, cfgs: &[CoreConfig]) -> Vec<SimResult> {
+    let mut multi = MultiCore::new(cfgs);
+    multi.begin_warm();
+    rec.replay_into(&mut multi);
+    multi.begin_timed();
+    rec.replay_into(&mut multi);
+    multi.finalize()
+}
+
+/// The tentpole differential: across the complete quick-scale golden
+/// plan (the 485 committed-baseline scenarios), batch stepping every
+/// scenario group's recording equals per-instruction stepping,
+/// `SimResult` field for field. Any divergence in the hoisted-phase
+/// loop, the fixed-size unit pools, the const cost table, or the
+/// batch decode arena shows up here as a named scenario.
+#[test]
+fn batch_stepping_matches_per_instruction_across_the_golden_plan() {
+    let kernels = swan_kernels::all_kernels();
+    let plan = plan(&kernels, Scale::quick(), GOLDEN_SEED);
+    let groups = stream_groups(&plan);
+    assert!(
+        groups.len() > 100,
+        "the golden plan must fan out into many stream groups"
+    );
+    for group in groups {
+        let sc0 = group[0];
+        let mut rec = record_group(
+            kernels[sc0.kernel].as_ref(),
+            sc0.imp,
+            sc0.width,
+            sc0.scale,
+            sc0.seed,
+            None,
+        );
+        let cfgs: Vec<CoreConfig> = group.iter().map(|sc| sc.core.config()).collect();
+        let reference = run_per_instr(&mut rec, &cfgs);
+        let batched = run_batched(&mut rec, &cfgs);
+        assert_eq!(
+            reference,
+            batched,
+            "{}: batch stepping diverged from per-instruction stepping",
+            sc0.stream_id()
+        );
+    }
+}
+
+/// Double-buffered store replay: a recording replayed from a chunked
+/// trace-store file (decoder thread running ahead of the simulating
+/// thread, small chunk budget so every batch crosses several chunk
+/// frames) must produce the same instruction stream — same FNV digest,
+/// same count — and the same `SimResult`s as the in-memory batch path.
+#[test]
+fn double_buffered_store_replay_matches_in_memory_batches() {
+    const BUDGET: usize = 2048;
+    let kernels = swan_kernels::all_kernels();
+    let k = kernels
+        .iter()
+        .find(|k| k.meta().id() == "ZL.adler32")
+        .expect("ZL.adler32");
+    let cfgs = [
+        CoreConfig::prime(),
+        CoreConfig::gold(),
+        CoreConfig::silver(),
+    ];
+
+    // In-memory reference recording.
+    let mut mem = record_group(
+        k.as_ref(),
+        swan_core::Impl::Neon,
+        swan_simd::Width::W128,
+        Scale::quick(),
+        GOLDEN_SEED,
+        None,
+    );
+    assert!(!mem.from_store());
+    let mut mem_hash = HashSink::new();
+    mem.replay_batches(|b| {
+        for ins in b {
+            mem_hash.on_instr(ins);
+        }
+    });
+    let mem_sims = run_batched(&mut mem, &cfgs);
+
+    // Store-backed: record once (cold), then replay from the verified
+    // on-disk entry (warm hit) through the double-buffered decoder.
+    let dir = std::env::temp_dir().join(format!("swan-batch-equiv-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = TraceStore::open(&dir, &kernels)
+        .expect("open trace store")
+        .chunk_budget(BUDGET);
+    let cold = record_group(
+        k.as_ref(),
+        swan_core::Impl::Neon,
+        swan_simd::Width::W128,
+        Scale::quick(),
+        GOLDEN_SEED,
+        Some(&store),
+    );
+    assert!(cold.from_store(), "cold recording spills into the store");
+    let mut warm = record_group(
+        k.as_ref(),
+        swan_core::Impl::Neon,
+        swan_simd::Width::W128,
+        Scale::quick(),
+        GOLDEN_SEED,
+        Some(&store),
+    );
+    assert!(warm.from_store(), "second lookup must hit the store");
+    let stats = store.stats();
+    assert_eq!((stats.hits, stats.misses), (1, 1));
+
+    let mut store_hash = HashSink::new();
+    warm.replay_batches(|b| {
+        for ins in b {
+            store_hash.on_instr(ins);
+        }
+    });
+    assert_eq!(
+        (mem_hash.digest(), mem_hash.count()),
+        (store_hash.digest(), store_hash.count()),
+        "double-buffered store replay must yield the identical stream"
+    );
+    assert!(
+        mem_hash.count() as usize > 100 * BUDGET / 64,
+        "the stream must span many chunks at this budget"
+    );
+    let store_sims = run_batched(&mut warm, &cfgs);
+    assert_eq!(
+        mem_sims, store_sims,
+        "store-backed batch simulation must equal in-memory"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

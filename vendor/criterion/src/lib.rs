@@ -16,14 +16,25 @@
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// Results accumulated for the JSON report: (benchmark id, median ns).
-static RESULTS: Mutex<Vec<(String, u128)>> = Mutex::new(Vec::new());
+/// Throughput declaration for a benchmark (API-compatible subset of
+/// the real crate). Declaring `Elements(n)` makes the JSON report
+/// carry `elements` and derived `elems_per_sec` for the bench — the
+/// fields the `swan-report --bench-gate` regression check compares.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+}
 
-fn record_result(id: &str, median: Duration) {
+/// Results accumulated for the JSON report:
+/// (benchmark id, median ns, elements per iteration if declared).
+static RESULTS: Mutex<Vec<(String, u128, Option<u64>)>> = Mutex::new(Vec::new());
+
+fn record_result(id: &str, median: Duration, elements: Option<u64>) {
     RESULTS
         .lock()
         .expect("bench results lock")
-        .push((id.to_string(), median.as_nanos()));
+        .push((id.to_string(), median.as_nanos(), elements));
 }
 
 /// Write every recorded benchmark result as a JSON document to the
@@ -34,8 +45,8 @@ pub fn write_json_report() {
         return;
     };
     let results = RESULTS.lock().expect("bench results lock");
-    let mut s = String::from("{\n  \"format\": 1,\n  \"benches\": [\n");
-    for (i, (id, ns)) in results.iter().enumerate() {
+    let mut s = String::from("{\n  \"format\": 2,\n  \"benches\": [\n");
+    for (i, (id, ns, elements)) in results.iter().enumerate() {
         let escaped: String = id
             .chars()
             .map(|c| match c {
@@ -45,8 +56,18 @@ pub fn write_json_report() {
                 c => c.to_string(),
             })
             .collect();
+        // Throughput-carrying rows get elements + integer elems/sec so
+        // the gate can compare without re-deriving from wall-clock.
+        let throughput = match elements {
+            Some(e) if *ns > 0 => {
+                let eps = (*e as u128 * 1_000_000_000) / ns;
+                format!(", \"elements\": {e}, \"elems_per_sec\": {eps}")
+            }
+            Some(e) => format!(", \"elements\": {e}"),
+            None => String::new(),
+        };
         s.push_str(&format!(
-            "    {{\"id\": \"{escaped}\", \"median_ns\": {ns}}}{}\n",
+            "    {{\"id\": \"{escaped}\", \"median_ns\": {ns}{throughput}}}{}\n",
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -104,6 +125,7 @@ fn fmt_duration(d: Duration) -> String {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    throughput: Option<u64>,
     _criterion: &'a mut Criterion,
 }
 
@@ -111,6 +133,14 @@ impl BenchmarkGroup<'_> {
     /// Set the number of timed samples per benchmark.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare the throughput of subsequent benches in this group
+    /// (matches the real crate: the setting persists until changed).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        let Throughput::Elements(e) = t;
+        self.throughput = Some(e);
         self
     }
 
@@ -126,7 +156,11 @@ impl BenchmarkGroup<'_> {
         };
         f(&mut b);
         let median = b.median();
-        record_result(&format!("{}/{}", self.name, id.as_ref()), median);
+        record_result(
+            &format!("{}/{}", self.name, id.as_ref()),
+            median,
+            self.throughput,
+        );
         println!(
             "bench: {}/{:<40} {}",
             self.name,
@@ -152,6 +186,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             sample_size: 10,
+            throughput: None,
             _criterion: self,
         }
     }
@@ -168,7 +203,7 @@ impl Criterion {
         };
         f(&mut b);
         let median = b.median();
-        record_result(id.as_ref(), median);
+        record_result(id.as_ref(), median, None);
         println!("bench: {:<40} {}", id.as_ref(), fmt_duration(median));
         self
     }
