@@ -20,6 +20,7 @@
 //! and plan-permuted executions are bit-identical — enforced by
 //! `tests/streaming_equivalence.rs`.
 
+use crate::checkpoint::CampaignJournal;
 use crate::kernel::{Impl, Kernel, KernelMeta, Scale};
 use crate::report::{KernelResults, SuiteResults, FIG5_KERNELS};
 use crate::runner::{measure_multi_with, Measurement};
@@ -304,24 +305,7 @@ pub fn try_execute_plan_with(
         shard_indexed(groups.len(), threads, |gi| {
             let group = &groups[gi];
             progress(&group_progress(plan, group));
-            let sc = &plan[group[0]];
-            let kernel = kernels[sc.kernel].as_ref();
-            catch_unwind(AssertUnwindSafe(|| {
-                measure_group(kernel, plan, group, store)
-            }))
-            .map_err(|p| {
-                let message = if let Some(s) = p.downcast_ref::<&str>() {
-                    (*s).to_string()
-                } else if let Some(s) = p.downcast_ref::<String>() {
-                    s.clone()
-                } else {
-                    "non-string panic payload".to_string()
-                };
-                KernelFailure {
-                    id: sc.kernel_id.clone(),
-                    message: format!("{}: {message}", sc.stream_id()),
-                }
-            })
+            measure_group_caught(kernels, plan, group, store)
         });
     let mut failures = Vec::new();
     let per_group: Vec<Vec<Measurement>> = results
@@ -334,6 +318,159 @@ pub fn try_execute_plan_with(
         })
         .collect();
     (scatter_groups(plan.len(), &groups, per_group), failures)
+}
+
+/// Measure one group with panic isolation: any measurement panic
+/// becomes a [`KernelFailure`] naming the group's stream. The shared
+/// worker body of the plain and checkpointed executors (shard workers
+/// must not panic).
+fn measure_group_caught(
+    kernels: &[Box<dyn Kernel>],
+    plan: &[Scenario],
+    group: &[usize],
+    store: Option<&TraceStore>,
+) -> Result<Vec<Measurement>, KernelFailure> {
+    let sc = &plan[group[0]];
+    let kernel = kernels[sc.kernel].as_ref();
+    catch_unwind(AssertUnwindSafe(|| {
+        measure_group(kernel, plan, group, store)
+    }))
+    .map_err(|p| {
+        let message = if let Some(s) = p.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = p.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        KernelFailure {
+            id: sc.kernel_id.clone(),
+            message: format!("{}: {message}", sc.stream_id()),
+        }
+    })
+}
+
+// =====================================================================
+// Checkpointed execution
+// =====================================================================
+
+/// Outcome of a checkpointed plan execution: plan-order measurements
+/// (`None` for failed groups and for groups outside this worker's
+/// shard) plus the resume/shard accounting.
+#[derive(Debug)]
+pub struct CheckpointedRun {
+    /// One slot per plan scenario; `Some` for every scenario whose
+    /// group was resumed from the journal or executed by this run.
+    pub measurements: Vec<Option<Measurement>>,
+    /// One failure per group whose measurement panicked.
+    pub failures: Vec<KernelFailure>,
+    /// Total scenario groups in the plan.
+    pub total_groups: usize,
+    /// Groups loaded from the journal (zero functional re-executions).
+    pub resumed_groups: usize,
+    /// Groups simulated (and journaled) by this run.
+    pub executed_groups: usize,
+    /// Groups left to other workers' shards.
+    pub skipped_groups: usize,
+}
+
+/// Execute a plan against a checkpoint [`CampaignJournal`]: groups
+/// with a verified journal entry are *loaded*, never re-simulated;
+/// the rest are measured (sharded across `threads` workers, consulting
+/// the optional trace `store` exactly like [`try_execute_plan_with`])
+/// and each group's measurements are persisted the moment the group
+/// completes — so a kill at any instant loses at most the groups in
+/// flight, and the next run picks up where this one died.
+///
+/// `shard` restricts execution to one worker's disjoint subset: with
+/// `Some((i, of))` only remaining groups whose *canonical* group index
+/// `g` satisfies `g % of == i` are simulated (the rest are reported as
+/// skipped). Sharding by canonical index — not by position in the
+/// remaining list — keeps worker subsets disjoint and jointly complete
+/// even when workers start at different times against a partially
+/// filled journal. Journal write failures are logged, never fatal: the
+/// measurement still counts, only its durability is lost.
+pub fn try_execute_plan_checkpointed(
+    kernels: &[Box<dyn Kernel>],
+    plan: &[Scenario],
+    threads: usize,
+    store: Option<&TraceStore>,
+    journal: &CampaignJournal,
+    shard: Option<(usize, usize)>,
+    progress: impl Fn(&str) + Send + Sync,
+) -> CheckpointedRun {
+    if let Some((i, of)) = shard {
+        assert!(of > 0 && i < of, "worker shard must be i/of with i < of");
+    }
+    let groups = execution_groups(plan);
+    let mut per_group: Vec<Vec<Measurement>> = vec![Vec::new(); groups.len()];
+    let mut work: Vec<usize> = Vec::new();
+    let mut resumed_groups = 0usize;
+    let mut skipped_groups = 0usize;
+    for (gi, group) in groups.iter().enumerate() {
+        if let Some(ms) = journal.load_group(plan, group) {
+            per_group[gi] = ms;
+            resumed_groups += 1;
+        } else if shard.is_none_or(|(i, of)| gi % of == i) {
+            work.push(gi);
+        } else {
+            skipped_groups += 1;
+        }
+    }
+    let results: Vec<Result<Vec<Measurement>, KernelFailure>> =
+        shard_indexed(work.len(), threads, |wi| {
+            let gi = work[wi];
+            let group = &groups[gi];
+            progress(&group_progress(plan, group));
+            let r = measure_group_caught(kernels, plan, group, store);
+            if let Ok(ms) = &r {
+                if let Err(e) = journal.record_group(plan, group, ms) {
+                    eprintln!(
+                        "checkpoint: cannot journal {} ({e}); the group's \
+                         result is kept but will re-simulate after a restart",
+                        plan[group[0]].stream_id()
+                    );
+                }
+            }
+            r
+        });
+    let mut failures = Vec::new();
+    for (&gi, r) in work.iter().zip(results) {
+        match r {
+            Ok(ms) => per_group[gi] = ms,
+            Err(f) => failures.push(f),
+        }
+    }
+    let executed_groups = work.len() - failures.len();
+    CheckpointedRun {
+        measurements: scatter_groups(plan.len(), &groups, per_group),
+        failures,
+        total_groups: groups.len(),
+        resumed_groups,
+        executed_groups,
+        skipped_groups,
+    }
+}
+
+/// [`try_execute_plan_checkpointed`] panicking on any group failure
+/// and unwrapping the plan-order measurements — the coordinator form
+/// (no shard: every remaining group is simulated by this run).
+pub fn execute_plan_checkpointed(
+    kernels: &[Box<dyn Kernel>],
+    plan: &[Scenario],
+    threads: usize,
+    store: Option<&TraceStore>,
+    journal: &CampaignJournal,
+    progress: impl Fn(&str) + Send + Sync,
+) -> (Vec<Measurement>, CheckpointedRun) {
+    let mut run =
+        try_execute_plan_checkpointed(kernels, plan, threads, store, journal, None, progress);
+    assert_no_failures(&run.failures);
+    let measurements = std::mem::take(&mut run.measurements)
+        .into_iter()
+        .map(|m| m.expect("no shard and no failures, so every scenario measured"))
+        .collect();
+    (measurements, run)
 }
 
 // =====================================================================
@@ -471,6 +608,7 @@ pub struct SuiteRunner {
     seed: u64,
     threads: usize,
     store: Option<Arc<TraceStore>>,
+    journal: Option<Arc<CampaignJournal>>,
 }
 
 impl SuiteRunner {
@@ -481,6 +619,7 @@ impl SuiteRunner {
             seed,
             threads: 1,
             store: None,
+            journal: None,
         }
     }
 
@@ -495,6 +634,17 @@ impl SuiteRunner {
     /// already holds.
     pub fn store(mut self, store: Arc<TraceStore>) -> SuiteRunner {
         self.store = Some(store);
+        self
+    }
+
+    /// Journal each scenario group's measurements into a checkpoint
+    /// [`CampaignJournal`] as the group completes, and resume any
+    /// groups it already holds instead of re-simulating them. Honored
+    /// by [`SuiteRunner::run`]/[`SuiteRunner::try_run`]
+    /// ([`SuiteRunner::run_serial`] ignores it; use `threads(1)` for a
+    /// journaled serial campaign).
+    pub fn journal(mut self, journal: Arc<CampaignJournal>) -> SuiteRunner {
+        self.journal = Some(journal);
         self
     }
 
@@ -550,13 +700,27 @@ impl SuiteRunner {
         progress: impl Fn(&str) + Send + Sync,
     ) -> (SuiteResults, Vec<KernelFailure>) {
         let plan = plan(kernels, self.scale, self.seed);
-        let (measurements, group_failures) = try_execute_plan_with(
-            kernels,
-            &plan,
-            self.threads,
-            self.store.as_deref(),
-            progress,
-        );
+        let (measurements, group_failures) = match &self.journal {
+            Some(journal) => {
+                let run = try_execute_plan_checkpointed(
+                    kernels,
+                    &plan,
+                    self.threads,
+                    self.store.as_deref(),
+                    journal,
+                    None,
+                    progress,
+                );
+                (run.measurements, run.failures)
+            }
+            None => try_execute_plan_with(
+                kernels,
+                &plan,
+                self.threads,
+                self.store.as_deref(),
+                progress,
+            ),
+        };
         // One failure per kernel (a kernel that panics usually panics
         // in every one of its groups), keeping the first message.
         let mut failures: Vec<KernelFailure> = Vec::new();

@@ -13,6 +13,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod golden;
 pub mod kernel;
 pub mod perf;
@@ -23,9 +24,12 @@ pub mod stats;
 pub mod tracestore;
 
 pub use campaign::{
-    aggregate, execute_plan, execute_plan_serial, execute_plan_serial_with, execute_plan_with,
-    measure_kernel, plan, try_execute_plan, try_execute_plan_with, KernelFailure, SuiteRunner,
+    aggregate, execute_plan, execute_plan_checkpointed, execute_plan_serial,
+    execute_plan_serial_with, execute_plan_with, measure_kernel, plan, try_execute_plan,
+    try_execute_plan_checkpointed, try_execute_plan_with, CheckpointedRun, KernelFailure,
+    SuiteRunner,
 };
+pub use checkpoint::{CampaignJournal, JournalStats, Resume, CHECKPOINT_FORMAT_VERSION};
 pub use golden::GoldenEntry;
 pub use kernel::{
     AutoObstacle, AutoOutcome, Impl, Kernel, KernelMeta, Library, Pattern, Runnable, Scale, VsNeon,

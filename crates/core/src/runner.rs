@@ -23,7 +23,9 @@ use swan_simd::{EncodedTrace, RecordSink, TraceData, TraceInstr, Width};
 use swan_uarch::{simulate, CoreConfig, EnergyModel, MultiCore, SimResult};
 
 /// One measured (kernel, implementation, width, core) point.
-#[derive(Clone, Debug)]
+/// Equality is exact (floats compare bitwise-equal values), which is
+/// what the checkpoint journal's byte-identity tests rely on.
+#[derive(Clone, Debug, PartialEq)]
 pub struct Measurement {
     /// Dynamic instruction histograms.
     pub trace: TraceData,

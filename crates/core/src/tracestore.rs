@@ -60,11 +60,29 @@ const HEADER_FIXED: u64 = 4 + 4 + 8 + 8 + 2;
 /// Offset of the metadata patched in at commit time.
 const META_OFFSET: u64 = 8;
 
-fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+/// FNV-1a offset basis, the seed of every digest in the store and the
+/// checkpoint journal.
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+pub(crate) fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         hash = (hash ^ b as u64).wrapping_mul(0x100_0000_01b3);
     }
     hash
+}
+
+/// Sanitize a stream/scenario id into a filename-safe prefix (the
+/// digest does the addressing; the prefix is for debuggability).
+pub(crate) fn sanitize_id(id: &str) -> String {
+    id.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '.' || c == '-' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
 }
 
 /// Digest of a kernel inventory: folds every kernel's `LIB.kernel` id
@@ -73,7 +91,7 @@ fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
 /// store; editing a kernel's *body* does not (see the module docs for
 /// why that is handled by the CI cache key instead).
 pub fn inventory_digest(kernels: &[Box<dyn Kernel>]) -> u64 {
-    let mut h = fnv1a(0xcbf2_9ce4_8422_2325, &(kernels.len() as u64).to_le_bytes());
+    let mut h = fnv1a(FNV_OFFSET, &(kernels.len() as u64).to_le_bytes());
     for k in kernels {
         h = fnv1a(h, k.meta().id().as_bytes());
         h = fnv1a(h, b"\0");
@@ -242,18 +260,8 @@ impl TraceStore {
     /// plus the digest of the full key string for addressing.
     fn entry_path(&self, key: &StoreKey) -> PathBuf {
         let ks = self.key_string(key);
-        let digest = fnv1a(0xcbf2_9ce4_8422_2325, ks.as_bytes());
-        let safe: String = key
-            .stream_id
-            .chars()
-            .map(|c| {
-                if c.is_ascii_alphanumeric() || c == '.' || c == '-' {
-                    c
-                } else {
-                    '-'
-                }
-            })
-            .collect();
+        let digest = fnv1a(FNV_OFFSET, ks.as_bytes());
+        let safe = sanitize_id(&key.stream_id);
         self.dir.join(format!("{safe}-{digest:016x}.swst"))
     }
 

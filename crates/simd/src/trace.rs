@@ -656,7 +656,7 @@ thread_local! {
 }
 
 /// Aggregated results of a tracing session.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceData {
     /// Per-op dynamic instruction counts, indexed by `Op as usize`.
     pub by_op: [u64; OP_COUNT],

@@ -5,9 +5,11 @@
 //!
 //! ```text
 //! swan-report [--quick | --scale F] [--seed N] [--threads N]
-//!             [--trace-store DIR] [--trace-store-stats] <what>...
+//!             [--trace-store DIR] [--trace-store-stats]
+//!             [--checkpoint DIR [--resume]] <what>...
 //! swan-report [...] --list-scenarios [--only FILTER]...
 //! swan-report [...] --only FILTER [--only FILTER]...
+//! swan-report [...] --checkpoint DIR --worker I/OF [--only FILTER]...
 //! swan-report [--scale F] [--seed N] [--threads N] --write-golden <path>
 //! swan-report [--scale F] [--seed N] [--threads N] --golden <path>
 //! swan-report [--scale F] [--seed N] --replay-smoke
@@ -67,10 +69,30 @@
 //! prints one machine-greppable `trace-store:` summary line (hits,
 //! misses, bytes, evictions) after the run — CI posts it to the step
 //! summary.
+//!
+//! `--checkpoint DIR` makes the measurement campaign (full suite and
+//! `--only` subsets) *resumable*: each scenario group's measurements
+//! are journaled into `DIR` (tmp + fsync + atomic rename — an entry is
+//! either fully visible or absent, no matter when the process dies)
+//! the moment the group completes, and groups the journal already
+//! holds are loaded instead of re-simulated. A killed campaign
+//! restarted with the same flags therefore resumes where it died, with
+//! byte-identical output. `--resume` is the explicit coordinator form
+//! (it additionally *requires* the journal, finishes any stragglers,
+//! and aggregates); `--worker I/OF` runs only the `I`-th of `OF`
+//! disjoint group shards into the shared journal and exits without
+//! reports — launch `OF` worker processes against one `--checkpoint`
+//! directory, then aggregate with `--resume`. Both print one greppable
+//! `checkpoint:` summary line. Golden modes ignore the journal (they
+//! pin trace digests the journal does not persist; see CONTRIBUTING,
+//! "The checkpoint journal").
 
 use std::sync::Arc;
 use swan_core::report::{self, SuiteResults};
-use swan_core::{golden, Scale, Scenario, ScenarioFilter, SuiteRunner, TraceStore};
+use swan_core::{
+    golden, CampaignJournal, CheckpointedRun, Scale, Scenario, ScenarioFilter, SuiteRunner,
+    TraceStore,
+};
 use swan_kernels::xp::{conv_layers, GemmF32, Shape, SpmmF32};
 
 fn auto_threads() -> usize {
@@ -90,6 +112,9 @@ fn main() {
     let mut bench_gate: Option<(String, String)> = None;
     let mut store_dir: Option<String> = None;
     let mut store_stats = false;
+    let mut checkpoint_dir: Option<String> = None;
+    let mut resume = false;
+    let mut worker: Option<(usize, usize)> = None;
     let mut filters: Vec<ScenarioFilter> = Vec::new();
     let mut wants: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -136,6 +161,25 @@ fn main() {
                 store_dir = Some(args.next().expect("--trace-store needs a directory"));
             }
             "--trace-store-stats" => store_stats = true,
+            "--checkpoint" => {
+                checkpoint_dir = Some(args.next().expect("--checkpoint needs a directory"));
+            }
+            "--resume" => resume = true,
+            "--worker" => {
+                let spec = args.next().expect("--worker needs I/OF (e.g. 0/3)");
+                let parsed = spec.split_once('/').and_then(|(i, of)| {
+                    let i: usize = i.trim().parse().ok()?;
+                    let of: usize = of.trim().parse().ok()?;
+                    (of >= 1 && i < of).then_some((i, of))
+                });
+                match parsed {
+                    Some(w) => worker = Some(w),
+                    None => {
+                        eprintln!("invalid --worker spec `{spec}`: expected I/OF with I < OF");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--only" => {
                 let spec = args.next().expect("--only needs a key=value[,...] filter");
                 match ScenarioFilter::parse(&spec) {
@@ -154,6 +198,15 @@ fn main() {
             }
             other => wants.push(other.to_string()),
         }
+    }
+
+    if (resume || worker.is_some()) && checkpoint_dir.is_none() {
+        eprintln!("error: --resume and --worker require --checkpoint DIR");
+        std::process::exit(2);
+    }
+    if resume && worker.is_some() {
+        eprintln!("error: --resume is the coordinator; a --worker shard cannot also resume-all");
+        std::process::exit(2);
     }
 
     if let Some((cur_path, base_path)) = bench_gate {
@@ -230,6 +283,116 @@ fn main() {
             );
         }
     };
+
+    // The campaign checkpoint journal, if requested. Opened where the
+    // scale is final (perf/golden modes adjust it after parsing);
+    // keyed by the inventory, scale, and seed like the trace store.
+    let open_journal = |scale: Scale| -> Arc<CampaignJournal> {
+        let dir = checkpoint_dir.as_ref().expect("checkpoint dir set");
+        Arc::new(
+            CampaignJournal::open(dir, &kernels, scale, seed)
+                .unwrap_or_else(|e| panic!("open checkpoint journal {dir}: {e}")),
+        )
+    };
+    let print_checkpoint_stats = |journal: &CampaignJournal, run: &CheckpointedRun| {
+        let s = journal.stats();
+        eprintln!(
+            "checkpoint: dir={} groups={} resumed={} executed={} skipped={} \
+             discarded={} written={} bytes={}",
+            journal.dir().display(),
+            run.total_groups,
+            run.resumed_groups,
+            run.executed_groups,
+            run.skipped_groups,
+            s.discarded,
+            s.written,
+            s.bytes_written,
+        );
+    };
+    let exit_on_failures = |failures: &[swan_core::KernelFailure]| {
+        if failures.is_empty() {
+            return;
+        }
+        for f in failures {
+            eprintln!("campaign kernel failed: {}: {}", f.id, f.message);
+        }
+        std::process::exit(1);
+    };
+
+    if let Some((wi, wof)) = worker {
+        // Worker mode: simulate one disjoint shard of the remaining
+        // scenario groups into the shared journal, then exit — the
+        // coordinator (`--resume`) aggregates once every shard is in.
+        if golden_write.is_some()
+            || golden_check.is_some()
+            || list_scenarios
+            || replay_smoke
+            || perf
+        {
+            eprintln!("error: --worker only executes campaign groups; run other modes separately");
+            std::process::exit(2);
+        }
+        if !wants.is_empty() {
+            eprintln!(
+                "warning: --worker journals measurements without aggregating; \
+                 table/figure tokens ignored: {}",
+                wants.join(" ")
+            );
+        }
+        let journal = open_journal(scale);
+        let full = swan_core::plan(&kernels, scale, seed);
+        let selected = swan_core::filter_plan(&full, &filters);
+        if selected.is_empty() {
+            eprintln!("--only filters match no scenarios (try --list-scenarios)");
+            std::process::exit(2);
+        }
+        let t0 = std::time::Instant::now();
+        eprintln!(
+            "worker {wi}/{wof}: {} scenarios at scale {:.5} (seed {seed}, {threads} thread{})...",
+            selected.len(),
+            scale.0,
+            if threads == 1 { "" } else { "s" }
+        );
+        let run = swan_core::try_execute_plan_checkpointed(
+            &kernels,
+            &selected,
+            threads,
+            store.as_deref(),
+            &journal,
+            Some((wi, wof)),
+            |msg| eprintln!("  [{:6.1}s] {msg}", t0.elapsed().as_secs_f32()),
+        );
+        print_store_stats();
+        let s = journal.stats();
+        eprintln!(
+            "checkpoint-worker: shard={wi}/{wof} groups={} resumed={} executed={} \
+             skipped={} failures={} discarded={} written={} bytes={}",
+            run.total_groups,
+            run.resumed_groups,
+            run.executed_groups,
+            run.skipped_groups,
+            run.failures.len(),
+            s.discarded,
+            s.written,
+            s.bytes_written,
+        );
+        eprintln!("worker done in {:.1}s", t0.elapsed().as_secs_f32());
+        exit_on_failures(&run.failures);
+        return;
+    }
+
+    if checkpoint_dir.is_some()
+        && (perf
+            || replay_smoke
+            || list_scenarios
+            || golden_write.is_some()
+            || golden_check.is_some())
+    {
+        // Golden baselines and probes must observe a full functional
+        // execution; resuming from a journal would let a stale entry
+        // masquerade as a fresh measurement.
+        eprintln!("warning: this mode re-simulates unconditionally; --checkpoint/--resume ignored");
+    }
 
     if perf {
         if golden_write.is_some() || golden_check.is_some() || list_scenarios || replay_smoke {
@@ -424,10 +587,28 @@ fn main() {
             scale.0,
             if threads == 1 { "" } else { "s" }
         );
-        let measurements =
+        let measurements = if checkpoint_dir.is_some() {
+            let journal = open_journal(scale);
+            let run = swan_core::try_execute_plan_checkpointed(
+                &kernels,
+                &selected,
+                threads,
+                store.as_deref(),
+                &journal,
+                None,
+                |msg| eprintln!("  [{:6.1}s] {msg}", t0.elapsed().as_secs_f32()),
+            );
+            print_checkpoint_stats(&journal, &run);
+            exit_on_failures(&run.failures);
+            run.measurements
+                .into_iter()
+                .map(|m| m.expect("no failures, so every group measured"))
+                .collect()
+        } else {
             swan_core::execute_plan_with(&kernels, &selected, threads, store.as_deref(), |msg| {
                 eprintln!("  [{:6.1}s] {msg}", t0.elapsed().as_secs_f32());
-            });
+            })
+        };
         print_store_stats();
         print_scenarios(&selected, &measurements);
         eprintln!("done in {:.1}s", t0.elapsed().as_secs_f32());
@@ -462,13 +643,33 @@ fn main() {
             if threads == 1 { "" } else { "s" }
         );
         let t0 = std::time::Instant::now();
-        let mut runner = SuiteRunner::new(scale, seed).threads(threads);
-        if let Some(s) = &store {
-            runner = runner.store(s.clone());
-        }
-        let s = runner.run(&kernels, |msg| {
-            eprintln!("  [{:6.1}s] {msg}", t0.elapsed().as_secs_f32());
-        });
+        let s = if checkpoint_dir.is_some() {
+            // Checkpointed campaign: resume whatever the journal
+            // already holds (from a killed run or `--worker` shards),
+            // simulate only the remaining groups, aggregate as usual.
+            let journal = open_journal(scale);
+            let full = swan_core::plan(&kernels, scale, seed);
+            let run = swan_core::try_execute_plan_checkpointed(
+                &kernels,
+                &full,
+                threads,
+                store.as_deref(),
+                &journal,
+                None,
+                |msg| eprintln!("  [{:6.1}s] {msg}", t0.elapsed().as_secs_f32()),
+            );
+            print_checkpoint_stats(&journal, &run);
+            exit_on_failures(&run.failures);
+            swan_core::aggregate(&kernels, &full, &run.measurements, scale)
+        } else {
+            let mut runner = SuiteRunner::new(scale, seed).threads(threads);
+            if let Some(s) = &store {
+                runner = runner.store(s.clone());
+            }
+            runner.run(&kernels, |msg| {
+                eprintln!("  [{:6.1}s] {msg}", t0.elapsed().as_secs_f32());
+            })
+        };
         eprintln!("suite done in {:.1}s", t0.elapsed().as_secs_f32());
         print_store_stats();
         Some(s)

@@ -398,6 +398,99 @@ fn each_scenario_group_executes_its_kernel_exactly_once() {
     assert_eq!(runs.load(Ordering::SeqCst), single_groups.len());
 }
 
+/// Multi-process extension of the sharding equivalence: three
+/// concurrent `swan-report --worker i/3` processes, sharing one
+/// checkpoint journal and one trace store, must jointly cover the plan
+/// in disjoint shards — and an in-process resume over their journal
+/// must reproduce a serial in-process campaign *exactly*, full-struct
+/// equality per scenario, with nothing left to simulate.
+#[test]
+fn multi_process_worker_shards_resume_to_serial_campaign() {
+    use std::process::Command;
+
+    let scale_arg = format!("{}", Scale::test().0);
+    let base = std::env::temp_dir().join(format!("swan-mp-workers-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let ckpt = base.join("journal");
+    let tstore = base.join("traces");
+
+    let children: Vec<_> = (0..3)
+        .map(|i| {
+            Command::new(env!("CARGO_BIN_EXE_swan-report"))
+                .args(["--scale", &scale_arg, "--seed", "7"])
+                .args(["--only", "lib=ZL", "--threads", "1"])
+                .args(["--checkpoint", ckpt.to_str().expect("utf8")])
+                .args(["--trace-store", tstore.to_str().expect("utf8")])
+                .args(["--worker", &format!("{i}/3")])
+                .output()
+                .expect("spawn worker")
+        })
+        .collect();
+    for (i, out) in children.iter().enumerate() {
+        assert!(
+            out.status.success(),
+            "worker {i}/3 failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    // The serial in-process reference over the same subset.
+    let kernels = swan::suite();
+    let full = swan_core::plan(&kernels, Scale::test(), SEED);
+    let only = swan_core::ScenarioFilter::parse("lib=ZL").expect("filter");
+    let selected = swan_core::filter_plan(&full, &[only]);
+    assert!(!selected.is_empty());
+    let serial = swan_core::execute_plan(&kernels, &selected, 1, |_| {});
+
+    // Resume over the workers' joint journal: everything present,
+    // nothing remaining, every measurement bit-identical to serial.
+    let journal =
+        swan_core::CampaignJournal::open(&ckpt, &kernels, Scale::test(), SEED).expect("open");
+    let resume = journal.resume(&selected);
+    assert!(
+        resume.remaining.is_empty(),
+        "three disjoint 1-of-3 shards must jointly complete the plan \
+         (remaining: {:?})",
+        resume.remaining
+    );
+    assert_eq!(journal.stats().discarded, 0, "no worker tore an entry");
+    for ((sc, got), want) in selected.iter().zip(&resume.measurements).zip(&serial) {
+        assert_eq!(
+            got.as_ref(),
+            Some(want),
+            "{}: multi-process shard must equal serial in-process exactly",
+            sc.id()
+        );
+    }
+
+    // The coordinator CLI sees the same completeness: resumed == all
+    // groups, executed == 0, and its row output matches a plain run.
+    let coord = Command::new(env!("CARGO_BIN_EXE_swan-report"))
+        .args(["--scale", &scale_arg, "--seed", "7"])
+        .args(["--only", "lib=ZL", "--threads", "1"])
+        .args(["--checkpoint", ckpt.to_str().expect("utf8")])
+        .args(["--resume"])
+        .output()
+        .expect("spawn coordinator");
+    assert!(coord.status.success());
+    let stderr = String::from_utf8_lossy(&coord.stderr);
+    assert!(
+        stderr.contains("executed=0"),
+        "coordinator must only aggregate:\n{stderr}"
+    );
+    let plain = Command::new(env!("CARGO_BIN_EXE_swan-report"))
+        .args(["--scale", &scale_arg, "--seed", "7"])
+        .args(["--only", "lib=ZL", "--threads", "1"])
+        .output()
+        .expect("spawn plain run");
+    assert!(plain.status.success());
+    assert_eq!(
+        plain.stdout, coord.stdout,
+        "coordinator rows must be byte-identical to an uncheckpointed run"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}
+
 /// Codec memory bound: the encoded recording of a scenario group's
 /// stream must be far smaller than the `Vec<TraceInstr>` it replaces,
 /// at the golden (quick) scale — and the process-wide codec counters
