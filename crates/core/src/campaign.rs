@@ -138,8 +138,12 @@ pub fn plan(kernels: &[Box<dyn Kernel>], scale: Scale, seed: u64) -> Vec<Scenari
 /// instruction stream ([`Scenario::stream_key`]), grouped in order of
 /// first appearance, each group's members in plan order. One group is
 /// the unit of work a campaign worker executes (one recorded
-/// execution replayed to the group's cores).
-pub(crate) fn execution_groups(plan: &[Scenario]) -> Vec<Vec<usize>> {
+/// execution replayed to the group's cores) — and the unit the
+/// checkpoint journal persists and the campaign server deduplicates,
+/// which is why the grouping itself is public API: anything that
+/// schedules, caches, or subscribes to campaign work at group
+/// granularity must agree on these exact index sets.
+pub fn execution_groups(plan: &[Scenario]) -> Vec<Vec<usize>> {
     let mut order: Vec<Vec<usize>> = Vec::new();
     let mut by_key: HashMap<(usize, Impl, Width, u64, u64), usize> = HashMap::new();
     for (i, sc) in plan.iter().enumerate() {

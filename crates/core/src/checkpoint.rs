@@ -60,6 +60,40 @@ use swan_uarch::{CacheStats, SimResult};
 /// format version) re-keys — and thereby invalidates — every entry.
 pub const CHECKPOINT_FORMAT_VERSION: u32 = 1;
 
+/// The full identity string of one completed scenario group: the
+/// stream id, the group's member cores in group order, the scale bits,
+/// seed, the codec and checkpoint format versions, and the
+/// kernel-inventory digest ([`crate::tracestore::inventory_digest`]).
+/// A format bump, a parameter change, a roster change, or a different
+/// group fan-out produces a different key, so stale results miss
+/// instead of lying.
+///
+/// This is the one group-result key in the system: the checkpoint
+/// journal addresses entries with it, and the campaign server's warm
+/// result cache and in-flight dedup registry key on the identical
+/// string — so a result is interchangeable between the two exactly
+/// when its key matches.
+pub fn group_key_string(
+    plan: &[Scenario],
+    group: &[usize],
+    scale: Scale,
+    seed: u64,
+    inventory: u64,
+) -> String {
+    let sc = &plan[group[0]];
+    let cores: Vec<String> = group.iter().map(|&i| plan[i].core.to_string()).collect();
+    format!(
+        "{}|cores={}|scale={:016x}|seed={}|codec=v{}|checkpoint=v{}|inventory={:016x}",
+        sc.stream_id(),
+        cores.join("+"),
+        scale.0.to_bits(),
+        seed,
+        codec::CHUNK_FORMAT_VERSION,
+        CHECKPOINT_FORMAT_VERSION,
+        inventory
+    )
+}
+
 /// Entry magic: "SWan CheckPoint".
 const ENTRY_MAGIC: [u8; 4] = *b"SWCP";
 
@@ -158,22 +192,17 @@ impl CampaignJournal {
     }
 
     /// The full key string embedded in (and checked against) every
-    /// entry, composed like the trace store's: identity plus everything
-    /// that invalidates it. The member core list pins the group's exact
-    /// fan-out, so an entry written under a subset plan (fewer cores
-    /// per group) can never satisfy the full plan's group.
+    /// entry — [`group_key_string`] at this journal's parameters. The
+    /// member core list pins the group's exact fan-out, so an entry
+    /// written under a subset plan (fewer cores per group) can never
+    /// satisfy the full plan's group.
     fn key_string(&self, plan: &[Scenario], group: &[usize]) -> String {
-        let sc = &plan[group[0]];
-        let cores: Vec<String> = group.iter().map(|&i| plan[i].core.to_string()).collect();
-        format!(
-            "{}|cores={}|scale={:016x}|seed={}|codec=v{}|checkpoint=v{}|inventory={:016x}",
-            sc.stream_id(),
-            cores.join("+"),
-            self.scale_bits,
+        group_key_string(
+            plan,
+            group,
+            Scale(f64::from_bits(self.scale_bits)),
             self.seed,
-            codec::CHUNK_FORMAT_VERSION,
-            CHECKPOINT_FORMAT_VERSION,
-            self.inventory
+            self.inventory,
         )
     }
 

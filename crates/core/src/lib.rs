@@ -25,11 +25,13 @@ pub mod tracestore;
 
 pub use campaign::{
     aggregate, execute_plan, execute_plan_checkpointed, execute_plan_serial,
-    execute_plan_serial_with, execute_plan_with, measure_kernel, plan, try_execute_plan,
-    try_execute_plan_checkpointed, try_execute_plan_with, CheckpointedRun, KernelFailure,
-    SuiteRunner,
+    execute_plan_serial_with, execute_plan_with, execution_groups, measure_kernel, plan,
+    try_execute_plan, try_execute_plan_checkpointed, try_execute_plan_with, CheckpointedRun,
+    KernelFailure, SuiteRunner,
 };
-pub use checkpoint::{CampaignJournal, JournalStats, Resume, CHECKPOINT_FORMAT_VERSION};
+pub use checkpoint::{
+    group_key_string, CampaignJournal, JournalStats, Resume, CHECKPOINT_FORMAT_VERSION,
+};
 pub use golden::GoldenEntry;
 pub use kernel::{
     AutoObstacle, AutoOutcome, Impl, Kernel, KernelMeta, Library, Pattern, Runnable, Scale, VsNeon,

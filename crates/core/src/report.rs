@@ -128,6 +128,68 @@ pub fn fmt_table(header: &[String], rows: &[Vec<String>]) -> String {
     s
 }
 
+/// Column layout of the per-scenario row renderers: (header, width,
+/// left-aligned). Fixed widths — unlike [`fmt_table`], a row's bytes
+/// depend on nothing but its own scenario and measurement, so rows can
+/// be rendered (and streamed) one at a time and still line up.
+const SCENARIO_COLUMNS: [(&str, usize, bool); 7] = [
+    ("Scenario", 38, true),
+    ("Instrs", 12, false),
+    ("Cycles", 12, false),
+    ("IPC", 6, false),
+    ("Time(us)", 12, false),
+    ("Power(W)", 9, false),
+    ("Energy(uJ)", 12, false),
+];
+
+fn scenario_cells(cells: [String; 7]) -> String {
+    let mut s = String::new();
+    for (i, (cell, (_, width, left))) in cells.iter().zip(SCENARIO_COLUMNS).enumerate() {
+        if i > 0 {
+            s.push_str("  ");
+        }
+        if left {
+            s.push_str(&format!("{cell:<width$}"));
+        } else {
+            s.push_str(&format!("{cell:>width$}"));
+        }
+    }
+    s.trim_end().to_string()
+}
+
+/// Header (plus dashed rule) above a run of [`scenario_row`]s — the
+/// `swan-report --only` table head. Newline-terminated, ready for
+/// `print!`.
+pub fn scenario_row_header() -> String {
+    let head = scenario_cells(SCENARIO_COLUMNS.map(|(h, _, _)| h.to_string()));
+    let width = SCENARIO_COLUMNS
+        .iter()
+        .map(|(_, w, _)| w + 2)
+        .sum::<usize>()
+        - 2;
+    format!("{head}\n{}\n", "-".repeat(width))
+}
+
+/// Render one measured scenario as a single self-contained text row.
+///
+/// This is the *one* per-scenario row format in the system:
+/// `swan-report --only` prints these rows after a full batch campaign,
+/// and the campaign server streams the identical strings back as each
+/// scenario group completes — so "served rows are byte-identical to
+/// the batch run" holds by construction, not by parallel maintenance
+/// of two formatters.
+pub fn scenario_row(sc: &crate::scenario::Scenario, m: &Measurement) -> String {
+    scenario_cells([
+        sc.id(),
+        m.sim.instrs.to_string(),
+        m.sim.cycles.to_string(),
+        format!("{:.2}", m.sim.ipc()),
+        format!("{:.3}", m.seconds() * 1e6),
+        format!("{:.2}", m.power_w),
+        format!("{:.3}", m.energy_j * 1e6),
+    ])
+}
+
 /// A generic text report with an optional CSV form.
 #[derive(Clone, Debug)]
 pub struct Report {

@@ -1,0 +1,137 @@
+//! The server's line-delimited request language.
+//!
+//! One request per line. A query line is a [`swan_core::ScenarioFilter`]
+//! spec — exactly the `swan-report --only` syntax — with `;` separating
+//! union alternatives (each `;`-clause is one `--only` flag) and an
+//! optional `id|` prefix naming the request so concurrent responses
+//! can be demultiplexed:
+//!
+//! ```text
+//! lib=ZL,impl=neon
+//! warm|lib=ZL,impl=neon;core=silver
+//! *            # the full scenario plan
+//! stats        # one `serve:` counter line
+//! quit         # close the session
+//! ```
+//!
+//! Every response line for a query is prefixed with its request id
+//! (auto-assigned `q1`, `q2`, … when the client names none), so
+//! responses to concurrent requests interleave without ambiguity.
+
+use swan_core::ScenarioFilter;
+
+/// One parsed request line, borrowed from the input line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Request<'a> {
+    /// A scenario-subset query: optional client-chosen id plus the
+    /// raw filter spec (parse it with [`parse_spec`]).
+    Query {
+        /// Client-chosen response id, if the line had an `id|` prefix.
+        id: Option<&'a str>,
+        /// The filter spec after the optional prefix.
+        spec: &'a str,
+    },
+    /// Print the server's counter line.
+    Stats,
+    /// End the session.
+    Quit,
+}
+
+/// Split one input line into a [`Request`]. Never fails: anything that
+/// is not a command is a query whose spec is validated by
+/// [`parse_spec`]. An `id|` prefix is recognized when the id part is
+/// non-empty and free of whitespace.
+pub fn parse_request(line: &str) -> Request<'_> {
+    let line = line.trim();
+    match line {
+        "stats" => Request::Stats,
+        "quit" | "shutdown" => Request::Quit,
+        _ => match line.split_once('|') {
+            Some((id, spec))
+                if !id.trim().is_empty() && !id.trim().contains(char::is_whitespace) =>
+            {
+                Request::Query {
+                    id: Some(id.trim()),
+                    spec: spec.trim(),
+                }
+            }
+            _ => Request::Query {
+                id: None,
+                spec: line,
+            },
+        },
+    }
+}
+
+/// Parse a query spec into the filter union it denotes: `;`-separated
+/// [`ScenarioFilter`] clauses (a scenario is served if any clause
+/// accepts it — the same union `swan-report` forms from repeated
+/// `--only` flags), or `*` / `all` for the entire plan (an empty
+/// filter list).
+pub fn parse_spec(spec: &str) -> Result<Vec<ScenarioFilter>, String> {
+    let spec = spec.trim();
+    if spec == "*" || spec.eq_ignore_ascii_case("all") {
+        return Ok(Vec::new());
+    }
+    let filters: Vec<ScenarioFilter> = spec
+        .split(';')
+        .filter(|c| !c.trim().is_empty())
+        .map(|c| {
+            ScenarioFilter::parse(c.trim())
+                .map_err(|e| format!("invalid filter `{}`: {e}", c.trim()))
+        })
+        .collect::<Result<_, _>>()?;
+    if filters.is_empty() {
+        return Err(
+            "empty query (expected key=value[,key=value][;alternative...], `*` for the full \
+             plan, `stats`, or `quit`)"
+                .into(),
+        );
+    }
+    Ok(filters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commands_and_id_prefixes() {
+        assert_eq!(parse_request("stats"), Request::Stats);
+        assert_eq!(parse_request(" quit "), Request::Quit);
+        assert_eq!(
+            parse_request("warm|lib=ZL"),
+            Request::Query {
+                id: Some("warm"),
+                spec: "lib=ZL"
+            }
+        );
+        assert_eq!(
+            parse_request("lib=ZL,impl=neon"),
+            Request::Query {
+                id: None,
+                spec: "lib=ZL,impl=neon"
+            }
+        );
+        // A whitespace-bearing prefix is not an id; the whole line is
+        // the spec (and fails spec parsing with a clear message).
+        assert_eq!(
+            parse_request("bad id|lib=ZL"),
+            Request::Query {
+                id: None,
+                spec: "bad id|lib=ZL"
+            }
+        );
+    }
+
+    #[test]
+    fn specs_parse_to_filter_unions() {
+        assert_eq!(parse_spec("*").unwrap(), Vec::new());
+        assert_eq!(parse_spec("ALL").unwrap(), Vec::new());
+        let union = parse_spec("lib=ZL,impl=neon; core=silver").unwrap();
+        assert_eq!(union.len(), 2);
+        assert!(parse_spec("").is_err());
+        assert!(parse_spec(";;").is_err());
+        assert!(parse_spec("cpu=prime").is_err());
+    }
+}

@@ -1,0 +1,209 @@
+//! Explicitly bounded synchronization primitives for the campaign
+//! server: a blocking FIFO work queue with a hard capacity, and a
+//! counting gate limiting concurrent request handlers.
+//!
+//! Both are deliberately small Mutex + Condvar constructions (the
+//! container builds offline; no crossbeam). The bound is the point:
+//! a daemon answering thousands of concurrent queries must convert
+//! overload into *backpressure* — a producer blocking on a full queue
+//! — never into unbounded memory growth.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A blocking multi-producer/multi-consumer FIFO with a fixed
+/// capacity. [`BoundedQueue::push`] blocks while the queue is full
+/// (backpressure), [`BoundedQueue::pop`] blocks while it is empty, and
+/// [`BoundedQueue::close`] wakes everyone: closed queues reject new
+/// items but drain the ones already accepted, so no accepted work is
+/// ever silently dropped.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    cap: usize,
+    closed: bool,
+    peak: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `cap` items (minimum 1).
+    pub fn new(cap: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                cap: cap.max(1),
+                closed: false,
+                peak: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Enqueue an item, blocking while the queue is at capacity.
+    /// Returns `false` (item dropped) if the queue is closed.
+    pub fn push(&self, item: T) -> bool {
+        let mut q = self.inner.lock().expect("queue poisoned");
+        while q.items.len() >= q.cap && !q.closed {
+            q = self.not_full.wait(q).expect("queue poisoned");
+        }
+        if q.closed {
+            return false;
+        }
+        q.items.push_back(item);
+        q.peak = q.peak.max(q.items.len());
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Dequeue the oldest item, blocking while the queue is empty.
+    /// Returns `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut q = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = q.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if q.closed {
+                return None;
+            }
+            q = self.not_empty.wait(q).expect("queue poisoned");
+        }
+    }
+
+    /// Close the queue: new pushes are rejected, already-queued items
+    /// still drain through [`BoundedQueue::pop`].
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Highest number of items the queue ever held at once.
+    pub fn peak(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").peak
+    }
+}
+
+/// A counting gate bounding how many request handlers run at once
+/// (the server's concurrency limit): [`Gate::acquire`] blocks while
+/// all slots are taken, [`Gate::release`] frees one.
+#[derive(Debug)]
+pub struct Gate {
+    free: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Gate {
+    /// A gate with `slots` concurrent slots (minimum 1).
+    pub fn new(slots: usize) -> Gate {
+        Gate {
+            free: Mutex::new(slots.max(1)),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Take a slot, blocking until one is free.
+    pub fn acquire(&self) {
+        let mut free = self.free.lock().expect("gate poisoned");
+        while *free == 0 {
+            free = self.freed.wait(free).expect("gate poisoned");
+        }
+        *free -= 1;
+    }
+
+    /// Return a slot.
+    pub fn release(&self) {
+        *self.free.lock().expect("gate poisoned") += 1;
+        self.freed.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_and_peak() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            assert!(q.push(i));
+        }
+        assert_eq!(q.peak(), 5);
+        for i in 0..5 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        q.close();
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_blocks_at_capacity_until_a_pop() {
+        let q = Arc::new(BoundedQueue::new(2));
+        assert!(q.push(1));
+        assert!(q.push(2));
+        let pushed = Arc::new(AtomicUsize::new(0));
+        let handle = {
+            let (q, pushed) = (q.clone(), pushed.clone());
+            std::thread::spawn(move || {
+                assert!(q.push(3)); // must block: queue is full
+                pushed.store(1, Ordering::SeqCst);
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(pushed.load(Ordering::SeqCst), 0, "push must backpressure");
+        assert_eq!(q.pop(), Some(1));
+        handle.join().expect("pusher");
+        assert_eq!(pushed.load(Ordering::SeqCst), 1);
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn closed_queue_rejects_pushes_but_drains() {
+        let q = BoundedQueue::new(4);
+        assert!(q.push(7));
+        q.close();
+        assert!(!q.push(8), "closed queue must reject new work");
+        assert_eq!(q.pop(), Some(7), "accepted work still drains");
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn gate_bounds_concurrency() {
+        let gate = Arc::new(Gate::new(2));
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let (gate, live, peak) = (gate.clone(), live.clone(), peak.clone());
+                std::thread::spawn(move || {
+                    gate.acquire();
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(10));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                    gate.release();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker");
+        }
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "gate must cap concurrency"
+        );
+    }
+}

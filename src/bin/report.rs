@@ -99,6 +99,43 @@ fn auto_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+const USAGE: &str = "usage: swan-report [--quick | --scale F] [--seed N] [--threads N]\n\
+                     \x20                  [--trace-store DIR [--trace-store-stats]]\n\
+                     \x20                  [--checkpoint DIR [--resume | --worker I/OF]]\n\
+                     \x20                  [--only FILTER]... [--list-scenarios]\n\
+                     \x20                  [--write-golden PATH | --golden PATH]\n\
+                     \x20                  [--replay-smoke | --perf | --bench-gate CUR BASE]\n\
+                     \x20                  [tab2 tab3 fig1 fig2 fig3 tab4 tab5 fig4 fig5a\n\
+                     \x20                   fig5b tab6 tab7 fig6 patterns detail all]";
+
+/// Reject a malformed command line: diagnostic to stderr, usage hint,
+/// exit 2 (the argument-error code, distinct from check failures' 1).
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+/// The flag's required value, or exit 2 with a diagnostic naming the
+/// flag. A following `--flag` means the value was forgotten, not given.
+fn value_of(flag: &str, args: &mut impl Iterator<Item = String>) -> String {
+    match args.next() {
+        Some(v) if !v.starts_with("--") => v,
+        _ => die(&format!("{flag} needs a value")),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, raw: &str) -> T {
+    raw.parse()
+        .unwrap_or_else(|_| die(&format!("invalid {flag} value `{raw}`")))
+}
+
+/// Every `<what>` token the report generator understands.
+const REPORT_TOKENS: [&str; 16] = [
+    "tab2", "tab3", "fig1", "fig2", "fig3", "tab4", "tab5", "fig4", "fig5a", "fig5b", "tab6",
+    "tab7", "fig6", "patterns", "detail", "all",
+];
+
 fn main() {
     let mut scale = Scale::sim();
     let mut scale_explicit = false;
@@ -125,27 +162,14 @@ fn main() {
                 scale_explicit = true;
             }
             "--scale" => {
-                let v: f64 = args
-                    .next()
-                    .expect("--scale needs a value")
-                    .parse()
-                    .expect("invalid scale");
-                scale = Scale(v);
+                scale = Scale(parse_num("--scale", &value_of("--scale", &mut args)));
                 scale_explicit = true;
             }
             "--seed" => {
-                seed = args
-                    .next()
-                    .expect("--seed needs a value")
-                    .parse()
-                    .expect("invalid seed");
+                seed = parse_num("--seed", &value_of("--seed", &mut args));
             }
             "--threads" => {
-                let n: usize = args
-                    .next()
-                    .expect("--threads needs a value")
-                    .parse()
-                    .expect("invalid thread count");
+                let n: usize = parse_num("--threads", &value_of("--threads", &mut args));
                 // 0 = auto-detect the worker count.
                 threads = if n == 0 { auto_threads() } else { n };
             }
@@ -153,20 +177,23 @@ fn main() {
             "--replay-smoke" => replay_smoke = true,
             "--perf" => perf = true,
             "--bench-gate" => {
-                let cur = args.next().expect("--bench-gate needs <current.json>");
-                let base = args.next().expect("--bench-gate needs <baseline.json>");
+                let cur = value_of("--bench-gate", &mut args);
+                let base = match args.next() {
+                    Some(v) if !v.starts_with("--") => v,
+                    _ => die("--bench-gate needs <current.json> <baseline.json>"),
+                };
                 bench_gate = Some((cur, base));
             }
             "--trace-store" => {
-                store_dir = Some(args.next().expect("--trace-store needs a directory"));
+                store_dir = Some(value_of("--trace-store", &mut args));
             }
             "--trace-store-stats" => store_stats = true,
             "--checkpoint" => {
-                checkpoint_dir = Some(args.next().expect("--checkpoint needs a directory"));
+                checkpoint_dir = Some(value_of("--checkpoint", &mut args));
             }
             "--resume" => resume = true,
             "--worker" => {
-                let spec = args.next().expect("--worker needs I/OF (e.g. 0/3)");
+                let spec = value_of("--worker", &mut args);
                 let parsed = spec.split_once('/').and_then(|(i, of)| {
                     let i: usize = i.trim().parse().ok()?;
                     let of: usize = of.trim().parse().ok()?;
@@ -174,39 +201,55 @@ fn main() {
                 });
                 match parsed {
                     Some(w) => worker = Some(w),
-                    None => {
-                        eprintln!("invalid --worker spec `{spec}`: expected I/OF with I < OF");
-                        std::process::exit(2);
-                    }
+                    None => die(&format!(
+                        "invalid --worker spec `{spec}`: expected I/OF with I < OF"
+                    )),
                 }
             }
             "--only" => {
-                let spec = args.next().expect("--only needs a key=value[,...] filter");
+                let spec = value_of("--only", &mut args);
                 match ScenarioFilter::parse(&spec) {
                     Ok(f) => filters.push(f),
-                    Err(e) => {
-                        eprintln!("invalid --only filter `{spec}`: {e}");
-                        std::process::exit(2);
-                    }
+                    Err(e) => die(&format!("invalid --only filter `{spec}`: {e}")),
                 }
             }
             "--write-golden" => {
-                golden_write = Some(args.next().expect("--write-golden needs a path"));
+                golden_write = Some(value_of("--write-golden", &mut args));
             }
             "--golden" => {
-                golden_check = Some(args.next().expect("--golden needs a path"));
+                golden_check = Some(value_of("--golden", &mut args));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other if other.starts_with('-') => {
+                die(&format!("unrecognized flag `{other}`"));
+            }
+            other if !REPORT_TOKENS.contains(&other) => {
+                die(&format!(
+                    "unknown report token `{other}` (expected one of: {})",
+                    REPORT_TOKENS.join(" ")
+                ));
             }
             other => wants.push(other.to_string()),
         }
     }
 
-    if (resume || worker.is_some()) && checkpoint_dir.is_none() {
-        eprintln!("error: --resume and --worker require --checkpoint DIR");
-        std::process::exit(2);
+    // Flag-dependency audit: every modifier that is meaningless
+    // without its prerequisite is an up-front error (exit 2), not a
+    // mid-run surprise or a silently ignored request.
+    if resume && checkpoint_dir.is_none() {
+        die("--resume requires --checkpoint DIR");
+    }
+    if worker.is_some() && checkpoint_dir.is_none() {
+        die("--worker requires --checkpoint DIR");
     }
     if resume && worker.is_some() {
-        eprintln!("error: --resume is the coordinator; a --worker shard cannot also resume-all");
-        std::process::exit(2);
+        die("--resume is the coordinator; a --worker shard cannot also resume-all");
+    }
+    if store_stats && store_dir.is_none() {
+        die("--trace-store-stats requires --trace-store DIR");
     }
 
     if let Some((cur_path, base_path)) = bench_gate {
@@ -259,9 +302,6 @@ fn main() {
                 .unwrap_or_else(|e| panic!("open trace store {dir}: {e}")),
         )
     });
-    if store_stats && store.is_none() {
-        eprintln!("warning: --trace-store-stats without --trace-store; nothing to report");
-    }
     let print_store_stats = || {
         if !store_stats {
             return;
@@ -729,33 +769,11 @@ fn main() {
 }
 
 /// Print one measured row per scenario (the `--only` output form).
+/// Rendered by `report::scenario_row` — the same formatter `swan-serve`
+/// streams — so served query output diffs clean against batch output.
 fn print_scenarios(plan: &[Scenario], measurements: &[swan_core::Measurement]) {
-    let header: Vec<String> = [
-        "Scenario",
-        "Instrs",
-        "Cycles",
-        "IPC",
-        "Time(us)",
-        "Power(W)",
-        "Energy(uJ)",
-    ]
-    .iter()
-    .map(|s| s.to_string())
-    .collect();
-    let rows: Vec<Vec<String>> = plan
-        .iter()
-        .zip(measurements)
-        .map(|(sc, m)| {
-            vec![
-                sc.id(),
-                m.sim.instrs.to_string(),
-                m.sim.cycles.to_string(),
-                format!("{:.2}", m.sim.ipc()),
-                format!("{:.3}", m.seconds() * 1e6),
-                format!("{:.2}", m.power_w),
-                format!("{:.3}", m.energy_j * 1e6),
-            ]
-        })
-        .collect();
-    print!("{}", report::fmt_table(&header, &rows));
+    print!("{}", report::scenario_row_header());
+    for (sc, m) in plan.iter().zip(measurements) {
+        println!("{}", report::scenario_row(sc, m));
+    }
 }
