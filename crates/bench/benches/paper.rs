@@ -6,6 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use swan_bench::{find, measure_point, REPRESENTATIVES};
+use swan_core::profile;
 use swan_core::report;
 use swan_core::{
     capture, measure_multi, measure_multi_with, record, simulate_trace, Impl, Kernel, Scale,
@@ -377,6 +378,59 @@ fn campaign_threads(c: &mut Criterion) {
     g.finish();
 }
 
+/// The profiling layer's cost on the replay hot loop, all three
+/// states. `none` is the span-free loop (what the code looked like
+/// before the layer existed); `off` adds disabled spans (one relaxed
+/// atomic load per 8192-instruction batch) and must stay within the
+/// <1% budget of `none` that `docs/PERFORMANCE.md` quotes; `on`
+/// bounds the full cost of span timers + codec segment clocks when
+/// attribution is wanted.
+fn profile_overhead(c: &mut Criterion) {
+    let kernels = swan_kernels::all_kernels();
+    let cfgs = [
+        CoreConfig::prime(),
+        CoreConfig::gold(),
+        CoreConfig::silver(),
+    ];
+    let k = find(&kernels, "ZL", "adler32");
+    let (_data, enc, _ops) = record(k, Impl::Neon, Width::W128, SCALE, 42);
+    let mut instrs = 0u64;
+    enc.replay_batches(|batch| instrs += batch.len() as u64);
+    let replay_bare = |cfgs: &[CoreConfig]| {
+        let mut multi = MultiCore::new(cfgs);
+        multi.begin_warm();
+        enc.replay_batches(|batch| multi.warm_batch(batch));
+        multi.begin_timed();
+        enc.replay_batches(|batch| multi.step_batch(batch));
+        multi.finalize().len()
+    };
+    let replay_spanned = |cfgs: &[CoreConfig]| {
+        let mut multi = MultiCore::new(cfgs);
+        multi.begin_warm();
+        enc.replay_batches(|batch| {
+            let _span = profile::ProfileScope::enter(profile::Phase::Warm);
+            multi.warm_batch(batch)
+        });
+        multi.begin_timed();
+        enc.replay_batches(|batch| {
+            let _span = profile::ProfileScope::enter(profile::Phase::Timed);
+            multi.step_batch(batch)
+        });
+        multi.finalize().len()
+    };
+    let mut g = c.benchmark_group("profile_overhead");
+    g.sample_size(40);
+    g.throughput(Throughput::Elements(instrs * 3 * 2));
+    profile::set_enabled(false);
+    g.bench_function("none", |b| b.iter(|| black_box(replay_bare(&cfgs))));
+    g.bench_function("off", |b| b.iter(|| black_box(replay_spanned(&cfgs))));
+    profile::set_enabled(true);
+    g.bench_function("on", |b| b.iter(|| black_box(replay_spanned(&cfgs))));
+    profile::set_enabled(false);
+    profile::reset();
+    g.finish();
+}
+
 criterion_group!(
     paper,
     fig1_instruction_mix,
@@ -390,6 +444,7 @@ criterion_group!(
     tab7_offload,
     fig6_gpu,
     campaign_streaming_vs_batch,
-    campaign_threads
+    campaign_threads,
+    profile_overhead
 );
 criterion_main!(paper);

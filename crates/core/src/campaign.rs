@@ -119,7 +119,7 @@ fn plan_kernel(kernel: usize, meta: &KernelMeta, scale: Scale, seed: u64) -> Vec
 
 /// Expand a kernel inventory into the paper's complete scenario
 /// matrix, flat and canonically ordered (kernels in inventory order,
-/// each kernel's scenarios in [`plan_kernel`] order). The plan is a
+/// each kernel's scenarios in `plan_kernel` order). The plan is a
 /// pure function of the inventory, scale, and seed — deterministic and
 /// duplicate-free (`crates/core/tests/plan_properties.rs`).
 pub fn plan(kernels: &[Box<dyn Kernel>], scale: Scale, seed: u64) -> Vec<Scenario> {
@@ -135,7 +135,7 @@ pub fn plan(kernels: &[Box<dyn Kernel>], scale: Scale, seed: u64) -> Vec<Scenari
 // =====================================================================
 
 /// Partition a plan into execution groups: scenarios sharing one
-/// instruction stream ([`Scenario::stream_key`]), grouped in order of
+/// instruction stream (`Scenario::stream_key`), grouped in order of
 /// first appearance, each group's members in plan order. One group is
 /// the unit of work a campaign worker executes (one recorded
 /// execution replayed to the group's cores) — and the unit the

@@ -269,11 +269,20 @@ impl CampaignJournal {
             }
             Ok(())
         };
-        match write_all() {
+        let written = {
+            let _span = crate::profile::ProfileScope::enter(crate::profile::Phase::CheckpointWrite);
+            write_all()
+        };
+        match written {
             Ok(()) => {
                 self.written.fetch_add(1, Ordering::Relaxed);
                 self.bytes_written
                     .fetch_add(buf.len() as u64, Ordering::Relaxed);
+                crate::profile::add_counts(
+                    crate::profile::Phase::CheckpointWrite,
+                    0,
+                    buf.len() as u64,
+                );
                 Ok(())
             }
             Err(e) => {
@@ -290,6 +299,7 @@ impl CampaignJournal {
     /// where the bad file has been logged, deleted, and counted so the
     /// fresh result replaces it.
     pub fn load_group(&self, plan: &[Scenario], group: &[usize]) -> Option<Vec<Measurement>> {
+        let _span = crate::profile::ProfileScope::enter(crate::profile::Phase::CheckpointLoad);
         let path = self.entry_path(plan, group);
         let bytes = match fs::read(&path) {
             Ok(b) => b,
@@ -298,6 +308,11 @@ impl CampaignJournal {
         match self.verify_entry(&bytes, &self.key_string(plan, group), group.len()) {
             Ok(ms) => {
                 self.loaded.fetch_add(1, Ordering::Relaxed);
+                crate::profile::add_counts(
+                    crate::profile::Phase::CheckpointLoad,
+                    0,
+                    bytes.len() as u64,
+                );
                 Some(ms)
             }
             Err(e) => {

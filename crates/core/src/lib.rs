@@ -8,6 +8,13 @@
 //! threads at scenario-group granularity), and the [`report`]
 //! generators that regenerate every table and figure of the paper
 //! from a kernel inventory.
+//!
+//! Operational layers ride along: the [`tracestore`] caches recorded
+//! instruction streams on disk, the [`checkpoint`] journal makes
+//! campaigns crash-safe and shardable, the [`perf`] probe measures
+//! the replay engine itself, and the [`profile`] module attributes a
+//! run's wall clock across pipeline phases with zero steady-state
+//! allocation and bit-identical results profiling on or off.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -17,6 +24,7 @@ pub mod checkpoint;
 pub mod golden;
 pub mod kernel;
 pub mod perf;
+pub mod profile;
 pub mod report;
 pub mod runner;
 pub mod scenario;
@@ -37,6 +45,7 @@ pub use kernel::{
     AutoObstacle, AutoOutcome, Impl, Kernel, KernelMeta, Library, Pattern, Runnable, Scale, VsNeon,
 };
 pub use perf::{find, gate, parse_bench_json, probe, BenchRow, GateOutcome, PerfReport};
+pub use profile::{Phase, PhaseSample, ProfileReport, ProfileScope};
 pub use runner::{
     capture, measure, measure_multi, measure_multi_with, measure_recorded, record, record_group,
     simulate_trace, verify_kernel, GroupRecording, Measurement,

@@ -201,15 +201,26 @@ pub fn probe(
         rep.decode_ns += t0.elapsed().as_nanos();
         rep.instrs += n;
 
+        // Per-batch profile spans mirror `runner::measure_recorded`,
+        // so `--perf --profile` attributes the probe's replay passes.
         let mut batch = MultiCore::new(&cfgs);
         batch.begin_warm();
         let t0 = Instant::now();
-        rec.replay_batches(|b| batch.warm_batch(b));
+        rec.replay_batches(|b| {
+            let _span = crate::profile::ProfileScope::enter(crate::profile::Phase::Warm);
+            batch.warm_batch(b)
+        });
         rep.warm_ns += t0.elapsed().as_nanos();
         batch.begin_timed();
         let t0 = Instant::now();
-        rec.replay_batches(|b| batch.step_batch(b));
+        rec.replay_batches(|b| {
+            let _span = crate::profile::ProfileScope::enter(crate::profile::Phase::Timed);
+            batch.step_batch(b)
+        });
         rep.timed_ns += t0.elapsed().as_nanos();
+        let bstats = batch.batch_stats();
+        crate::profile::add_counts(crate::profile::Phase::Warm, bstats.warm_instrs, 0);
+        crate::profile::add_counts(crate::profile::Phase::Timed, bstats.timed_instrs, 0);
         let batch_sims: Vec<SimResult> = batch.finalize();
 
         let mut per = MultiCore::new(&cfgs);

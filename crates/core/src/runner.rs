@@ -17,6 +17,7 @@
 //! integration tests).
 
 use crate::kernel::{Impl, Kernel, Scale};
+use crate::profile::{self, Phase, ProfileScope};
 use crate::tracestore::{StoreKey, StoredRecording, TraceStore};
 use swan_simd::trace::{self, session_width, stream_into_at, Mode, Session, TraceSink};
 use swan_simd::{EncodedTrace, RecordSink, TraceData, TraceInstr, Width};
@@ -215,7 +216,11 @@ pub fn record_group(
 ) -> GroupRecording {
     if let Some(store) = store {
         let key = StoreKey::group(&kernel.meta().id(), imp, w, scale, seed);
-        if let Some(stored) = store.lookup(&key) {
+        let hit = {
+            let _span = ProfileScope::enter(Phase::StoreLookup);
+            store.lookup(&key)
+        };
+        if let Some(stored) = hit {
             return GroupRecording {
                 data: stored.histograms.histograms(),
                 work_ops: stored.work_ops,
@@ -225,9 +230,26 @@ pub fn record_group(
         }
         match store.begin_insert(&key) {
             Ok((pending, spill)) => {
-                let (data, spill, fallback_refs, work_ops) =
-                    execute_recorded(kernel, imp, w, scale, seed, spill);
-                match store.commit(pending, spill, work_ops, fallback_refs, data.histograms()) {
+                // The codec times its own spill writes; subtract the
+                // delta from the recording and commit spans so their
+                // self time stays exclusive of spill I/O.
+                let (data, spill, fallback_refs, work_ops) = {
+                    let _span = ProfileScope::enter(Phase::Record);
+                    let spill0 = profile::codec_spill_ns();
+                    let out = execute_recorded(kernel, imp, w, scale, seed, spill);
+                    profile::exclude_enclosed(profile::codec_spill_ns() - spill0);
+                    out
+                };
+                profile::add_counts(Phase::Record, data.total(), 0);
+                let committed = {
+                    let _span = ProfileScope::enter(Phase::StoreCommit);
+                    let spill0 = profile::codec_spill_ns();
+                    let out =
+                        store.commit(pending, spill, work_ops, fallback_refs, data.histograms());
+                    profile::exclude_enclosed(profile::codec_spill_ns() - spill0);
+                    out
+                };
+                match committed {
                     Ok(stored) => {
                         return GroupRecording {
                             data: data.histograms(),
@@ -248,8 +270,11 @@ pub fn record_group(
             ),
         }
     }
-    let (data, rec, fallback_refs, work_ops) =
-        execute_recorded(kernel, imp, w, scale, seed, RecordSink::new());
+    let (data, rec, fallback_refs, work_ops) = {
+        let _span = ProfileScope::enter(Phase::Record);
+        execute_recorded(kernel, imp, w, scale, seed, RecordSink::new())
+    };
+    profile::add_counts(Phase::Record, data.total(), 0);
     GroupRecording {
         data: data.histograms(),
         work_ops,
@@ -283,9 +308,22 @@ pub fn measure_recorded(
 ) -> Vec<Measurement> {
     let mut multi = MultiCore::new(cfgs);
     multi.begin_warm();
-    rec.replay_batches(|b| multi.warm_batch(b));
+    // One profiling span per batch (not per pass): the decode work
+    // between batches — inline arena refills or the decoder thread's
+    // chunk reads — times itself inside the codec, so span time here
+    // is purely model stepping.
+    rec.replay_batches(|b| {
+        let _span = ProfileScope::enter(Phase::Warm);
+        multi.warm_batch(b)
+    });
     multi.begin_timed();
-    rec.replay_batches(|b| multi.step_batch(b));
+    rec.replay_batches(|b| {
+        let _span = ProfileScope::enter(Phase::Timed);
+        multi.step_batch(b)
+    });
+    let stats = multi.batch_stats();
+    profile::add_counts(Phase::Warm, stats.warm_instrs, 0);
+    profile::add_counts(Phase::Timed, stats.timed_instrs, 0);
     let sims = multi.finalize();
     cfgs.iter()
         .zip(sims)

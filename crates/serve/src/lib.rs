@@ -40,6 +40,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+use std::time::Instant;
+
+use swan_core::profile::{Phase, ProfileScope};
 use swan_core::report::{scenario_row, scenario_row_header};
 use swan_core::{
     execution_groups, filter_plan, group_key_string, inventory_digest, plan, try_execute_plan_with,
@@ -150,6 +153,14 @@ struct Counters {
     shared_groups: AtomicU64,
     fresh_groups: AtomicU64,
     failed_groups: AtomicU64,
+    // Cumulative wall nanoseconds requests spent obtaining group
+    // results, per answer tier — the daemon's per-tier latency
+    // accounting (always on: one clock pair per group is noise next
+    // to the result it waits for). Failed groups charge the tier that
+    // arbitrated them.
+    cache_wait_ns: AtomicU64,
+    shared_wait_ns: AtomicU64,
+    fresh_wait_ns: AtomicU64,
 }
 
 struct Inner {
@@ -361,10 +372,24 @@ impl Server {
                 Tier::Shared => stats.shared += 1,
                 Tier::Fresh => stats.fresh += 1,
             }
-            let outcome = match ticket {
-                Ticket::Ready(ms) => Ok(ms),
-                Ticket::Wait(cell) => cell.wait(),
+            // Per-tier latency: how long this request waited for the
+            // group's result, charged to the tier that answered it —
+            // also mirrored into the campaign profile layer when
+            // `swan_core::profile` is enabled.
+            let (phase, wait_slot) = match tier {
+                Tier::Cache => (Phase::ServeCache, &inner.counters.cache_wait_ns),
+                Tier::Shared => (Phase::ServeShared, &inner.counters.shared_wait_ns),
+                Tier::Fresh => (Phase::ServeFresh, &inner.counters.fresh_wait_ns),
             };
+            let waited = Instant::now();
+            let outcome = {
+                let _span = ProfileScope::enter(phase);
+                match ticket {
+                    Ticket::Ready(ms) => Ok(ms),
+                    Ticket::Wait(cell) => cell.wait(),
+                }
+            };
+            wait_slot.fetch_add(waited.elapsed().as_nanos() as u64, Ordering::Relaxed);
             match outcome {
                 Ok(ms) => {
                     debug_assert_eq!(ms.len(), group.len(), "group result arity");
@@ -568,8 +593,9 @@ impl Server {
     }
 
     /// One greppable `serve:` line of lifetime counters — requests,
-    /// per-tier group counts, cache occupancy, queue peak, and trace
-    /// store activity (zeros when no store is attached).
+    /// per-tier group counts, per-tier cumulative wait latency
+    /// (`*_ns`), cache occupancy, queue peak, and trace store activity
+    /// (zeros when no store is attached).
     pub fn stats_line(&self) -> String {
         let c = &self.inner.counters;
         let cs = self.inner.cache.stats();
@@ -579,8 +605,8 @@ impl Server {
         });
         format!(
             "serve: requests={} errors={} rows={} groups={} cache_hits={} shared={} fresh={} \
-             failed={} cache_entries={} cache_evictions={} queue_peak={} store_hits={} \
-             store_misses={}",
+             failed={} cache_ns={} shared_ns={} fresh_ns={} cache_entries={} cache_evictions={} \
+             queue_peak={} store_hits={} store_misses={}",
             c.requests.load(Ordering::Relaxed),
             c.errors.load(Ordering::Relaxed),
             c.rows.load(Ordering::Relaxed),
@@ -589,6 +615,9 @@ impl Server {
             c.shared_groups.load(Ordering::Relaxed),
             c.fresh_groups.load(Ordering::Relaxed),
             c.failed_groups.load(Ordering::Relaxed),
+            c.cache_wait_ns.load(Ordering::Relaxed),
+            c.shared_wait_ns.load(Ordering::Relaxed),
+            c.fresh_wait_ns.load(Ordering::Relaxed),
             self.inner.cache.len(),
             cs.evictions,
             self.inner.queue.peak(),

@@ -53,7 +53,8 @@
 
 use super::{advance_value_id, next_value_id, Class, MemRef, Op, TraceInstr, TraceSink};
 use std::io::{self, Read, Write};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Record kinds (low bit of the header byte).
 const KIND_INSTR: u8 = 0;
@@ -75,6 +76,116 @@ static RECORDED_BYTES: AtomicU64 = AtomicU64::new(0);
 static RECORDED_INSTRS: AtomicU64 = AtomicU64::new(0);
 static SPILLED_BYTES: AtomicU64 = AtomicU64::new(0);
 static RESIDENT_PEAK: AtomicU64 = AtomicU64::new(0);
+
+/// Gate for the codec's self-profiling segment timers below. The
+/// codec sits *under* `swan_core::profile` in the dependency order, so
+/// it carries its own counters; `swan_core::profile::set_enabled`
+/// flips this gate alongside its own and folds [`codec_profile`] into
+/// the campaign-level phase report. Off means each instrumented
+/// segment costs one relaxed load and no clock read.
+static PROFILING: AtomicBool = AtomicBool::new(false);
+static DECODE_NS: AtomicU64 = AtomicU64::new(0);
+static DECODE_SEGMENTS: AtomicU64 = AtomicU64::new(0);
+static DECODE_INSTRS: AtomicU64 = AtomicU64::new(0);
+static DECODE_BYTES: AtomicU64 = AtomicU64::new(0);
+static SPILL_NS: AtomicU64 = AtomicU64::new(0);
+static SPILL_CHUNKS: AtomicU64 = AtomicU64::new(0);
+static SPILL_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Switch the codec's decode/spill segment timers on or off
+/// (process-wide). Normally driven by `swan_core::profile`.
+pub fn set_profiling(on: bool) {
+    PROFILING.store(on, Ordering::Relaxed);
+}
+
+/// Whether the codec segment timers are currently recording.
+#[inline]
+pub fn profiling_enabled() -> bool {
+    PROFILING.load(Ordering::Relaxed)
+}
+
+/// Accumulated decode/spill segment counters (see [`codec_profile`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CodecProfile {
+    /// Wall nanoseconds spent expanding encoded records into
+    /// instruction batches — arena refills on the in-memory path;
+    /// chunk read + digest verify + expand on the store path
+    /// (channel hand-off waits excluded).
+    pub decode_ns: u64,
+    /// Timed decode segments (batch refills and chunk reads).
+    pub decode_segments: u64,
+    /// Instructions expanded by timed decode segments.
+    pub decode_instrs: u64,
+    /// Encoded bytes consumed by timed decode segments.
+    pub decode_bytes: u64,
+    /// Wall nanoseconds spent writing spill chunks and trailers.
+    pub spill_ns: u64,
+    /// Spill chunks written by timed segments.
+    pub spill_chunks: u64,
+    /// Payload bytes written by timed spill segments.
+    pub spill_bytes: u64,
+}
+
+/// Process-wide decode/spill segment counters, populated only while
+/// [`set_profiling`] is on. Monotone between [`reset_codec_profile`]
+/// calls.
+pub fn codec_profile() -> CodecProfile {
+    CodecProfile {
+        decode_ns: DECODE_NS.load(Ordering::Relaxed),
+        decode_segments: DECODE_SEGMENTS.load(Ordering::Relaxed),
+        decode_instrs: DECODE_INSTRS.load(Ordering::Relaxed),
+        decode_bytes: DECODE_BYTES.load(Ordering::Relaxed),
+        spill_ns: SPILL_NS.load(Ordering::Relaxed),
+        spill_chunks: SPILL_CHUNKS.load(Ordering::Relaxed),
+        spill_bytes: SPILL_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero the decode/spill segment counters.
+pub fn reset_codec_profile() {
+    for c in [
+        &DECODE_NS,
+        &DECODE_SEGMENTS,
+        &DECODE_INSTRS,
+        &DECODE_BYTES,
+        &SPILL_NS,
+        &SPILL_CHUNKS,
+        &SPILL_BYTES,
+    ] {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Segment start: a clock read only while profiling is on.
+#[inline]
+fn prof_now() -> Option<Instant> {
+    if PROFILING.load(Ordering::Relaxed) {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Close a decode segment opened by [`prof_now`].
+#[inline]
+fn prof_decode(t0: Option<Instant>, instrs: u64, bytes: u64) {
+    if let Some(t0) = t0 {
+        DECODE_NS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        DECODE_SEGMENTS.fetch_add(1, Ordering::Relaxed);
+        DECODE_INSTRS.fetch_add(instrs, Ordering::Relaxed);
+        DECODE_BYTES.fetch_add(bytes, Ordering::Relaxed);
+    }
+}
+
+/// Close a spill segment opened by [`prof_now`].
+#[inline]
+fn prof_spill(t0: Option<Instant>, chunks: u64, bytes: u64) {
+    if let Some(t0) = t0 {
+        SPILL_NS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        SPILL_CHUNKS.fetch_add(chunks, Ordering::Relaxed);
+        SPILL_BYTES.fetch_add(bytes, Ordering::Relaxed);
+    }
+}
 
 /// Process-wide codec counters (see [`recorded_totals`]). All fields
 /// are monotone over the process lifetime.
@@ -534,7 +645,10 @@ impl EncodedTrace {
         let mut pos = 0usize;
         loop {
             batch.clear();
+            let t0 = prof_now();
+            let pos0 = pos;
             fill.fill(&self.bytes, &mut pos, &mut batch);
+            prof_decode(t0, batch.instrs().len() as u64, (pos - pos0) as u64);
             if batch.is_empty() {
                 return;
             }
@@ -810,6 +924,8 @@ impl<W: Write> SpillSink<W> {
         if self.buf.is_empty() {
             return;
         }
+        let t0 = prof_now();
+        let payload_len = self.buf.len() as u64;
         if !self.header_written {
             self.header_written = true;
             self.try_io(|w| {
@@ -838,6 +954,7 @@ impl<W: Write> SpillSink<W> {
         self.buf.clear();
         self.chunk_records = 0;
         self.chunk_instrs = 0;
+        prof_spill(t0, 1, payload_len);
     }
 
     fn after_record(&mut self) {
@@ -852,6 +969,7 @@ impl<W: Write> SpillSink<W> {
     /// process-wide [`recorded_totals`] counters (spill path).
     pub fn finish(mut self) -> io::Result<(ChunkedSummary, W)> {
         self.flush_chunk();
+        let t0 = prof_now();
         if !self.header_written {
             // Empty stream: still a well-formed container.
             self.header_written = true;
@@ -870,6 +988,7 @@ impl<W: Write> SpillSink<W> {
             w.write_all(&frame)?;
             w.flush()
         });
+        prof_spill(t0, 0, frame.len() as u64);
         if let Some(e) = self.err {
             return Err(e);
         }
@@ -1138,6 +1257,11 @@ fn decode_chunked_into_batches<R: Read>(
         }
         match tag[0] {
             TAG_CHUNK => {
+                // Profiled as decode segments: chunk read + digest
+                // verify as one segment, then each arena refill as its
+                // own — so the channel hand-off waits between refills
+                // never count as decode time.
+                let t_read = prof_now();
                 let len = read_varint(&mut reader)?;
                 if len > (MAX_CHUNK_BYTES + 1024) as u64 {
                     return Err(CodecError::Chunk {
@@ -1157,11 +1281,14 @@ fn decode_chunked_into_batches<R: Read>(
                         what: "payload digest",
                     });
                 }
+                prof_decode(t_read, 0, len as u64);
                 let mut pos = 0usize;
                 let mut got_records = 0u64;
                 let mut got_instrs = 0u64;
                 loop {
+                    let t_fill = prof_now();
                     let (r, i) = fill.fill(&payload, &mut pos, &mut batch);
+                    prof_decode(t_fill, i, 0);
                     got_records += r;
                     got_instrs += i;
                     if !batch.is_full() {

@@ -623,6 +623,23 @@ impl TraceSink for CoreModel {
     }
 }
 
+/// Cumulative batch-phase counters of one [`MultiCore`] fan-out:
+/// how many decoded batches (and stream instructions) each replay
+/// phase consumed. Always on — four `u64` adds per batch are noise
+/// next to stepping the batch through N models — and surfaced by
+/// `swan_core::profile` as the warm/timed instruction counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Batches consumed during the cache-warming phase.
+    pub warm_batches: u64,
+    /// Stream instructions replayed during the cache-warming phase.
+    pub warm_instrs: u64,
+    /// Batches consumed during the timed phase.
+    pub timed_batches: u64,
+    /// Stream instructions replayed during the timed phase.
+    pub timed_instrs: u64,
+}
+
 /// Fan-out sink driving several core models from one functional
 /// execution: each dynamic instruction is stepped through every model,
 /// so N core configurations are measured from a single traced kernel
@@ -630,6 +647,8 @@ impl TraceSink for CoreModel {
 #[derive(Debug)]
 pub struct MultiCore {
     models: Vec<CoreModel>,
+    stats: BatchStats,
+    timed: bool,
 }
 
 impl MultiCore {
@@ -637,12 +656,23 @@ impl MultiCore {
     pub fn new(cfgs: &[CoreConfig]) -> MultiCore {
         MultiCore {
             models: cfgs.iter().map(|c| CoreModel::new(c.clone())).collect(),
+            stats: BatchStats::default(),
+            timed: false,
         }
     }
 
     /// Wrap existing models (cache state preserved).
     pub fn from_models(models: Vec<CoreModel>) -> MultiCore {
-        MultiCore { models }
+        MultiCore {
+            models,
+            stats: BatchStats::default(),
+            timed: false,
+        }
+    }
+
+    /// Batch-phase counters accumulated so far.
+    pub fn batch_stats(&self) -> BatchStats {
+        self.stats
     }
 
     /// Number of driven models.
@@ -657,6 +687,7 @@ impl MultiCore {
 
     /// Enter the cache warm-up phase on every model.
     pub fn begin_warm(&mut self) {
+        self.timed = false;
         for m in &mut self.models {
             m.begin_warm();
         }
@@ -671,6 +702,7 @@ impl MultiCore {
 
     /// Enter the timed phase on every model.
     pub fn begin_timed(&mut self) {
+        self.timed = true;
         for m in &mut self.models {
             m.begin_timed();
         }
@@ -680,6 +712,8 @@ impl MultiCore {
     /// batch is decoded once and walked N times (the fan-out form of
     /// [`CoreModel::warm_batch`]).
     pub fn warm_batch(&mut self, batch: &[TraceInstr]) {
+        self.stats.warm_batches += 1;
+        self.stats.warm_instrs += batch.len() as u64;
         for m in &mut self.models {
             m.warm_batch(batch);
         }
@@ -689,6 +723,13 @@ impl MultiCore {
     /// phase (the fan-out form of [`CoreModel::step_batch`]): decode
     /// once, simulate all N configurations.
     pub fn step_batch(&mut self, batch: &[TraceInstr]) {
+        if self.timed {
+            self.stats.timed_batches += 1;
+            self.stats.timed_instrs += batch.len() as u64;
+        } else {
+            self.stats.warm_batches += 1;
+            self.stats.warm_instrs += batch.len() as u64;
+        }
         for m in &mut self.models {
             m.step_batch(batch);
         }

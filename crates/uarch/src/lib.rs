@@ -45,7 +45,7 @@ pub mod power;
 
 pub use cache::{CacheConfig, CacheHierarchy, CacheStats, MemConfig};
 pub use config::{CoreConfig, CoreId};
-pub use core::{CoreModel, MultiCore, SimResult};
+pub use core::{BatchStats, CoreModel, MultiCore, SimResult};
 pub use power::{EnergyBreakdown, EnergyModel};
 
 use swan_simd::TraceData;

@@ -6,7 +6,9 @@
 //! ```text
 //! swan-report [--quick | --scale F] [--seed N] [--threads N]
 //!             [--trace-store DIR] [--trace-store-stats]
-//!             [--checkpoint DIR [--resume]] <what>...
+//!             [--checkpoint DIR [--resume]]
+//!             [--profile [--profile-json PATH] [--profile-folded PATH]]
+//!             <what>...
 //! swan-report [...] --list-scenarios [--only FILTER]...
 //! swan-report [...] --only FILTER [--only FILTER]...
 //! swan-report [...] --checkpoint DIR --worker I/OF [--only FILTER]...
@@ -59,6 +61,18 @@
 //! non-zero if any regressed more than 25% — the CI guard on the
 //! replay hot loop's throughput.
 //!
+//! `--profile` composes with every measuring mode (full suite,
+//! `--only` subsets, goldens, workers, `--perf`): the
+//! `swan_core::profile` attribution layer is switched on for the run
+//! and, when it finishes, a per-phase table (record, store I/O,
+//! decode, warm, timed, checkpoint, …) plus one greppable `profile:`
+//! headline go to stderr — stdout rows stay byte-identical to an
+//! unprofiled run — and the machine-readable per-phase report is
+//! written to `BENCH_profile.json` (`--profile-json PATH` overrides).
+//! `--profile-folded PATH` additionally writes folded stacks
+//! (`swan;campaign;timed 1234` per line) that `flamegraph.pl` /
+//! inferno consume directly. See `docs/PERFORMANCE.md`.
+//!
 //! `--trace-store DIR` backs every campaign (full suite, `--only`
 //! subsets, goldens) with the persistent chunked trace store rooted at
 //! `DIR`: scenario groups whose recordings the store already holds are
@@ -102,6 +116,7 @@ fn auto_threads() -> usize {
 const USAGE: &str = "usage: swan-report [--quick | --scale F] [--seed N] [--threads N]\n\
                      \x20                  [--trace-store DIR [--trace-store-stats]]\n\
                      \x20                  [--checkpoint DIR [--resume | --worker I/OF]]\n\
+                     \x20                  [--profile [--profile-json PATH] [--profile-folded PATH]]\n\
                      \x20                  [--only FILTER]... [--list-scenarios]\n\
                      \x20                  [--write-golden PATH | --golden PATH]\n\
                      \x20                  [--replay-smoke | --perf | --bench-gate CUR BASE]\n\
@@ -152,6 +167,9 @@ fn main() {
     let mut checkpoint_dir: Option<String> = None;
     let mut resume = false;
     let mut worker: Option<(usize, usize)> = None;
+    let mut profile = false;
+    let mut profile_json: Option<String> = None;
+    let mut profile_folded: Option<String> = None;
     let mut filters: Vec<ScenarioFilter> = Vec::new();
     let mut wants: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -192,6 +210,13 @@ fn main() {
                 checkpoint_dir = Some(value_of("--checkpoint", &mut args));
             }
             "--resume" => resume = true,
+            "--profile" => profile = true,
+            "--profile-json" => {
+                profile_json = Some(value_of("--profile-json", &mut args));
+            }
+            "--profile-folded" => {
+                profile_folded = Some(value_of("--profile-folded", &mut args));
+            }
             "--worker" => {
                 let spec = value_of("--worker", &mut args);
                 let parsed = spec.split_once('/').and_then(|(i, of)| {
@@ -251,6 +276,48 @@ fn main() {
     if store_stats && store_dir.is_none() {
         die("--trace-store-stats requires --trace-store DIR");
     }
+    if profile_json.is_some() && !profile {
+        die("--profile-json requires --profile");
+    }
+    if profile_folded.is_some() && !profile {
+        die("--profile-folded requires --profile");
+    }
+    if profile && bench_gate.is_some() {
+        die("--bench-gate compares existing files; there is no run to --profile");
+    }
+    if profile && list_scenarios {
+        die("--list-scenarios plans without measuring; there is no run to --profile");
+    }
+
+    // The attribution layer switches on before any measurement and
+    // reports at the end of whichever mode runs below. The table and
+    // headline go to stderr so stdout rows stay byte-identical to an
+    // unprofiled run.
+    if profile {
+        swan_core::profile::set_enabled(true);
+    }
+    let profile_t0 = std::time::Instant::now();
+    let emit_profile = |what: &str| {
+        if !profile {
+            return;
+        }
+        let rep = swan_core::profile::snapshot(profile_t0.elapsed().as_nanos() as u64);
+        eprint!("{}", rep.render_table());
+        eprintln!("{}", rep.headline());
+        let json_path = profile_json.as_deref().unwrap_or("BENCH_profile.json");
+        std::fs::write(json_path, rep.to_json()).unwrap_or_else(|e| {
+            eprintln!("error: write profile json {json_path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("profile: {what} phases written to {json_path}");
+        if let Some(path) = profile_folded.as_deref() {
+            std::fs::write(path, rep.to_folded()).unwrap_or_else(|e| {
+                eprintln!("error: write folded stacks {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("profile: folded stacks written to {path} (flamegraph.pl/inferno input)");
+        }
+    };
 
     if let Some((cur_path, base_path)) = bench_gate {
         // Pure file comparison — no kernels, no measurement.
@@ -417,6 +484,7 @@ fn main() {
             s.bytes_written,
         );
         eprintln!("worker done in {:.1}s", t0.elapsed().as_secs_f32());
+        emit_profile("worker shard");
         exit_on_failures(&run.failures);
         return;
     }
@@ -455,6 +523,7 @@ fn main() {
         print_store_stats();
         print!("{}", rep.render());
         eprintln!("perf probe done in {:.1}s", t0.elapsed().as_secs_f32());
+        emit_profile("perf probe");
         return;
     }
 
@@ -512,6 +581,7 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("replay smoke OK: replay is bit-identical to the live execution");
+        emit_profile("replay smoke");
         return;
     }
 
@@ -599,6 +669,7 @@ fn main() {
                 }
             }
         }
+        emit_profile("golden campaign");
         return;
     }
 
@@ -652,6 +723,7 @@ fn main() {
         print_store_stats();
         print_scenarios(&selected, &measurements);
         eprintln!("done in {:.1}s", t0.elapsed().as_secs_f32());
+        emit_profile("scenario subset");
         return;
     }
 
@@ -766,6 +838,8 @@ fn main() {
         );
         println!("{rep}");
     }
+
+    emit_profile("report suite");
 }
 
 /// Print one measured row per scenario (the `--only` output form).

@@ -166,7 +166,7 @@ range_strategy_float!(f32, f64);
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Sizes accepted by [`vec`]: a fixed length or a length range.
+    /// Sizes accepted by [`vec()`](crate::collection::vec): a fixed length or a length range.
     pub trait IntoSizeRange {
         /// Draw a concrete length.
         fn pick(&self, rng: &mut TestRng) -> usize;
